@@ -1,0 +1,128 @@
+package cawa
+
+// Benchmark harness: one testing.B benchmark per paper table/figure
+// (see the per-experiment index in DESIGN.md). Each benchmark runs the
+// corresponding experiment end-to-end on a reduced configuration
+// (2 SMs, quarter-scale inputs) so the whole suite finishes in
+// minutes; `cmd/cawabench -exp <id>` regenerates the full-size tables
+// recorded in EXPERIMENTS.md.
+//
+// Benchmarks report simulated cycles per wall second where meaningful,
+// plus experiment-specific headline metrics via b.ReportMetric.
+
+import (
+	"strconv"
+	"testing"
+)
+
+func benchSession() *Session {
+	return NewSession(SmallConfig(), Params{Scale: 0.25, Seed: 7})
+}
+
+// runExp is the common driver: run the experiment b.N times (sessions
+// cache within an iteration but not across, keeping work honest).
+func runExp(b *testing.B, id string) *Table {
+	b.Helper()
+	var tbl *Table
+	for i := 0; i < b.N; i++ {
+		s := benchSession()
+		var err error
+		tbl, err = RunExperiment(id, s)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+	return tbl
+}
+
+// metric extracts a numeric cell for ReportMetric; the table formats
+// numbers itself, so parse back.
+func metric(tbl *Table, row, col int) float64 {
+	v, err := strconv.ParseFloat(tbl.Value(row, col), 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func BenchmarkFig1Disparity(b *testing.B) {
+	tbl := runExp(b, "fig1")
+	b.ReportMetric(metric(tbl, tbl.Rows()-1, 0), "avg_disparity")
+}
+
+func BenchmarkFig2aImbalance(b *testing.B)  { runExp(b, "fig2a") }
+func BenchmarkFig2bBranch(b *testing.B)     { runExp(b, "fig2b") }
+func BenchmarkFig2cMemory(b *testing.B)     { runExp(b, "fig2c") }
+
+func BenchmarkFig3Reuse(b *testing.B) {
+	tbl := runExp(b, "fig3")
+	b.ReportMetric(metric(tbl, 1, 0), "frac_evicted_before_reuse")
+}
+
+func BenchmarkFig4SchedDelay(b *testing.B) { runExp(b, "fig4") }
+func BenchmarkFig8PCReuse(b *testing.B)    { runExp(b, "fig8") }
+
+func BenchmarkFig9Performance(b *testing.B) {
+	tbl := runExp(b, "fig9")
+	// GMEAN(sens) row: columns 2lvl, gto, cawa.
+	b.ReportMetric(metric(tbl, tbl.Rows()-2, 2), "cawa_gmean_sens_speedup")
+}
+
+func BenchmarkFig10MPKI(b *testing.B) { runExp(b, "fig10") }
+
+func BenchmarkFig11CPLAccuracy(b *testing.B) {
+	tbl := runExp(b, "fig11")
+	b.ReportMetric(metric(tbl, tbl.Rows()-1, 0), "avg_accuracy")
+}
+
+func BenchmarkFig12PriorityTimeline(b *testing.B) { runExp(b, "fig12") }
+
+func BenchmarkFig13SchedulerBreakdown(b *testing.B) {
+	tbl := runExp(b, "fig13")
+	b.ReportMetric(metric(tbl, tbl.Rows()-1, 2), "cawa_gmean_speedup")
+}
+
+func BenchmarkFig14CriticalHitRate(b *testing.B) {
+	tbl := runExp(b, "fig14")
+	b.ReportMetric(metric(tbl, tbl.Rows()-1, 1), "cawa_norm_hit_rate")
+}
+
+func BenchmarkFig15ZeroReuse(b *testing.B) {
+	tbl := runExp(b, "fig15")
+	b.ReportMetric(metric(tbl, tbl.Rows()-1, 0), "baseline_zero_reuse")
+	b.ReportMetric(metric(tbl, tbl.Rows()-1, 1), "cawa_zero_reuse")
+}
+
+func BenchmarkFig16CACPMPKI(b *testing.B) { runExp(b, "fig16") }
+func BenchmarkFig17CACPIPC(b *testing.B)  { runExp(b, "fig17") }
+
+func BenchmarkTable1Config(b *testing.B)     { runExp(b, "tab1") }
+func BenchmarkTable2Benchmarks(b *testing.B) { runExp(b, "tab2") }
+
+func BenchmarkSec552CPLonGTO(b *testing.B) {
+	tbl := runExp(b, "sec552")
+	b.ReportMetric(metric(tbl, tbl.Rows()-1, 0), "gcaws_vs_gto_gmean")
+}
+
+// Ablation benches for the design decisions called out in DESIGN.md.
+
+func BenchmarkAblationCPLTerms(b *testing.B)  { runExp(b, "abl-cpl") }
+func BenchmarkAblationGreedy(b *testing.B)    { runExp(b, "abl-greedy") }
+func BenchmarkAblationPartition(b *testing.B) { runExp(b, "abl-partition") }
+func BenchmarkAblationSignature(b *testing.B) { runExp(b, "abl-signature") }
+func BenchmarkAblationDynPart(b *testing.B)   { runExp(b, "abl-dynpart") }
+func BenchmarkExtensionCCWS(b *testing.B)     { runExp(b, "ext-ccws") }
+
+// Raw simulator throughput: simulated cycles per second on a
+// cache-thrashing workload (kmeans) under the full CAWA design.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := Run("kmeans", Params{Scale: 0.125, Seed: 7}, CAWA(), SmallConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Agg.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim_cycles/s")
+}

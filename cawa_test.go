@@ -1,0 +1,52 @@
+package cawa
+
+import "testing"
+
+// TestPublicAPI exercises the façade end to end on a reduced
+// configuration: run a workload on the baseline and the full CAWA
+// design point, and regenerate one experiment table.
+func TestPublicAPI(t *testing.T) {
+	p := Params{Scale: 0.1, Seed: 3}
+	base, err := Run("bfs", p, Baseline(), SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cawaRes, err := Run("bfs", p, CAWA(), SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Agg.Cycles <= 0 || cawaRes.Agg.Cycles <= 0 {
+		t.Fatal("no cycles simulated")
+	}
+	if base.Agg.IPC() <= 0 {
+		t.Fatal("zero IPC")
+	}
+
+	if len(Workloads()) < 12 {
+		t.Fatalf("only %d workloads registered", len(Workloads()))
+	}
+	if len(ExperimentIDs()) < 19 {
+		t.Fatalf("only %d experiments registered", len(ExperimentIDs()))
+	}
+
+	s := NewSession(SmallConfig(), p)
+	tbl, err := RunExperiment("tab2", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 12 {
+		t.Fatalf("tab2 rows %d", tbl.Rows())
+	}
+}
+
+func TestConfigsExposed(t *testing.T) {
+	if GTX480().NumSMs != 15 || SmallConfig().NumSMs != 2 {
+		t.Fatal("config presets drifted")
+	}
+	if CAWA().Scheduler != "gcaws" || !CAWA().CACP || !CAWA().CPL {
+		t.Fatal("CAWA design point drifted")
+	}
+	if Baseline().Scheduler != "lrr" {
+		t.Fatal("baseline drifted")
+	}
+}

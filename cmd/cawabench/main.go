@@ -1,0 +1,84 @@
+// Command cawabench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	cawabench -exp fig9            # one experiment
+//	cawabench -exp fig9,fig10     # several
+//	cawabench -all                 # everything (slow)
+//	cawabench -list                # show available experiment ids
+//
+// The -scale and -sms flags trade fidelity for speed; EXPERIMENTS.md
+// records the reference results at the default settings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cawa/internal/config"
+	"cawa/internal/harness"
+	"cawa/internal/workloads"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "comma-separated experiment ids")
+		all    = flag.Bool("all", false, "run every experiment")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		scale  = flag.Float64("scale", 1, "workload size multiplier")
+		seed   = flag.Int64("seed", 1, "input generator seed")
+		sms    = flag.Int("sms", 0, "override number of SMs")
+		asJSON = flag.Bool("json", false, "emit tables as JSON documents")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range harness.ExperimentIDs() {
+			e, _ := harness.LookupExperiment(id)
+			fmt.Printf("%-14s %s\n", id, e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = harness.ExperimentIDs()
+	case *exp != "":
+		ids = strings.Split(*exp, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "cawabench: pass -exp <ids>, -all, or -list")
+		os.Exit(2)
+	}
+
+	cfg := config.GTX480()
+	if *sms > 0 {
+		cfg.NumSMs = *sms
+	}
+	session := harness.NewSession(cfg, workloads.Params{Scale: *scale, Seed: *seed})
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		tbl, err := harness.RunExperiment(id, session)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cawabench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			doc, err := json.MarshalIndent(tbl, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cawabench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Println(string(doc))
+			continue
+		}
+		fmt.Println(tbl)
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,117 @@
+// Command cawachar characterizes the warp criticality of one workload:
+// per-block execution-time disparity, the stall breakdown of critical
+// versus non-critical warps, and the reuse-distance profile of the
+// critical warps' cache lines — the Section 2 methodology of the paper
+// applied to any registered workload.
+//
+// Usage:
+//
+//	cawachar -workload bfs [-scheduler lrr] [-scale 1] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cawa/internal/config"
+	"cawa/internal/core"
+	"cawa/internal/harness"
+	"cawa/internal/memsys"
+	"cawa/internal/reuse"
+	"cawa/internal/stats"
+	"cawa/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "bfs", "workload name")
+		scheduler = flag.String("scheduler", "lrr", "warp scheduler")
+		scale     = flag.Float64("scale", 1, "workload size multiplier")
+		seed      = flag.Int64("seed", 1, "input generator seed")
+		sms       = flag.Int("sms", 0, "override number of SMs")
+	)
+	flag.Parse()
+
+	cfg := config.GTX480()
+	if *sms > 0 {
+		cfg.NumSMs = *sms
+	}
+	profilers := make([]*reuse.Profiler, cfg.NumSMs)
+	res, err := harness.Run(harness.RunOptions{
+		Workload: *workload,
+		Params:   workloads.Params{Scale: *scale, Seed: *seed},
+		System:   core.SystemConfig{Scheduler: *scheduler, CPL: true},
+		Config:   cfg,
+		AttachL1: func(smID int, l1 *memsys.L1D) {
+			profilers[smID] = reuse.NewProfiler(32, 128, 128, 2048)
+			l1.AccessListener = profilers[smID].Record
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cawachar:", err)
+		os.Exit(1)
+	}
+
+	a := &res.Agg
+	fmt.Printf("workload %s on %s: %d cycles, IPC %.2f, MPKI %.2f\n\n",
+		*workload, *scheduler, a.Cycles, a.IPC(), a.MPKI())
+
+	// Per-block disparity, worst blocks first.
+	groups := a.BlockGroup()
+	type row struct {
+		block int
+		ws    []stats.WarpRecord
+		d     float64
+	}
+	rows := make([]row, 0, len(groups))
+	for b, ws := range groups {
+		rows = append(rows, row{b, ws, stats.BlockDisparity(ws)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].d > rows[j].d })
+	fmt.Println("block  warps  disparity  critical_gid  crit_cycles  crit_mem%  crit_schedwait%")
+	show := rows
+	if len(show) > 12 {
+		show = show[:12]
+	}
+	for _, r := range show {
+		cw := stats.CriticalWarp(r.ws)
+		exec := float64(cw.ExecTime())
+		if exec == 0 {
+			exec = 1
+		}
+		fmt.Printf("%5d  %5d  %9.3f  %12d  %11d  %8.1f%%  %14.1f%%\n",
+			r.block, len(r.ws), r.d, cw.GID, cw.ExecTime(),
+			100*float64(cw.MemStall)/exec, 100*float64(cw.SchedStall)/exec)
+	}
+
+	// Reuse-distance profile of critical-warp lines.
+	crit := harness.CriticalGIDs(a, 2)
+	gids := make([]int, 0, len(crit))
+	for g := range crit {
+		gids = append(gids, g)
+	}
+	var pooled reuse.Histogram
+	for _, p := range profilers {
+		if p == nil {
+			continue
+		}
+		for gid, h := range p.ByWarp {
+			if !crit[gid] {
+				continue
+			}
+			pooled.ColdN += h.ColdN
+			pooled.Total += h.Total
+			for i, v := range h.Buckets {
+				pooled.Buckets[i] += v
+			}
+		}
+	}
+	fmt.Printf("\ncritical warps: %d, L1 accesses %d (%d reuses)\n",
+		len(gids), pooled.Total, pooled.Reuses())
+	fmt.Printf("reuses evicted before re-reference in a 4-way set: %.1f%%\n",
+		100*pooled.FracBeyond(4))
+	fmt.Printf("reuses evicted before re-reference in a 16-way set: %.1f%%\n",
+		100*pooled.FracBeyond(16))
+}

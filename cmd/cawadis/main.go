@@ -1,0 +1,77 @@
+// Command cawadis assembles and disassembles mini-ISA programs: it
+// parses an assembly file (the syntax of Program.Disasm, see
+// internal/isa), validates it, computes SIMT reconvergence points, and
+// prints the annotated disassembly plus basic-block statistics.
+//
+// Usage:
+//
+//	cawadis file.casm
+//	cawadis -           # read from stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cawa/internal/isa"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cawadis <file.casm | ->")
+		os.Exit(2)
+	}
+	arg := flag.Arg(0)
+	var src []byte
+	var err error
+	name := "stdin"
+	if arg == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(arg)
+		name = strings.TrimSuffix(filepath.Base(arg), filepath.Ext(arg))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := isa.Parse(name, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(prog.Disasm())
+
+	// Control-flow summary.
+	branches, divergable, mem, bar := 0, 0, 0, 0
+	for pc := int32(0); pc < int32(prog.Len()); pc++ {
+		in := prog.At(pc)
+		switch {
+		case in.Op.IsCondBranch():
+			branches++
+			divergable++
+		case in.Op.IsBranch():
+			branches++
+		case in.Op.IsMem():
+			mem++
+		case in.Op == isa.OpBar:
+			bar++
+		}
+	}
+	fmt.Printf("\n// %d instructions, %d branches (%d divergable), %d global memory ops, %d barriers\n",
+		prog.Len(), branches, divergable, mem, bar)
+	for pc := int32(0); pc < int32(prog.Len()); pc++ {
+		in := prog.At(pc)
+		if in.Op.IsCondBranch() {
+			fmt.Printf("//   branch @%d -> %d, reconverges at %d\n", pc, in.Target(), in.Rpc)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cawadis:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,144 @@
+// Command cawasim runs one GPGPU workload on one simulated design
+// point and prints its performance summary.
+//
+// Usage:
+//
+//	cawasim -workload bfs -scheduler gcaws -cpl -cacp [-scale 1] [-seed 1] [-sms 15] [-v]
+//
+// Schedulers: lrr (baseline RR), gto, 2lvl, caws (oracle), gcaws.
+// The full CAWA design point is -scheduler gcaws -cpl -cacp.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"cawa/internal/config"
+	"cawa/internal/core"
+	"cawa/internal/harness"
+	"cawa/internal/sched"
+	"cawa/internal/sm"
+	"cawa/internal/stats"
+	"cawa/internal/trace"
+	"cawa/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "bfs", "workload name ("+strings.Join(workloads.Names(), ", ")+")")
+		scheduler = flag.String("scheduler", "lrr", "warp scheduler ("+strings.Join(sched.Names(), ", ")+")")
+		cpl       = flag.Bool("cpl", false, "attach the CPL criticality predictor")
+		cacp      = flag.Bool("cacp", false, "enable criticality-aware cache prioritization (implies -cpl)")
+		scale     = flag.Float64("scale", 1, "workload size multiplier")
+		seed      = flag.Int64("seed", 1, "input generator seed")
+		sms       = flag.Int("sms", 0, "override number of SMs (default: GTX480's 15)")
+		verbose   = flag.Bool("v", false, "print per-block warp summaries")
+		hotpcs    = flag.Int("hotpcs", 0, "trace execution and print the N PCs with the most stall time")
+	)
+	flag.Parse()
+
+	cfg := config.GTX480()
+	if *sms > 0 {
+		cfg.NumSMs = *sms
+	}
+	sc := core.SystemConfig{Scheduler: *scheduler, CPL: *cpl || *cacp, CACP: *cacp}
+	if *scheduler == "caws" {
+		fmt.Fprintln(os.Stderr, "cawasim: profiling baseline run for oracle criticality...")
+		s := harness.NewSession(cfg, workloads.Params{Scale: *scale, Seed: *seed})
+		oracle, err := s.OracleFor(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		sc.Oracle = oracle
+	}
+
+	var recorders []*trace.Recorder
+	opt := harness.RunOptions{
+		Workload: *workload,
+		Params:   workloads.Params{Scale: *scale, Seed: *seed},
+		System:   sc,
+		Config:   cfg,
+	}
+	if *hotpcs > 0 {
+		// Decorate every SM's criticality provider with a recorder.
+		needCPL := sc.CPL || sc.CACP || sc.Scheduler == "gcaws"
+		oracle := sc.Oracle
+		sc.ProviderOverride = func() sm.CriticalityProvider {
+			var in sm.CriticalityProvider
+			switch {
+			case oracle != nil:
+				in = core.NewOracle(oracle)
+			case needCPL:
+				in = core.NewCPL()
+			}
+			r := trace.NewRecorder(in, 1<<20)
+			recorders = append(recorders, r)
+			return r
+		}
+		opt.System = sc
+	}
+
+	res, err := harness.Run(opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	a := &res.Agg
+	fmt.Printf("workload       %s (verified against Go reference)\n", res.Workload)
+	fmt.Printf("design point   %s\n", res.System)
+	fmt.Printf("launches       %d\n", res.Launches)
+	fmt.Printf("cycles         %d\n", a.Cycles)
+	fmt.Printf("warp instrs    %d\n", a.Instructions)
+	fmt.Printf("thread instrs  %d\n", a.ThreadInstrs)
+	fmt.Printf("IPC            %.3f\n", a.IPC())
+	fmt.Printf("L1D accesses   %d\n", a.L1DAccesses)
+	fmt.Printf("L1D misses     %d (%.2f%% miss rate, %.2f MPKI)\n",
+		a.L1DMisses, a.L1DMissRate()*100, a.MPKI())
+	fmt.Printf("L2 accesses    %d (misses %d)\n", a.L2Accesses, a.L2Misses)
+	fmt.Printf("coalescing     %.2f transactions per memory instruction\n", a.CoalescingFactor())
+	fmt.Printf("warps          %d\n", len(a.Warps))
+	fmt.Printf("max disparity  %.3f\n", a.MaxDisparity(2))
+	fmt.Printf("mean disparity %.3f\n", a.MeanDisparity(2))
+
+	if *verbose {
+		for block, ws := range a.BlockGroup() {
+			cw := stats.CriticalWarp(ws)
+			fmt.Printf("block %4d: %2d warps, disparity %.3f, critical gid %d (%d cycles)\n",
+				block, len(ws), stats.BlockDisparity(ws), cw.GID, cw.ExecTime())
+		}
+	}
+
+	if *hotpcs > 0 {
+		agg := make(map[int32]trace.PCProfile)
+		for _, r := range recorders {
+			for _, p := range r.HotPCs() {
+				a := agg[p.PC]
+				a.PC, a.Op = p.PC, p.Op
+				a.Issues += p.Issues
+				a.Stall += p.Stall
+				agg[p.PC] = a
+			}
+		}
+		profiles := make([]trace.PCProfile, 0, len(agg))
+		for _, p := range agg {
+			profiles = append(profiles, p)
+		}
+		sort.Slice(profiles, func(i, j int) bool { return profiles[i].Stall > profiles[j].Stall })
+		if len(profiles) > *hotpcs {
+			profiles = profiles[:*hotpcs]
+		}
+		fmt.Printf("\nhottest PCs by accumulated stall (last kernel's retained trace):\n")
+		fmt.Println("  pc    op          issues      stall_cycles")
+		for _, p := range profiles {
+			fmt.Printf("  %-5d %-10s %9d  %12d\n", p.PC, p.Op, p.Issues, p.Stall)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cawasim:", err)
+	os.Exit(1)
+}

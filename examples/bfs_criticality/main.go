@@ -1,0 +1,70 @@
+// bfs_criticality reproduces the paper's motivation study (Section 2)
+// on the bfs workload: the per-warp execution time disparity within a
+// thread block, its breakdown into memory and scheduler-induced stall
+// cycles, and how the disparity shrinks under the CAWA design.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cawa/internal/config"
+	"cawa/internal/core"
+	"cawa/internal/harness"
+	"cawa/internal/stats"
+	"cawa/internal/workloads"
+)
+
+func main() {
+	cfg := config.GTX480()
+	params := workloads.Params{Scale: 1, Seed: 1}
+
+	for _, point := range []struct {
+		name string
+		sc   core.SystemConfig
+	}{
+		{"baseline RR", core.Baseline()},
+		{"CAWA", core.CAWA()},
+	} {
+		res, err := harness.Run(harness.RunOptions{
+			Workload: "bfs",
+			Params:   params,
+			System:   point.sc,
+			Config:   cfg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := &res.Agg
+		fmt.Printf("== bfs under %s ==\n", point.name)
+		fmt.Printf("cycles %d, IPC %.2f, max block disparity %.3f, mean %.3f\n",
+			a.Cycles, a.IPC(), a.MaxDisparity(2), a.MeanDisparity(2))
+
+		// Warp time profile of the worst block (Figure 2 style).
+		var worst []stats.WarpRecord
+		worstD := -1.0
+		for _, ws := range a.BlockGroup() {
+			if len(ws) < 8 {
+				continue
+			}
+			if d := stats.BlockDisparity(ws); d > worstD {
+				worstD, worst = d, ws
+			}
+		}
+		if worst != nil {
+			sorted := stats.SortedByExecTime(worst)
+			slowest := sorted[len(sorted)-1]
+			fmt.Printf("worst block: %d warps, disparity %.3f\n", len(sorted), worstD)
+			fmt.Println("warp  cycles  mem%  sched-wait%")
+			for i, w := range sorted {
+				exec := float64(w.ExecTime())
+				if exec == 0 {
+					exec = 1
+				}
+				fmt.Printf("w%02d  %7d  %4.1f  %10.1f\n",
+					i, w.ExecTime(), 100*float64(w.MemStall)/exec, 100*float64(w.SchedStall)/exec)
+			}
+			fmt.Printf("critical warp gid %d ran %d cycles\n\n", slowest.GID, slowest.ExecTime())
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Quickstart: assemble a tiny kernel with the mini-ISA builder, run it
+// on the simulated GTX480 under two schedulers, and print the timing
+// difference. This is the smallest end-to-end use of the library:
+// memory image -> kernel -> GPU -> launch -> stats.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cawa/internal/config"
+	"cawa/internal/core"
+	"cawa/internal/gpu"
+	"cawa/internal/isa"
+	"cawa/internal/memory"
+	"cawa/internal/simt"
+)
+
+func main() {
+	const n = 4096
+
+	// SAXPY: y[i] = a*x[i] + y[i].
+	b := isa.NewBuilder("saxpy")
+	b.SReg(isa.R0, isa.SRGTid)
+	b.Param(isa.R1, 3) // n
+	b.SetGE(isa.R2, isa.R0, isa.R1)
+	b.CBra(isa.R2, "exit")
+	b.MulI(isa.R3, isa.R0, 8) // byte offset
+	b.Param(isa.R4, 0)        // x
+	b.Add(isa.R4, isa.R4, isa.R3)
+	b.Ld(isa.R5, isa.R4, 0)
+	b.Param(isa.R6, 1) // y
+	b.Add(isa.R6, isa.R6, isa.R3)
+	b.Ld(isa.R7, isa.R6, 0)
+	b.Param(isa.R8, 2) // a (float bits)
+	b.FMul(isa.R5, isa.R5, isa.R8)
+	b.FAdd(isa.R5, isa.R5, isa.R7)
+	b.St(isa.R6, 0, isa.R5)
+	b.Label("exit")
+	b.Exit()
+	prog := b.MustBuild()
+	fmt.Println(prog.Disasm())
+
+	for _, point := range []struct {
+		name string
+		sc   core.SystemConfig
+	}{
+		{"round-robin baseline", core.Baseline()},
+		{"full CAWA", core.CAWA()},
+	} {
+		mem := memory.New(1 << 22)
+		x := mem.Alloc(n)
+		y := mem.Alloc(n)
+		for i := 0; i < n; i++ {
+			mem.StoreF(x+int64(i)*8, float64(i))
+			mem.StoreF(y+int64(i)*8, 1)
+		}
+		kernel := &simt.Kernel{
+			Name:     "saxpy",
+			Program:  prog,
+			GridDim:  n / 256,
+			BlockDim: 256,
+			Params:   []int64{x, y, isa.F2B(2.5), n},
+		}
+
+		g, err := buildGPU(point.sc, mem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		launch, err := g.Launch(kernel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Check a few results.
+		for _, i := range []int{0, 1, n - 1} {
+			want := 2.5*float64(i) + 1
+			if got := mem.LoadF(y + int64(i)*8); got != want {
+				log.Fatalf("y[%d] = %v, want %v", i, got, want)
+			}
+		}
+		fmt.Printf("%-22s cycles=%-8d IPC=%6.2f L1D-MPKI=%.2f\n",
+			point.name, launch.Cycles, launch.IPC(), launch.MPKI())
+	}
+}
+
+func buildGPU(sc core.SystemConfig, mem *memory.Memory) (*gpu.GPU, error) {
+	return sc.NewGPU(config.GTX480(), mem)
+}

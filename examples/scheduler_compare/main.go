@@ -1,0 +1,67 @@
+// scheduler_compare sweeps every registered workload across the five
+// warp schedulers (plus the full CAWA design point) and prints an IPC
+// speedup matrix over the round-robin baseline — a compact version of
+// the paper's Figure 9 that also covers the oracle CAWS scheduler.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cawa/internal/config"
+	"cawa/internal/core"
+	"cawa/internal/harness"
+	"cawa/internal/workloads"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.5, "workload size multiplier")
+	flag.Parse()
+
+	cfg := config.GTX480()
+	session := harness.NewSession(cfg, workloads.Params{Scale: *scale, Seed: 1})
+
+	points := []struct {
+		name string
+		sc   core.SystemConfig
+	}{
+		{"2lvl", core.SystemConfig{Scheduler: "2lvl"}},
+		{"gto", core.SystemConfig{Scheduler: "gto"}},
+		{"caws*", core.SystemConfig{Scheduler: "caws"}}, // oracle filled per app
+		{"gcaws", core.SystemConfig{Scheduler: "gcaws", CPL: true}},
+		{"cawa", core.CAWA()},
+	}
+
+	fmt.Printf("%-14s", "app")
+	for _, pt := range points {
+		fmt.Printf("  %7s", pt.name)
+	}
+	fmt.Println("   (speedup over rr)")
+
+	for _, app := range harness.PaperApps {
+		base, err := session.Baseline(app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s", app)
+		for _, pt := range points {
+			sc := pt.sc
+			if sc.Scheduler == "caws" {
+				oracle, err := session.OracleFor(app)
+				if err != nil {
+					log.Fatal(err)
+				}
+				sc.Oracle = oracle
+			}
+			r, err := session.Run(app, sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %6.2fx", r.Agg.IPC()/base.Agg.IPC())
+		}
+		fmt.Println()
+	}
+	fmt.Println("\ncaws* uses oracle criticality profiled from the baseline run.")
+	fmt.Println("All runs verified against the workloads' Go reference implementations.")
+}

@@ -1,0 +1,110 @@
+package cache
+
+// LRU is the least-recently-used replacement policy, used by the
+// baseline L1 data cache and the L2.
+type LRU struct{}
+
+// Name implements Policy.
+func (LRU) Name() string { return "LRU" }
+
+// OnFill implements Policy.
+func (LRU) OnFill(c *Cache, set, way int, _ Request) {
+	c.Line(set, way).LRU = c.NextTick()
+}
+
+// OnHit implements Policy.
+func (LRU) OnHit(c *Cache, set, way int, _ Request) {
+	c.Line(set, way).LRU = c.NextTick()
+}
+
+// Victim implements Policy: the valid line with the oldest stamp.
+func (LRU) Victim(c *Cache, set int, _ Request) int {
+	lines := c.Set(set)
+	victim, oldest := 0, ^uint64(0)
+	for w := range lines {
+		if lines[w].LRU < oldest {
+			victim, oldest = w, lines[w].LRU
+		}
+	}
+	return victim
+}
+
+// OnEvict implements Policy.
+func (LRU) OnEvict(*Cache, int, int, *Eviction) {}
+
+// RRPV constants for the 2-bit SRRIP policy family (Jaleel et al.,
+// ISCA'10), which the paper's modified SHiP predictor steers.
+const (
+	RRPVMax      uint8 = 3 // distant re-reference
+	RRPVLong     uint8 = 2 // long re-reference
+	RRPVNear     uint8 = 0 // near-immediate re-reference (promotion)
+	RRPVInterval       = RRPVMax
+)
+
+// SRRIP is static re-reference interval prediction with hit-promotion to
+// RRPV 0 and insertion at "long" (RRPV 2).
+type SRRIP struct{}
+
+// Name implements Policy.
+func (SRRIP) Name() string { return "SRRIP" }
+
+// OnFill implements Policy.
+func (SRRIP) OnFill(c *Cache, set, way int, _ Request) {
+	c.Line(set, way).RRPV = RRPVLong
+}
+
+// OnHit implements Policy.
+func (SRRIP) OnHit(c *Cache, set, way int, _ Request) {
+	c.Line(set, way).RRPV = RRPVNear
+}
+
+// Victim implements Policy: find a line with RRPV==max, aging the whole
+// set until one appears.
+func (SRRIP) Victim(c *Cache, set int, _ Request) int {
+	return SRRIPVictimAmong(c, set, nil)
+}
+
+// OnEvict implements Policy.
+func (SRRIP) OnEvict(*Cache, int, int, *Eviction) {}
+
+// LRUVictimAmong picks the least-recently-used valid line restricted to
+// the given ways (nil means all ways), for partitioned LRU policies.
+func LRUVictimAmong(c *Cache, set int, ways []int) int {
+	lines := c.Set(set)
+	if ways == nil {
+		return LRU{}.Victim(c, set, Request{})
+	}
+	victim, oldest := ways[0], ^uint64(0)
+	for _, w := range ways {
+		if lines[w].LRU < oldest {
+			victim, oldest = w, lines[w].LRU
+		}
+	}
+	return victim
+}
+
+// SRRIPVictimAmong runs the SRRIP victim scan restricted to the given
+// ways (nil means all ways). It is exported for partitioned policies
+// (the paper's CACP restricts replacement to the critical or the
+// non-critical partition).
+func SRRIPVictimAmong(c *Cache, set int, ways []int) int {
+	lines := c.Set(set)
+	if ways == nil {
+		ways = make([]int, len(lines))
+		for i := range ways {
+			ways[i] = i
+		}
+	}
+	for {
+		for _, w := range ways {
+			if lines[w].RRPV >= RRPVMax {
+				return w
+			}
+		}
+		for _, w := range ways {
+			if lines[w].RRPV < RRPVMax {
+				lines[w].RRPV++
+			}
+		}
+	}
+}

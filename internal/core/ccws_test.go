@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"cawa/internal/cache"
+	"cawa/internal/config"
+	"cawa/internal/memsys"
+	"cawa/internal/sched"
+)
+
+func TestCCWSProviderScoring(t *testing.T) {
+	p := NewCCWSProvider()
+	p.OnWarpArrived(0, mkWarp(10, 0, 0))
+	p.OnWarpArrived(1, mkWarp(11, 0, 1))
+	if p.Criticality(0) != ccwsBaseScore {
+		t.Fatalf("base score %v", p.Criticality(0))
+	}
+	// Warp 10 loses a line and re-misses on it: score rises.
+	p.onEvict(10, 0x1000)
+	p.onMiss(10, 0x1008) // same 128B line
+	if got := p.Criticality(0); got != ccwsBaseScore+ccwsHitGain {
+		t.Fatalf("score after VTA hit %v", got)
+	}
+	// A miss on an unrelated line does not score.
+	p.onMiss(10, 0x9000)
+	if got := p.Criticality(0); got != ccwsBaseScore+ccwsHitGain {
+		t.Fatalf("score after unrelated miss %v", got)
+	}
+	// Issue decay brings the score back down.
+	for i := 0; i < ccwsHitGain; i++ {
+		p.OnIssue(0, computeStep(0), 0, int64(i))
+	}
+	if got := p.Criticality(0); got != ccwsBaseScore {
+		t.Fatalf("score after decay %v", got)
+	}
+	p.OnWarpFinished(0)
+	if p.Criticality(0) != 0 {
+		t.Fatal("finished slot still scored")
+	}
+}
+
+func TestCCWSVTACapacity(t *testing.T) {
+	p := NewCCWSProvider()
+	p.OnWarpArrived(0, mkWarp(5, 0, 0))
+	for i := int64(0); i < ccwsVTAEntries+8; i++ {
+		p.onEvict(5, i*128)
+	}
+	// The earliest victims must have been displaced.
+	p.onMiss(5, 0)
+	if p.Criticality(0) != ccwsBaseScore {
+		t.Fatal("displaced victim still scored")
+	}
+	p.onMiss(5, (ccwsVTAEntries+7)*128)
+	if p.Criticality(0) != ccwsBaseScore+ccwsHitGain {
+		t.Fatal("retained victim did not score")
+	}
+}
+
+func TestCCWSPolicyThrottles(t *testing.T) {
+	pol := &CCWSPolicy{}
+	scores := map[int]float64{0: ccwsBaseScore, 1: ccwsBaseScore, 2: 10000, 3: ccwsBaseScore}
+	ctx := &sched.Context{
+		Ready:       []int{0, 1, 2, 3},
+		Age:         func(s int) int64 { return int64(s) },
+		Criticality: func(s int) float64 { return scores[s] },
+	}
+	// With warp 2 dominating the score mass, only it may issue.
+	picks := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		picks[pol.Select(ctx)] = true
+	}
+	if !picks[2] || len(picks) != 1 {
+		t.Fatalf("throttle picks %v, want only warp 2", picks)
+	}
+	// With uniform scores everyone issues round-robin.
+	for s := range scores {
+		scores[s] = ccwsBaseScore
+	}
+	picks = map[int]bool{}
+	for i := 0; i < 8; i++ {
+		picks[pol.Select(ctx)] = true
+	}
+	if len(picks) != 4 {
+		t.Fatalf("uniform picks %v", picks)
+	}
+	if pol.Select(&sched.Context{}) != -1 {
+		t.Fatal("empty ready must select -1")
+	}
+}
+
+func TestCCWSAttachObservesCache(t *testing.T) {
+	cfg := config.Small()
+	sys := memsys.New(cfg)
+	p := NewCCWSProvider()
+	l1 := sys.NewL1D(cache.LRU{}, nil)
+	p.Attach(l1)
+	p.OnWarpArrived(0, mkWarp(77, 0, 0))
+
+	// Fill the cache with warp 77's lines until something of its own is
+	// evicted, then re-access the victim: the score must rise.
+	ways := cfg.L1D.Ways
+	sets := cfg.L1D.Sets
+	lineB := int64(cfg.L1D.LineBytes)
+	for i := 0; i <= ways; i++ { // one set's worth plus one -> eviction
+		addr := int64(i) * lineB * int64(sets)
+		l1.AccessLoad(cache.Request{Addr: addr, Warp: 77}, int64(i), 1)
+		// Complete the miss immediately so the line is resident.
+		for now := int64(2); !sys.Drained(); now++ {
+			sys.Cycle(now)
+		}
+	}
+	before := p.Criticality(0)
+	l1.AccessLoad(cache.Request{Addr: 0, Warp: 77}, 99, 1000) // victim line
+	if got := p.Criticality(0); got <= before {
+		t.Fatalf("VTA hit not detected through the cache: %v <= %v", got, before)
+	}
+}
+
+func TestCCWSSystemBuilds(t *testing.T) {
+	sc, attach := CCWSSystem()
+	if sc.Scheduler != "ccws" || sc.ProviderOverride == nil || attach == nil {
+		t.Fatal("CCWSSystem wiring incomplete")
+	}
+	if _, ok := sched.Lookup("ccws"); !ok {
+		t.Fatal("ccws policy not registered")
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+// Dynamic partition tuning. Section 3.3 of the paper fixes the critical
+// partition at 8 of 16 ways via offline sensitivity analysis and notes
+// that "a design similar to [31] (utility-based cache partitioning) can
+// be integrated to dynamically tune the size of the critical and
+// non-critical cache partitions based on the run-time needs of an
+// application". This file implements that extension: a lightweight
+// hill-climbing controller that periodically compares the hit utility
+// (hits per way) of the two partitions and moves the boundary one way
+// toward the partition that is using its capacity better.
+
+// Dynamic tuning parameters.
+const (
+	// dynPartPeriod is the number of L1D fills between boundary
+	// adjustments.
+	dynPartPeriod = 2048
+	// dynPartMin / dynPartMax clamp the critical-way count so neither
+	// class is ever starved completely.
+	dynPartMin = 2
+	// dynPartBias is the utility advantage (ratio) one partition must
+	// show before the boundary moves, providing hysteresis.
+	dynPartBias = 1.25
+)
+
+// dynPartState tracks per-period utility for the adaptive boundary.
+type dynPartState struct {
+	enabled  bool
+	ways     int // current critical-way count
+	totalWays int
+	fills    uint64
+	hitsCrit uint64
+	hitsNon  uint64
+
+	// Adjustments counts boundary moves (statistics/tests).
+	Adjustments uint64
+}
+
+// onHit records which partition served a hit.
+func (d *dynPartState) onHit(inCritical bool) {
+	if !d.enabled {
+		return
+	}
+	if inCritical {
+		d.hitsCrit++
+	} else {
+		d.hitsNon++
+	}
+}
+
+// onFill advances the adaptation period.
+func (d *dynPartState) onFill() {
+	if !d.enabled {
+		return
+	}
+	d.fills++
+	if d.fills < dynPartPeriod {
+		return
+	}
+	d.adapt()
+	d.fills, d.hitsCrit, d.hitsNon = 0, 0, 0
+}
+
+// adapt moves the boundary one way toward the partition with the higher
+// hits-per-way utility, with hysteresis.
+func (d *dynPartState) adapt() {
+	critWays := float64(d.ways)
+	nonWays := float64(d.totalWays - d.ways)
+	if critWays <= 0 || nonWays <= 0 {
+		return
+	}
+	uCrit := float64(d.hitsCrit) / critWays
+	uNon := float64(d.hitsNon) / nonWays
+	max := d.totalWays - dynPartMin
+	switch {
+	case uCrit > uNon*dynPartBias && d.ways < max:
+		d.ways++
+		d.Adjustments++
+	case uNon > uCrit*dynPartBias && d.ways > dynPartMin:
+		d.ways--
+		d.Adjustments++
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"cawa/internal/cache"
+	"cawa/internal/config"
+)
+
+func TestDynPartGrowsTowardUtility(t *testing.T) {
+	d := dynPartState{enabled: true, ways: 8, totalWays: 16}
+	// Critical partition far more useful: boundary must grow.
+	d.hitsCrit, d.hitsNon = 1000, 10
+	d.adapt()
+	if d.ways != 9 || d.Adjustments != 1 {
+		t.Fatalf("ways %d adj %d", d.ways, d.Adjustments)
+	}
+	// Non-critical more useful: shrink.
+	d.hitsCrit, d.hitsNon = 10, 1000
+	d.adapt()
+	d.adapt()
+	if d.ways != 7 {
+		t.Fatalf("ways %d after shrinks", d.ways)
+	}
+}
+
+func TestDynPartHysteresisAndClamps(t *testing.T) {
+	d := dynPartState{enabled: true, ways: 8, totalWays: 16}
+	// Nearly equal utility: no movement.
+	d.hitsCrit, d.hitsNon = 100, 100
+	d.adapt()
+	if d.ways != 8 || d.Adjustments != 0 {
+		t.Fatalf("boundary moved on balanced utility: %d", d.ways)
+	}
+	// Clamp at the minimum.
+	d.ways = dynPartMin
+	d.hitsCrit, d.hitsNon = 0, 1000
+	d.adapt()
+	if d.ways != dynPartMin {
+		t.Fatalf("boundary passed the lower clamp: %d", d.ways)
+	}
+	// Clamp at the maximum.
+	d.ways = 16 - dynPartMin
+	d.hitsCrit, d.hitsNon = 1000, 0
+	d.adapt()
+	if d.ways != 16-dynPartMin {
+		t.Fatalf("boundary passed the upper clamp: %d", d.ways)
+	}
+}
+
+func TestDynPartIntegration(t *testing.T) {
+	cfg := config.CacheConfig{Sets: 2, Ways: 16, LineBytes: 128}
+	p := NewCACP(CACPConfig{CriticalWays: 8, LineBytes: 128, DynamicPartition: true})
+	c := cache.New(cfg, p)
+	if p.CriticalWays() != 8 {
+		t.Fatalf("initial boundary %d", p.CriticalWays())
+	}
+	// Drive a stream where only non-critical lines are ever reused: the
+	// boundary should move down over the adaptation periods.
+	for i := 0; i < 3*dynPartPeriod; i++ {
+		addr := int64(i%64) * 128
+		req := cache.Request{Addr: addr, PC: int32(i % 7)}
+		if !c.Access(req) {
+			c.Fill(req)
+		}
+	}
+	if p.CriticalWays() >= 8 {
+		t.Fatalf("boundary %d did not shrink despite non-critical-only reuse", p.CriticalWays())
+	}
+	if p.PartitionAdjustments() == 0 {
+		t.Fatal("no adjustments recorded")
+	}
+}
+
+func TestDynPartDisabledIsStable(t *testing.T) {
+	p := NewCACP(DefaultCACPConfig())
+	cfg := config.CacheConfig{Sets: 2, Ways: 16, LineBytes: 128}
+	c := cache.New(cfg, p)
+	for i := 0; i < 3*dynPartPeriod; i++ {
+		addr := int64(i%64) * 128
+		req := cache.Request{Addr: addr}
+		if !c.Access(req) {
+			c.Fill(req)
+		}
+	}
+	if p.CriticalWays() != 8 || p.PartitionAdjustments() != 0 {
+		t.Fatalf("static partition moved: %d ways, %d adjustments",
+			p.CriticalWays(), p.PartitionAdjustments())
+	}
+}

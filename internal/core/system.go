@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"cawa/internal/cache"
+	"cawa/internal/config"
+	"cawa/internal/gpu"
+	"cawa/internal/memory"
+	"cawa/internal/sched"
+	"cawa/internal/sm"
+)
+
+// SystemConfig names one evaluated design point: a warp scheduler, an
+// optional criticality provider, and an optional CACP L1D policy. The
+// figures of Section 5 compare these combinations:
+//
+//	{Scheduler: "lrr"}                         — baseline RR
+//	{Scheduler: "gto"}                         — GTO
+//	{Scheduler: "2lvl"}                        — two-level
+//	{Scheduler: "caws", Oracle: profiled}      — oracle CAWS (PACT'14)
+//	{Scheduler: "gcaws", CPL: true}            — CAWA_gCAWS
+//	{Scheduler: "gcaws", CPL: true, CACP: true} — full CAWA
+//	{Scheduler: "gto", CPL: true, CACP: true}  — CACP on GTO (Figs 16-17)
+type SystemConfig struct {
+	// Scheduler is a registered sched policy name.
+	Scheduler string
+	// CPL attaches the criticality prediction logic. Required by the
+	// gcaws scheduler and by CACP (which consumes IsCritical).
+	CPL bool
+	// CACP replaces the L1D's LRU policy with criticality-aware cache
+	// prioritization.
+	CACP bool
+	// CACPConfig overrides the default CACP parameters when CACP is
+	// set; zero value means DefaultCACPConfig.
+	CACPConfig *CACPConfig
+	// Oracle supplies profiled per-warp criticality (global warp id ->
+	// execution time); it takes precedence over CPL as the provider and
+	// is what the caws scheduler expects.
+	Oracle map[int]float64
+	// CPLTweak, when non-nil, adjusts each CPL instance after creation
+	// (ablation switches).
+	CPLTweak func(*CPL)
+	// ProviderOverride, when non-nil, replaces the criticality provider
+	// factory entirely — used to decorate providers with trace
+	// recorders or custom instrumentation.
+	ProviderOverride func() sm.CriticalityProvider
+}
+
+// CAWA returns the full coordinated design of the paper:
+// gCAWS + CPL + CACP.
+func CAWA() SystemConfig {
+	return SystemConfig{Scheduler: "gcaws", CPL: true, CACP: true}
+}
+
+// Baseline returns the round-robin baseline configuration.
+func Baseline() SystemConfig { return SystemConfig{Scheduler: "lrr"} }
+
+// Label renders a short name for tables.
+func (sc SystemConfig) Label() string {
+	label := sc.Scheduler
+	if sc.Scheduler == "gcaws" && sc.CACP {
+		label = "cawa"
+	}
+	if sc.CACP && sc.Scheduler != "gcaws" {
+		label += "+cacp"
+	}
+	return label
+}
+
+// BuildOptions assembles gpu.Options for the design point.
+func (sc SystemConfig) BuildOptions(cfg config.Config, mem *memory.Memory) (gpu.Options, error) {
+	factory, ok := sched.Lookup(sc.Scheduler)
+	if !ok {
+		return gpu.Options{}, fmt.Errorf("core: unknown scheduler %q (have %v)", sc.Scheduler, sched.Names())
+	}
+	opt := gpu.Options{Config: cfg, Memory: mem, Policy: factory}
+
+	needProvider := sc.CPL || sc.CACP || sc.Oracle != nil ||
+		sc.Scheduler == "gcaws" || sc.Scheduler == "caws"
+	if sc.ProviderOverride != nil {
+		opt.Criticality = sc.ProviderOverride
+	} else if needProvider {
+		if sc.Oracle != nil {
+			oracle := sc.Oracle
+			opt.Criticality = func() sm.CriticalityProvider { return NewOracle(oracle) }
+		} else {
+			tweak := sc.CPLTweak
+			opt.Criticality = func() sm.CriticalityProvider {
+				c := NewCPL()
+				if tweak != nil {
+					tweak(c)
+				}
+				return c
+			}
+		}
+	}
+	if sc.CACP {
+		ccfg := DefaultCACPConfig()
+		if sc.CACPConfig != nil {
+			ccfg = *sc.CACPConfig
+		}
+		if ccfg.LineBytes == 0 {
+			ccfg.LineBytes = cfg.L1D.LineBytes
+		}
+		if ccfg.CriticalWays > cfg.L1D.Ways {
+			return gpu.Options{}, fmt.Errorf("core: %d critical ways exceed %d-way L1D",
+				ccfg.CriticalWays, cfg.L1D.Ways)
+		}
+		opt.L1Policy = func() cache.Policy { return NewCACP(ccfg) }
+	}
+	return opt, nil
+}
+
+// NewGPU builds a ready-to-launch GPU for the design point.
+func (sc SystemConfig) NewGPU(cfg config.Config, mem *memory.Memory) (*gpu.GPU, error) {
+	opt, err := sc.BuildOptions(cfg, mem)
+	if err != nil {
+		return nil, err
+	}
+	return gpu.New(opt)
+}

@@ -1,0 +1,215 @@
+// Package gpu assembles the full simulated GPU: a set of SMs sharing a
+// memory system, plus the thread-block dispatcher and the cycle loop
+// that runs kernel launches to completion.
+package gpu
+
+import (
+	"fmt"
+
+	"cawa/internal/cache"
+	"cawa/internal/config"
+	"cawa/internal/memory"
+	"cawa/internal/memsys"
+	"cawa/internal/sched"
+	"cawa/internal/sm"
+	"cawa/internal/simt"
+	"cawa/internal/stats"
+)
+
+// Options configures GPU construction. Factories are invoked once per
+// SM so that policies and predictors keep per-SM state, matching the
+// paper's per-L1D CCBP/SHiP tables and per-scheduler warp state.
+type Options struct {
+	// Config is the architectural configuration (Table 1).
+	Config config.Config
+	// Memory is the functional global memory holding workload data.
+	Memory *memory.Memory
+	// Policy creates one warp-scheduler policy per scheduler unit.
+	// Defaults to the round-robin baseline.
+	Policy sched.Factory
+	// L1Policy creates one L1D replacement policy per SM. Defaults to
+	// LRU. The CACP policy from internal/core plugs in here.
+	L1Policy func() cache.Policy
+	// Criticality creates one criticality provider per SM. Defaults to
+	// the criticality-oblivious null provider. The CPL logic from
+	// internal/core plugs in here.
+	Criticality func() sm.CriticalityProvider
+}
+
+// GPU is the whole simulated device.
+type GPU struct {
+	cfg config.Config
+	mem *memory.Memory
+	sys *memsys.System
+	sms []*sm.SM
+
+	cycle     int64
+	nextGID   int
+	blockBase int // launch-unique block id offset for statistics
+	rr        int // round-robin SM pointer for block dispatch
+
+	// PerCycle, when set, is called after every simulated cycle
+	// (sampling hooks for timeline figures). Keep it cheap.
+	PerCycle func(g *GPU, cycle int64)
+}
+
+// New builds a GPU.
+func New(opt Options) (*GPU, error) {
+	if err := opt.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Memory == nil {
+		return nil, fmt.Errorf("gpu: Options.Memory is required")
+	}
+	g := &GPU{
+		cfg: opt.Config,
+		mem: opt.Memory,
+		sys: memsys.New(opt.Config),
+	}
+	for i := 0; i < opt.Config.NumSMs; i++ {
+		var l1p cache.Policy
+		if opt.L1Policy != nil {
+			l1p = opt.L1Policy()
+		}
+		var crit sm.CriticalityProvider
+		if opt.Criticality != nil {
+			crit = opt.Criticality()
+		}
+		g.sms = append(g.sms, sm.New(sm.Options{
+			ID:            i,
+			Config:        opt.Config,
+			Memory:        opt.Memory,
+			MemSys:        g.sys,
+			PolicyFactory: opt.Policy,
+			L1Policy:      l1p,
+			Criticality:   crit,
+		}))
+	}
+	return g, nil
+}
+
+// Config returns the architectural configuration.
+func (g *GPU) Config() config.Config { return g.cfg }
+
+// Memory returns the functional global memory.
+func (g *GPU) Memory() *memory.Memory { return g.mem }
+
+// MemSys returns the shared memory system.
+func (g *GPU) MemSys() *memsys.System { return g.sys }
+
+// SMs returns the streaming multiprocessors.
+func (g *GPU) SMs() []*sm.SM { return g.sms }
+
+// Cycle returns the global cycle counter (monotonic across launches).
+func (g *GPU) Cycle() int64 { return g.cycle }
+
+type l1Snapshot struct {
+	loadAcc, storeAcc, loadMiss, storeMiss uint64
+}
+
+// Launch runs one kernel to completion and returns its statistics.
+// Caches stay warm across launches; the cycle counter keeps advancing.
+func (g *GPU) Launch(k *simt.Kernel) (*stats.Launch, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	warpsPerBlock := k.WarpsPerBlock(g.cfg.WarpSize)
+	if warpsPerBlock > g.cfg.MaxWarpsPerSM {
+		return nil, fmt.Errorf("gpu: kernel %s needs %d warps per block, SM holds %d",
+			k.Name, warpsPerBlock, g.cfg.MaxWarpsPerSM)
+	}
+	if k.SharedWords*8 > g.cfg.SharedMemPerSM {
+		return nil, fmt.Errorf("gpu: kernel %s needs %dB shared memory, SM has %dB",
+			k.Name, k.SharedWords*8, g.cfg.SharedMemPerSM)
+	}
+	if k.RegsPerThread > 0 && k.RegsPerThread*k.BlockDim > g.cfg.RegistersPerSM {
+		return nil, fmt.Errorf("gpu: kernel %s block needs %d registers, SM has %d",
+			k.Name, k.RegsPerThread*k.BlockDim, g.cfg.RegistersPerSM)
+	}
+
+	// Snapshot counters for per-launch deltas.
+	startCycle := g.cycle
+	var startInstr, startTInstr, startMemI, startMemT int64
+	l1snap := make([]l1Snapshot, len(g.sms))
+	for i, s := range g.sms {
+		startInstr += s.Instructions
+		startTInstr += s.ThreadInstrs
+		startMemI += s.MemInstrs
+		startMemT += s.MemTxns
+		l1 := s.L1D()
+		l1snap[i] = l1Snapshot{l1.LoadAccesses, l1.StoreAccesses, l1.LoadMisses, l1.StoreMisses}
+		s.Finished = s.Finished[:0]
+		s.SetKernel(k)
+		s.BlockStatsBase = g.blockBase
+	}
+	g.blockBase += k.GridDim
+	l2 := g.sys.L2()
+	startL2Acc, startL2Miss := l2.Accesses, l2.Misses
+
+	retired := 0
+	for _, s := range g.sms {
+		s.OnBlockDone = func(int, int64) { retired++ }
+	}
+
+	nextBlock := 0
+	total := k.GridDim
+	for retired < total {
+		g.cycle++
+		g.sys.Cycle(g.cycle)
+		g.dispatch(k, &nextBlock, total, warpsPerBlock)
+		for _, s := range g.sms {
+			s.Cycle(g.cycle)
+		}
+		if g.PerCycle != nil {
+			g.PerCycle(g, g.cycle)
+		}
+		if g.cfg.MaxCycles > 0 && g.cycle-startCycle > g.cfg.MaxCycles {
+			return nil, fmt.Errorf("gpu: kernel %s exceeded %d cycles (%d/%d blocks retired)",
+				k.Name, g.cfg.MaxCycles, retired, total)
+		}
+	}
+
+	out := &stats.Launch{Kernel: k.Name, Cycles: g.cycle - startCycle}
+	for i, s := range g.sms {
+		out.Instructions += s.Instructions
+		out.ThreadInstrs += s.ThreadInstrs
+		out.MemInstrs += s.MemInstrs
+		out.MemTxns += s.MemTxns
+		l1 := s.L1D()
+		out.L1DAccesses += l1.LoadAccesses + l1.StoreAccesses -
+			l1snap[i].loadAcc - l1snap[i].storeAcc
+		out.L1DMisses += l1.LoadMisses + l1.StoreMisses -
+			l1snap[i].loadMiss - l1snap[i].storeMiss
+		out.Warps = append(out.Warps, s.Finished...)
+		s.Finished = s.Finished[:0]
+	}
+	out.Instructions -= startInstr
+	out.ThreadInstrs -= startTInstr
+	out.MemInstrs -= startMemI
+	out.MemTxns -= startMemT
+	out.L2Accesses = l2.Accesses - startL2Acc
+	out.L2Misses = l2.Misses - startL2Miss
+	return out, nil
+}
+
+// dispatch hands out blocks breadth-first across SMs with capacity.
+func (g *GPU) dispatch(k *simt.Kernel, nextBlock *int, total, warpsPerBlock int) {
+	for *nextBlock < total {
+		placed := false
+		for i := 0; i < len(g.sms); i++ {
+			s := g.sms[(g.rr+i)%len(g.sms)]
+			if !s.CanAcceptBlock() {
+				continue
+			}
+			s.DispatchBlock(*nextBlock, g.nextGID, g.cycle)
+			g.nextGID += warpsPerBlock
+			*nextBlock++
+			g.rr = (g.rr + i + 1) % len(g.sms)
+			placed = true
+			break
+		}
+		if !placed {
+			return
+		}
+	}
+}

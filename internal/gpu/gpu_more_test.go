@@ -1,0 +1,215 @@
+package gpu
+
+import (
+	"testing"
+
+	"cawa/internal/config"
+	"cawa/internal/isa"
+	"cawa/internal/memory"
+	"cawa/internal/simt"
+)
+
+func trivialKernel(t *testing.T, grid, block int) *simt.Kernel {
+	t.Helper()
+	b := isa.NewBuilder("trivial")
+	b.SReg(isa.R0, isa.SRGTid)
+	b.AddI(isa.R1, isa.R0, 1)
+	b.Exit()
+	return &simt.Kernel{Name: "trivial", Program: b.MustBuild(), GridDim: grid, BlockDim: block}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	mem := memory.New(1 << 16)
+	g, err := New(Options{Config: config.Small(), Memory: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block larger than the SM warp capacity.
+	big := trivialKernel(t, 1, 49*32)
+	if _, err := g.Launch(big); err == nil {
+		t.Fatal("oversized block accepted")
+	}
+	// Shared memory beyond the SM.
+	shm := trivialKernel(t, 1, 32)
+	shm.SharedWords = 1 << 20
+	if _, err := g.Launch(shm); err == nil {
+		t.Fatal("oversized shared memory accepted")
+	}
+	// Register demand beyond the file.
+	regs := trivialKernel(t, 1, 1024)
+	regs.RegsPerThread = 64
+	if _, err := g.Launch(regs); err == nil {
+		t.Fatal("oversized register demand accepted")
+	}
+	// Invalid geometry.
+	badK := trivialKernel(t, 0, 32)
+	if _, err := g.Launch(badK); err == nil {
+		t.Fatal("zero grid accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{Config: config.Small()}); err == nil {
+		t.Fatal("missing memory accepted")
+	}
+	bad := config.Small()
+	bad.NumSMs = 0
+	if _, err := New(Options{Config: bad, Memory: memory.New(1 << 12)}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestMultiLaunchAccumulatesGIDs(t *testing.T) {
+	mem := memory.New(1 << 16)
+	g, err := New(Options{Config: config.Small(), Memory: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := trivialKernel(t, 3, 64)
+	l1, err := g.Launch(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := g.Launch(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, w := range l1.Warps {
+		seen[w.GID] = true
+	}
+	for _, w := range l2.Warps {
+		if seen[w.GID] {
+			t.Fatalf("gid %d reused across launches", w.GID)
+		}
+	}
+	// Block ids must be unique across launches too.
+	blocks := make(map[int]bool)
+	for _, w := range append(l1.Warps, l2.Warps...) {
+		blocks[w.Block] = true
+	}
+	if len(blocks) != 6 {
+		t.Fatalf("distinct blocks %d, want 6", len(blocks))
+	}
+	// Cycle counter keeps advancing.
+	if g.Cycle() <= l1.Cycles {
+		t.Fatalf("global cycle %d did not accumulate", g.Cycle())
+	}
+}
+
+func TestBlocksSpreadAcrossSMs(t *testing.T) {
+	mem := memory.New(1 << 16)
+	g, err := New(Options{Config: config.Small(), Memory: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	launch, err := g.Launch(trivialKernel(t, 8, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSM := make(map[int]int)
+	for _, w := range launch.Warps {
+		perSM[w.SM]++
+	}
+	if len(perSM) != 2 {
+		t.Fatalf("blocks landed on %d SMs, want 2 (breadth-first dispatch)", len(perSM))
+	}
+}
+
+func TestPerCycleHook(t *testing.T) {
+	mem := memory.New(1 << 16)
+	g, err := New(Options{Config: config.Small(), Memory: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int64
+	g.PerCycle = func(gg *GPU, cycle int64) { calls++ }
+	launch, err := g.Launch(trivialKernel(t, 2, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != launch.Cycles {
+		t.Fatalf("hook called %d times over %d cycles", calls, launch.Cycles)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() int64 {
+		mem := memory.New(1 << 20)
+		buf := mem.Alloc(1024)
+		b := isa.NewBuilder("det")
+		b.SReg(isa.R0, isa.SRGTid)
+		b.RemI(isa.R1, isa.R0, 100)
+		b.MulI(isa.R1, isa.R1, 8)
+		b.Param(isa.R2, 0)
+		b.Add(isa.R1, isa.R1, isa.R2)
+		b.Ld(isa.R3, isa.R1, 0)
+		b.AddI(isa.R3, isa.R3, 1)
+		b.St(isa.R1, 0, isa.R3)
+		b.Exit()
+		k := &simt.Kernel{Name: "det", Program: b.MustBuild(), GridDim: 6, BlockDim: 128,
+			Params: []int64{buf}}
+		g, err := New(Options{Config: config.Small(), Memory: mem})
+		if err != nil {
+			t.Fatal(err)
+		}
+		launch, err := g.Launch(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return launch.Cycles
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic: %d vs %d cycles", a, b)
+	}
+}
+
+func TestCoalescingFactor(t *testing.T) {
+	run := func(strideBytes int64) float64 {
+		mem := memory.New(1 << 22)
+		buf := mem.Alloc(32 * 512)
+		b := isa.NewBuilder("coal")
+		b.SReg(isa.R0, isa.SRLane)
+		b.MulI(isa.R1, isa.R0, strideBytes)
+		b.Param(isa.R2, 0)
+		b.Add(isa.R1, isa.R1, isa.R2)
+		b.Ld(isa.R3, isa.R1, 0)
+		b.Exit()
+		k := &simt.Kernel{Name: "coal", Program: b.MustBuild(), GridDim: 1, BlockDim: 32,
+			Params: []int64{buf}}
+		g, err := New(Options{Config: config.Small(), Memory: mem})
+		if err != nil {
+			t.Fatal(err)
+		}
+		launch, err := g.Launch(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return launch.CoalescingFactor()
+	}
+	if got := run(8); got != 2 { // 32 lanes x 8B = 256B = 2 lines
+		t.Fatalf("coalesced factor %v, want 2", got)
+	}
+	if got := run(128); got != 32 { // one line per lane
+		t.Fatalf("scattered factor %v, want 32", got)
+	}
+}
+
+func TestMaxCyclesGuard(t *testing.T) {
+	mem := memory.New(1 << 16)
+	cfg := config.Small()
+	cfg.MaxCycles = 100
+	g, err := New(Options{Config: cfg, Memory: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := isa.NewBuilder("spin")
+	b.Label("head")
+	b.Bra("head")
+	b.Exit()
+	k := &simt.Kernel{Name: "spin", Program: b.MustBuild(), GridDim: 1, BlockDim: 32}
+	if _, err := g.Launch(k); err == nil {
+		t.Fatal("runaway kernel not aborted")
+	}
+}

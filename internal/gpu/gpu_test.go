@@ -1,0 +1,95 @@
+package gpu
+
+import (
+	"testing"
+
+	"cawa/internal/config"
+	"cawa/internal/isa"
+	"cawa/internal/memory"
+	"cawa/internal/sched"
+	"cawa/internal/simt"
+)
+
+// vecAddKernel builds c[i] = a[i] + b[i] over n elements.
+func vecAddKernel(t *testing.T, mem *memory.Memory, n int) (*simt.Kernel, int64, int64, int64) {
+	t.Helper()
+	a := mem.Alloc(n)
+	b := mem.Alloc(n)
+	c := mem.Alloc(n)
+	for i := 0; i < n; i++ {
+		mem.Store(a+int64(i)*8, int64(i))
+		mem.Store(b+int64(i)*8, int64(i*10))
+	}
+	bld := isa.NewBuilder("vecadd")
+	bld.SReg(isa.R0, isa.SRGTid)
+	bld.Param(isa.R5, 3) // n
+	bld.SetGE(isa.R6, isa.R0, isa.R5)
+	bld.CBra(isa.R6, "done")
+	bld.MulI(isa.R1, isa.R0, 8)
+	bld.Param(isa.R2, 0)
+	bld.Add(isa.R2, isa.R2, isa.R1)
+	bld.Ld(isa.R3, isa.R2, 0) // a[i]
+	bld.Param(isa.R2, 1)
+	bld.Add(isa.R2, isa.R2, isa.R1)
+	bld.Ld(isa.R4, isa.R2, 0) // b[i]
+	bld.Add(isa.R3, isa.R3, isa.R4)
+	bld.Param(isa.R2, 2)
+	bld.Add(isa.R2, isa.R2, isa.R1)
+	bld.St(isa.R2, 0, isa.R3)
+	bld.Label("done")
+	bld.Exit()
+	prog, err := bld.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	const blockDim = 64
+	grid := (n + blockDim - 1) / blockDim
+	return &simt.Kernel{
+		Name:     "vecadd",
+		Program:  prog,
+		GridDim:  grid,
+		BlockDim: blockDim,
+		Params:   []int64{a, b, c, int64(n)},
+	}, a, b, c
+}
+
+func TestVecAddAllPolicies(t *testing.T) {
+	for _, pol := range sched.Names() {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			mem := memory.New(1 << 20)
+			const n = 1000
+			k, _, _, c := vecAddKernel(t, mem, n)
+			factory, ok := sched.Lookup(pol)
+			if !ok {
+				t.Fatalf("policy %s not registered", pol)
+			}
+			g, err := New(Options{Config: config.Small(), Memory: mem, Policy: factory})
+			if err != nil {
+				t.Fatalf("gpu: %v", err)
+			}
+			launch, err := g.Launch(k)
+			if err != nil {
+				t.Fatalf("launch: %v", err)
+			}
+			for i := 0; i < n; i++ {
+				want := int64(i + i*10)
+				if got := mem.Load(c + int64(i)*8); got != want {
+					t.Fatalf("c[%d] = %d, want %d", i, got, want)
+				}
+			}
+			if launch.Cycles <= 0 {
+				t.Fatalf("no cycles recorded")
+			}
+			wantWarps := k.GridDim * k.WarpsPerBlock(32)
+			if len(launch.Warps) != wantWarps {
+				t.Fatalf("got %d warp records, want %d", len(launch.Warps), wantWarps)
+			}
+			if launch.Instructions == 0 || launch.ThreadInstrs < launch.Instructions {
+				t.Fatalf("bad instruction counts: %d warp, %d thread",
+					launch.Instructions, launch.ThreadInstrs)
+			}
+			t.Logf("%s: %s", pol, launch)
+		})
+	}
+}

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"testing"
+
+	"cawa/internal/reuse"
+	"cawa/internal/workloads"
+)
+
+// TestPaperAppsMatchWorkloadCategories: the harness's Sens/Non-sens
+// split must agree with the workload registry's classification.
+func TestPaperAppsMatchWorkloadCategories(t *testing.T) {
+	sens := make(map[string]bool)
+	for _, n := range workloads.Sensitive() {
+		sens[n] = true
+	}
+	for _, app := range SensApps() {
+		if !sens[app] {
+			t.Errorf("%s is Sens in the harness but not in the registry", app)
+		}
+	}
+	for _, app := range NonSensApps() {
+		if sens[app] {
+			t.Errorf("%s is Non-sens in the harness but Sens in the registry", app)
+		}
+	}
+	// Every paper app must be buildable.
+	for _, app := range PaperApps {
+		if _, err := workloads.New(app, workloads.Params{Scale: 0.01, Seed: 1}); err != nil {
+			t.Errorf("paper app %s not constructible: %v", app, err)
+		}
+	}
+}
+
+func TestBinRanks(t *testing.T) {
+	points := []rankPoint{
+		{cycle: 0, rank: 2}, {cycle: 10, rank: 4},
+		{cycle: 90, rank: 8}, {cycle: 99, rank: 10},
+	}
+	out := binRanks(points, 2)
+	if len(out) != 2 {
+		t.Fatalf("bins %d", len(out))
+	}
+	if out[0] != 3 { // mean of 2 and 4
+		t.Fatalf("bin0 = %v", out[0])
+	}
+	if out[1] != 9 { // mean of 8 and 10
+		t.Fatalf("bin1 = %v", out[1])
+	}
+	if got := binRanks(nil, 4); len(got) != 4 {
+		t.Fatal("empty points must still produce bins")
+	}
+}
+
+func TestFracBucketsPartition(t *testing.T) {
+	var h reuse.Histogram
+	for d := int64(0); d < 64; d++ {
+		h.Add(d)
+	}
+	// The bucket-range helper must partition [0, inf): summing adjacent
+	// ranges equals the complement of FracBeyond.
+	total := frac(h, 0, 1) + frac(h, 2, 3) + frac(h, 4, 15) + h.FracBeyond(16)
+	if total < 0.99 || total > 1.01 {
+		t.Fatalf("bucket shares sum to %v", total)
+	}
+}
+
+func TestIsSens(t *testing.T) {
+	if !isSens("kmeans") || isSens("tpacf") {
+		t.Fatal("isSens misclassifies")
+	}
+}

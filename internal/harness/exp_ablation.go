@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"fmt"
+
+	"cawa/internal/core"
+	"cawa/internal/stats"
+)
+
+func init() {
+	registerExp("abl-cpl", "Ablation: CPL counter terms (Equation 1)", ablCPL)
+	registerExp("abl-greedy", "Ablation: greedy vs re-ranking criticality scheduling", ablGreedy)
+	registerExp("abl-partition", "Ablation: CACP critical-partition size sweep", ablPartition)
+	registerExp("abl-signature", "Ablation: CACP signature composition", ablSignature)
+	registerExp("abl-dynpart", "Extension: UCP-style dynamic partition tuning (Section 3.3)", ablDynPart)
+}
+
+// gmeanSpeedup runs the design point over the Sens apps and returns the
+// geometric-mean IPC speedup over the RR baseline.
+func gmeanSpeedup(s *Session, sc core.SystemConfig) (float64, error) {
+	var sp []float64
+	for _, app := range SensApps() {
+		base, err := s.Baseline(app)
+		if err != nil {
+			return 0, err
+		}
+		r, err := s.Run(app, sc)
+		if err != nil {
+			return 0, err
+		}
+		sp = append(sp, r.Agg.IPC()/base.Agg.IPC())
+	}
+	return stats.GeoMean(sp), nil
+}
+
+// Stable tweak funcs so the session cache can key on them.
+var (
+	tweakInstOnly  = func(c *core.CPL) { c.DisableStallTerm = true }
+	tweakStallOnly = func(c *core.CPL) { c.DisableInstTerm = true }
+)
+
+// ablCPL compares the full Equation-1 criticality counter against
+// instruction-disparity-only and stall-only predictors, under gCAWS.
+func ablCPL(s *Session) (*Table, error) {
+	t := NewTable("abl-cpl", "CPL term ablation (gCAWS, GMEAN speedup over RR, Sens apps)",
+		"variant", "gmean_speedup")
+	variants := []struct {
+		name  string
+		tweak func(*core.CPL)
+	}{
+		{"inst+stall (paper)", nil},
+		{"inst-only", tweakInstOnly},
+		{"stall-only", tweakStallOnly},
+	}
+	for _, v := range variants {
+		g, err := gmeanSpeedup(s, core.SystemConfig{Scheduler: "gcaws", CPL: true, CPLTweak: v.tweak})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(v.name, g)
+	}
+	return t, nil
+}
+
+// ablGreedy compares gCAWS's greedy hold of the selected critical warp
+// against re-ranking by criticality every cycle (the caws policy driven
+// by CPL instead of an oracle).
+func ablGreedy(s *Session) (*Table, error) {
+	t := NewTable("abl-greedy", "Greedy hold vs per-cycle re-ranking (GMEAN speedup over RR, Sens apps)",
+		"variant", "gmean_speedup")
+	g1, err := gmeanSpeedup(s, core.SystemConfig{Scheduler: "gcaws", CPL: true})
+	if err != nil {
+		return nil, err
+	}
+	g2, err := gmeanSpeedup(s, core.SystemConfig{Scheduler: "caws", CPL: true})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("greedy (gCAWS)", g1)
+	t.AddRow("re-rank each cycle", g2)
+	return t, nil
+}
+
+// ablPartition sweeps the number of L1D ways reserved for critical
+// lines (paper: 8 of 16 is best).
+func ablPartition(s *Session) (*Table, error) {
+	t := NewTable("abl-partition", "CACP critical ways sweep (GMEAN speedup over RR, Sens apps)",
+		"critical_ways", "gmean_speedup")
+	for _, ways := range []int{2, 4, 8, 12, 14} {
+		cfg := core.DefaultCACPConfig()
+		cfg.CriticalWays = ways
+		g, err := gmeanSpeedup(s, core.SystemConfig{
+			Scheduler: "gcaws", CPL: true, CACP: true, CACPConfig: &cfg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d/16", ways), g)
+	}
+	return t, nil
+}
+
+// ablDynPart compares the paper's static 8/16 split against the
+// runtime utility-driven boundary the paper suggests as future work.
+func ablDynPart(s *Session) (*Table, error) {
+	t := NewTable("abl-dynpart", "Static vs dynamic CACP partition (GMEAN speedup over RR, Sens apps)",
+		"variant", "gmean_speedup")
+	static, err := gmeanSpeedup(s, core.CAWA())
+	if err != nil {
+		return nil, err
+	}
+	dcfg := core.DefaultCACPConfig()
+	dcfg.DynamicPartition = true
+	dynamic, err := gmeanSpeedup(s, core.SystemConfig{
+		Scheduler: "gcaws", CPL: true, CACP: true, CACPConfig: &dcfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("static 8/16 (paper)", static)
+	t.AddRow("dynamic (UCP-style)", dynamic)
+	return t, nil
+}
+
+// ablSignature compares the paper's PC-xor-address signature with
+// PC-only and address-only predictor indexing.
+func ablSignature(s *Session) (*Table, error) {
+	t := NewTable("abl-signature", "CACP signature composition (GMEAN speedup over RR, Sens apps)",
+		"signature", "gmean_speedup")
+	kinds := []struct {
+		name string
+		kind core.SignatureKind
+	}{
+		{"pc^addr (paper)", core.SigPCXorAddr},
+		{"pc-only", core.SigPCOnly},
+		{"addr-only", core.SigAddrOnly},
+	}
+	for _, k := range kinds {
+		cfg := core.DefaultCACPConfig()
+		cfg.Signature = k.kind
+		g, err := gmeanSpeedup(s, core.SystemConfig{
+			Scheduler: "gcaws", CPL: true, CACP: true, CACPConfig: &cfg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(k.name, g)
+	}
+	return t, nil
+}

@@ -1,0 +1,511 @@
+package harness
+
+import (
+	"fmt"
+
+	"cawa/internal/cache"
+	"cawa/internal/core"
+	"cawa/internal/gpu"
+	"cawa/internal/memsys"
+	"cawa/internal/stats"
+)
+
+func init() {
+	registerExp("fig9", "IPC speedup over the RR baseline: 2-level, GTO, CAWA", fig9)
+	registerExp("fig10", "L1D MPKI: baseline RR, 2-level, GTO, CAWA", fig10)
+	registerExp("fig11", "CPL warp criticality prediction accuracy", fig11)
+	registerExp("fig12", "Critical warp scheduling priority over time, RR vs gCAWS (bfs)", fig12)
+	registerExp("fig13", "Speedup of oracle CAWS, gCAWS, and CAWA over RR (Sens apps)", fig13)
+	registerExp("fig14", "Critical-warp L1D hit rate, normalized to the RR baseline", fig14)
+	registerExp("fig15", "Zero-reuse critical-warp lines: baseline vs CAWA", fig15)
+	registerExp("fig16", "L1D MPKI with CACP applied to RR/GTO/2-level schedulers", fig16)
+	registerExp("fig17", "IPC with CACP applied to RR/GTO/2-level schedulers", fig17)
+}
+
+var evalSystems = []struct {
+	label string
+	sc    core.SystemConfig
+}{
+	{"2lvl", core.SystemConfig{Scheduler: "2lvl"}},
+	{"gto", core.SystemConfig{Scheduler: "gto"}},
+	{"cawa", core.CAWA()},
+}
+
+// fig9: IPC speedup over the RR baseline for the 2-level scheduler,
+// GTO, and the full CAWA design (paper: CAWA +23% on Sens, GTO +16%,
+// 2-level -2%; kmeans up to 3.13x under CAWA).
+func fig9(s *Session) (*Table, error) {
+	t := NewTable("fig9", "IPC speedup over baseline RR",
+		"app", "2lvl", "gto", "cawa")
+	perSys := map[string][]float64{}
+	perSysSens := map[string][]float64{}
+	for _, app := range PaperApps {
+		base, err := s.Baseline(app)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, 0, len(evalSystems))
+		for _, sys := range evalSystems {
+			r, err := s.Run(app, sys.sc)
+			if err != nil {
+				return nil, err
+			}
+			sp := r.Agg.IPC() / base.Agg.IPC()
+			row = append(row, sp)
+			perSys[sys.label] = append(perSys[sys.label], sp)
+			if isSens(app) {
+				perSysSens[sys.label] = append(perSysSens[sys.label], sp)
+			}
+		}
+		t.AddRow(app, row...)
+	}
+	t.AddRow("GMEAN(sens)",
+		stats.GeoMean(perSysSens["2lvl"]), stats.GeoMean(perSysSens["gto"]), stats.GeoMean(perSysSens["cawa"]))
+	t.AddRow("GMEAN(all)",
+		stats.GeoMean(perSys["2lvl"]), stats.GeoMean(perSys["gto"]), stats.GeoMean(perSys["cawa"]))
+	return t, nil
+}
+
+func isSens(app string) bool {
+	for _, a := range SensApps() {
+		if a == app {
+			return true
+		}
+	}
+	return false
+}
+
+// fig10: absolute L1D MPKI under each scheduler (paper: CAWA reduces
+// MPKI the most on cache-thrashing apps; heartwall and strcltr_small
+// may rise while IPC still improves).
+func fig10(s *Session) (*Table, error) {
+	t := NewTable("fig10", "L1D MPKI", "app", "rr", "2lvl", "gto", "cawa")
+	for _, app := range PaperApps {
+		base, err := s.Baseline(app)
+		if err != nil {
+			return nil, err
+		}
+		row := []float64{base.Agg.MPKI()}
+		for _, sys := range evalSystems {
+			r, err := s.Run(app, sys.sc)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, r.Agg.MPKI())
+		}
+		t.AddRow(app, row...)
+	}
+	return t, nil
+}
+
+// cplSampler periodically snapshots every SM's CPL "slow warp"
+// predictions, attributing them to global warp ids.
+type cplSampler struct {
+	every   int64
+	samples map[int]*samplePair // gid -> counts
+}
+
+type samplePair struct{ slow, total int64 }
+
+func newCPLSampler(every int64) *cplSampler {
+	return &cplSampler{every: every, samples: make(map[int]*samplePair)}
+}
+
+func (cs *cplSampler) hook(g *gpu.GPU, cycle int64) {
+	if cycle%cs.every != 0 {
+		return
+	}
+	for _, m := range g.SMs() {
+		cpl, ok := m.Crit().(*core.CPL)
+		if !ok {
+			continue
+		}
+		for slot := 0; slot < g.Config().MaxWarpsPerSM; slot++ {
+			gid := cpl.GID(slot)
+			if gid < 0 {
+				continue
+			}
+			p := cs.samples[gid]
+			if p == nil {
+				p = &samplePair{}
+				cs.samples[gid] = p
+			}
+			p.total++
+			if cpl.IsCritical(slot) {
+				p.slow++
+			}
+		}
+	}
+}
+
+// fig11: CPL prediction accuracy, measured as the frequency with which
+// the post-hoc critical (slowest) warp of each block was flagged as a
+// slow warp by CPL during execution (paper: 73% average, 100% for
+// needle).
+func fig11(s *Session) (*Table, error) {
+	t := NewTable("fig11", "CPL criticality prediction accuracy", "app", "accuracy")
+	var accs []float64
+	for _, app := range PaperApps {
+		sampler := newCPLSampler(50)
+		r, err := Run(RunOptions{
+			Workload: app,
+			Params:   s.Params,
+			System:   core.SystemConfig{Scheduler: "gcaws", CPL: true},
+			Config:   s.Config,
+			PerCycle: sampler.hook,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var num, den float64
+		for _, ws := range r.Agg.BlockGroup() {
+			if len(ws) < 2 {
+				continue
+			}
+			cw := stats.CriticalWarp(ws)
+			if p := sampler.samples[cw.GID]; p != nil && p.total > 0 {
+				num += float64(p.slow)
+				den += float64(p.total)
+			}
+		}
+		acc := 0.0
+		if den > 0 {
+			acc = num / den
+		}
+		if app == "needle" && den == 0 {
+			acc = 1 // single-warp blocks are trivially critical
+		}
+		t.AddRow(app, acc)
+		accs = append(accs, acc)
+	}
+	mean := 0.0
+	for _, a := range accs {
+		mean += a
+	}
+	t.AddRow("AVG", mean/float64(len(accs)))
+	return t, nil
+}
+
+// rankSampler traces the criticality rank of one warp over time.
+type rankSampler struct {
+	target int
+	every  int64
+	points []rankPoint
+}
+
+type rankPoint struct {
+	cycle int64
+	rank  int
+	peers int
+}
+
+func (rs *rankSampler) hook(g *gpu.GPU, cycle int64) {
+	if cycle%rs.every != 0 {
+		return
+	}
+	for _, m := range g.SMs() {
+		cpl, ok := m.Crit().(*core.CPL)
+		if !ok {
+			continue
+		}
+		for slot := 0; slot < g.Config().MaxWarpsPerSM; slot++ {
+			if cpl.GID(slot) != rs.target {
+				continue
+			}
+			rank, peers := cpl.Rank(slot)
+			if peers > 1 { // a lone survivor has no meaningful rank
+				rs.points = append(rs.points, rankPoint{cycle, rank, peers})
+			}
+			return
+		}
+	}
+}
+
+// fig12: the critical warp's priority rank within its block over its
+// lifetime, under the RR baseline and under gCAWS (paper: gCAWS keeps
+// the critical warp at high rank and schedules it more often).
+func fig12(s *Session) (*Table, error) {
+	base, err := s.Baseline("bfs")
+	if err != nil {
+		return nil, err
+	}
+	warps := pickBlock(&base.Agg, 8)
+	if warps == nil {
+		return nil, fmt.Errorf("fig12: no block found")
+	}
+	target := warps[len(warps)-1].GID // critical warp of that block
+
+	trace := func(scheduler string) ([]rankPoint, error) {
+		rs := &rankSampler{target: target, every: 10}
+		_, err := Run(RunOptions{
+			Workload: "bfs",
+			Params:   s.Params,
+			System:   core.SystemConfig{Scheduler: scheduler, CPL: true},
+			Config:   s.Config,
+			PerCycle: rs.hook,
+		})
+		return rs.points, err
+	}
+	rrPoints, err := trace("lrr")
+	if err != nil {
+		return nil, err
+	}
+	gPoints, err := trace("gcaws")
+	if err != nil {
+		return nil, err
+	}
+
+	const bins = 20
+	t := NewTable("fig12", fmt.Sprintf("Criticality rank of critical warp gid=%d over normalized lifetime", target),
+		"lifetime", "rr_rank", "gcaws_rank")
+	rr := binRanks(rrPoints, bins)
+	gc := binRanks(gPoints, bins)
+	for i := 0; i < bins; i++ {
+		t.AddRow(fmt.Sprintf("%.2f", (float64(i)+0.5)/bins), rr[i], gc[i])
+	}
+	t.Note = "rank: 0 = least critical, peers-1 = most critical within the thread-block"
+	return t, nil
+}
+
+func binRanks(points []rankPoint, bins int) []float64 {
+	out := make([]float64, bins)
+	if len(points) == 0 {
+		return out
+	}
+	lo, hi := points[0].cycle, points[len(points)-1].cycle
+	span := hi - lo + 1
+	sums := make([]float64, bins)
+	counts := make([]int, bins)
+	for _, p := range points {
+		b := int((p.cycle - lo) * int64(bins) / span)
+		if b >= bins {
+			b = bins - 1
+		}
+		sums[b] += float64(p.rank)
+		counts[b]++
+	}
+	for i := range out {
+		if counts[i] > 0 {
+			out[i] = sums[i] / float64(counts[i])
+		}
+	}
+	return out
+}
+
+// fig13: speedups of the oracle CAWS scheduler, gCAWS alone, and the
+// full CAWA over RR on the Sens applications (paper: oracle CAWS best
+// on small kernels; gCAWS/CAWA win on large kernels and kmeans; CAWA
+// ~5% above gCAWS overall).
+func fig13(s *Session) (*Table, error) {
+	t := NewTable("fig13", "Speedup over RR: oracle CAWS, gCAWS, CAWA",
+		"app", "caws_oracle", "gcaws", "cawa")
+	var sp1, sp2, sp3 []float64
+	for _, app := range SensApps() {
+		base, err := s.Baseline(app)
+		if err != nil {
+			return nil, err
+		}
+		oracle, err := s.OracleFor(app)
+		if err != nil {
+			return nil, err
+		}
+		rCAWS, err := s.Run(app, core.SystemConfig{Scheduler: "caws", Oracle: oracle})
+		if err != nil {
+			return nil, err
+		}
+		rG, err := s.Run(app, core.SystemConfig{Scheduler: "gcaws", CPL: true})
+		if err != nil {
+			return nil, err
+		}
+		rC, err := s.Run(app, core.CAWA())
+		if err != nil {
+			return nil, err
+		}
+		a := rCAWS.Agg.IPC() / base.Agg.IPC()
+		b := rG.Agg.IPC() / base.Agg.IPC()
+		c := rC.Agg.IPC() / base.Agg.IPC()
+		t.AddRow(app, a, b, c)
+		sp1, sp2, sp3 = append(sp1, a), append(sp2, b), append(sp3, c)
+	}
+	t.AddRow("GMEAN", stats.GeoMean(sp1), stats.GeoMean(sp2), stats.GeoMean(sp3))
+	return t, nil
+}
+
+// criticalHitRate pools L1D hits/accesses of the post-hoc critical
+// warps of a run.
+func criticalHitRate(r *Result) float64 {
+	crit := CriticalGIDs(&r.Agg, 2)
+	var hits, accs uint64
+	for _, m := range r.GPU.SMs() {
+		l1 := m.L1D()
+		for gid, a := range l1.WarpAccesses {
+			if crit[int(gid)] {
+				accs += a
+				hits += l1.WarpHits[gid]
+			}
+		}
+	}
+	if accs == 0 {
+		return 0
+	}
+	return float64(hits) / float64(accs)
+}
+
+// fig14: the L1D hit rate received by critical-warp requests, under
+// GTO and CAWA, normalized to the RR baseline (paper: CAWA 2.46x on
+// average, 7.22x for kmeans).
+func fig14(s *Session) (*Table, error) {
+	t := NewTable("fig14", "Critical-warp L1D hit rate normalized to RR baseline",
+		"app", "gto", "cawa")
+	var g, c []float64
+	for _, app := range SensApps() {
+		base, err := s.Baseline(app)
+		if err != nil {
+			return nil, err
+		}
+		rG, err := s.Run(app, core.SystemConfig{Scheduler: "gto"})
+		if err != nil {
+			return nil, err
+		}
+		rC, err := s.Run(app, core.CAWA())
+		if err != nil {
+			return nil, err
+		}
+		b := criticalHitRate(base)
+		if b == 0 {
+			b = 1e-9
+		}
+		gv, cv := criticalHitRate(rG)/b, criticalHitRate(rC)/b
+		t.AddRow(app, gv, cv)
+		g, c = append(g, gv), append(c, cv)
+	}
+	t.AddRow("GMEAN", stats.GeoMean(g), stats.GeoMean(c))
+	return t, nil
+}
+
+// zeroReuseShare runs app with an eviction listener and returns the
+// share of critical-warp-filled lines evicted without any reuse
+// (lines "useful to critical warps" that never saw a re-reference).
+func zeroReuseShare(s *Session, app string, sc core.SystemConfig) (float64, error) {
+	var zero, total uint64
+	_, err := Run(RunOptions{
+		Workload: app,
+		Params:   s.Params,
+		System:   sc,
+		Config:   s.Config,
+		AttachL1: func(_ int, l1 *memsys.L1D) {
+			l1.Cache().EvictListener = func(ev *cache.Eviction) {
+				if ev.Line.FillCritical {
+					total++
+					if ev.Line.Refs == 0 {
+						zero++
+					}
+				}
+			}
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(zero) / float64(total), nil
+}
+
+// fig15: the share of critical-warp cache lines evicted with zero reuse
+// under the baseline and under CAWA (paper: 44.3% in the baseline,
+// greatly reduced by CACP's explicit partitioning).
+func fig15(s *Session) (*Table, error) {
+	t := NewTable("fig15", "Zero-reuse critical-warp lines (share of critical evictions)",
+		"app", "baseline", "cawa")
+	var sumB, sumC float64
+	n := 0
+	for _, app := range SensApps() {
+		b, err := zeroReuseShare(s, app, core.SystemConfig{Scheduler: "lrr", CPL: true})
+		if err != nil {
+			return nil, err
+		}
+		c, err := zeroReuseShare(s, app, core.CAWA())
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(app, b, c)
+		sumB += b
+		sumC += c
+		n++
+	}
+	t.AddRow("AVG", sumB/float64(n), sumC/float64(n))
+	return t, nil
+}
+
+// cacpSystems are the design points of Figures 16 and 17: each
+// state-of-the-art scheduler with and without CACP, plus CAWA.
+var cacpSystems = []struct {
+	label string
+	sc    core.SystemConfig
+}{
+	{"rr", core.Baseline()},
+	{"rr+cacp", core.SystemConfig{Scheduler: "lrr", CPL: true, CACP: true}},
+	{"gto", core.SystemConfig{Scheduler: "gto"}},
+	{"gto+cacp", core.SystemConfig{Scheduler: "gto", CPL: true, CACP: true}},
+	{"2lvl", core.SystemConfig{Scheduler: "2lvl"}},
+	{"2lvl+cacp", core.SystemConfig{Scheduler: "2lvl", CPL: true, CACP: true}},
+	{"cawa", core.CAWA()},
+}
+
+// fig16: L1D MPKI when CACP is applied underneath each scheduler
+// (paper: CACP helps every scheduler; the coordinated CAWA is best).
+func fig16(s *Session) (*Table, error) {
+	cols := []string{"app"}
+	for _, sys := range cacpSystems {
+		cols = append(cols, sys.label)
+	}
+	t := NewTable("fig16", "L1D MPKI with CACP under different schedulers", cols...)
+	for _, app := range SensApps() {
+		row := make([]float64, 0, len(cacpSystems))
+		for _, sys := range cacpSystems {
+			r, err := s.Run(app, sys.sc)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, r.Agg.MPKI())
+		}
+		t.AddRow(app, row...)
+	}
+	return t, nil
+}
+
+// fig17: IPC speedup over RR for the same design points (paper: CACP
+// adds 2%-16.5% on top of the schedulers; CAWA remains best).
+func fig17(s *Session) (*Table, error) {
+	cols := []string{"app"}
+	for _, sys := range cacpSystems[1:] {
+		cols = append(cols, sys.label)
+	}
+	t := NewTable("fig17", "IPC speedup over RR with CACP under different schedulers", cols...)
+	gmeans := make([][]float64, len(cacpSystems)-1)
+	for _, app := range SensApps() {
+		base, err := s.Baseline(app)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, 0, len(cacpSystems)-1)
+		for i, sys := range cacpSystems[1:] {
+			r, err := s.Run(app, sys.sc)
+			if err != nil {
+				return nil, err
+			}
+			sp := r.Agg.IPC() / base.Agg.IPC()
+			row = append(row, sp)
+			gmeans[i] = append(gmeans[i], sp)
+		}
+		t.AddRow(app, row...)
+	}
+	g := make([]float64, len(gmeans))
+	for i, xs := range gmeans {
+		g[i] = stats.GeoMean(xs)
+	}
+	t.AddRow("GMEAN", g...)
+	return t, nil
+}

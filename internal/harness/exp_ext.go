@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"cawa/internal/core"
+	"cawa/internal/stats"
+)
+
+func init() {
+	registerExp("ext-ccws", "Extension: CCWS locality-aware throttling vs GTO and CAWA", extCCWS)
+}
+
+// extCCWS compares the CCWS-style baseline (reference [34] of the
+// paper) against GTO and the full CAWA design on the Sens applications.
+// CCWS needs its per-SM providers attached to the L1Ds, so its runs
+// bypass the session cache.
+func extCCWS(s *Session) (*Table, error) {
+	t := NewTable("ext-ccws", "Speedup over RR: CCWS, GTO, CAWA (Sens apps)",
+		"app", "ccws", "gto", "cawa")
+	var sp1, sp2, sp3 []float64
+	for _, app := range SensApps() {
+		base, err := s.Baseline(app)
+		if err != nil {
+			return nil, err
+		}
+		sc, attach := core.CCWSSystem()
+		rCCWS, err := Run(RunOptions{
+			Workload: app,
+			Params:   s.Params,
+			System:   sc,
+			Config:   s.Config,
+			AttachL1: attach,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rGTO, err := s.Run(app, core.SystemConfig{Scheduler: "gto"})
+		if err != nil {
+			return nil, err
+		}
+		rCAWA, err := s.Run(app, core.CAWA())
+		if err != nil {
+			return nil, err
+		}
+		a := rCCWS.Agg.IPC() / base.Agg.IPC()
+		b := rGTO.Agg.IPC() / base.Agg.IPC()
+		c := rCAWA.Agg.IPC() / base.Agg.IPC()
+		t.AddRow(app, a, b, c)
+		sp1, sp2, sp3 = append(sp1, a), append(sp2, b), append(sp3, c)
+	}
+	t.AddRow("GMEAN", stats.GeoMean(sp1), stats.GeoMean(sp2), stats.GeoMean(sp3))
+	return t, nil
+}

@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment regenerates one of the paper's tables or figures.
+type Experiment struct {
+	// ID is the experiment key (e.g. "fig9", "tab1").
+	ID string
+	// Title summarizes what the paper's figure/table shows.
+	Title string
+	// Run produces the table.
+	Run func(s *Session) (*Table, error)
+}
+
+var experiments = map[string]*Experiment{}
+
+func registerExp(id, title string, run func(s *Session) (*Table, error)) {
+	if _, dup := experiments[id]; dup {
+		panic(fmt.Sprintf("harness: duplicate experiment %q", id))
+	}
+	experiments[id] = &Experiment{ID: id, Title: title, Run: run}
+}
+
+// LookupExperiment returns the experiment registered under id.
+func LookupExperiment(id string) (*Experiment, bool) {
+	e, ok := experiments[id]
+	return e, ok
+}
+
+// ExperimentIDs lists all experiment ids, sorted.
+func ExperimentIDs() []string {
+	out := make([]string, 0, len(experiments))
+	for id := range experiments {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunExperiment runs the experiment by id against the session.
+func RunExperiment(id string, s *Session) (*Table, error) {
+	e, ok := LookupExperiment(id)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, ExperimentIDs())
+	}
+	return e.Run(s)
+}

@@ -1,0 +1,38 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"cawa/internal/config"
+	"cawa/internal/workloads"
+)
+
+func testSession() *Session {
+	return NewSession(config.Small(), workloads.Params{Scale: 0.25, Seed: 7})
+}
+
+// TestExperimentsProduceTables smoke-runs every registered experiment
+// on a reduced configuration and checks each yields a non-empty table.
+func TestExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite is slow")
+	}
+	s := testSession()
+	for _, id := range ExperimentIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tbl, err := RunExperiment(id, s)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if tbl.Rows() == 0 {
+				t.Fatalf("%s: empty table", id)
+			}
+			if !strings.Contains(tbl.String(), tbl.ID) {
+				t.Fatalf("%s: rendering lacks id", id)
+			}
+			t.Logf("\n%s", tbl)
+		})
+	}
+}

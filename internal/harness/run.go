@@ -1,0 +1,103 @@
+// Package harness runs workloads on configured GPU design points and
+// regenerates every table and figure of the paper's motivation and
+// evaluation sections (see DESIGN.md for the experiment index).
+package harness
+
+import (
+	"fmt"
+
+	"cawa/internal/config"
+	"cawa/internal/core"
+	"cawa/internal/gpu"
+	"cawa/internal/memsys"
+	"cawa/internal/stats"
+	"cawa/internal/workloads"
+)
+
+// RunOptions describes one simulated application run.
+type RunOptions struct {
+	// Workload is a registered workload name.
+	Workload string
+	// Params tunes the workload size and seed (zero value = defaults).
+	Params workloads.Params
+	// System is the design point (scheduler / CPL / CACP combination).
+	System core.SystemConfig
+	// Config is the architecture; zero value means config.GTX480().
+	Config config.Config
+	// AttachL1, when set, is called for every SM's L1D before the run
+	// (profiler taps).
+	AttachL1 func(smID int, l1 *memsys.L1D)
+	// PerCycle, when set, samples the GPU every cycle.
+	PerCycle func(g *gpu.GPU, cycle int64)
+	// SkipVerify skips the functional check against the Go reference.
+	SkipVerify bool
+}
+
+// Result is the outcome of one application run.
+type Result struct {
+	Workload string
+	System   string
+	Agg      stats.Launch // merged across launches
+	Launches int
+	GPU      *gpu.GPU // post-run inspection (cache stats, providers)
+}
+
+// Run executes the workload to completion on the design point.
+func Run(opt RunOptions) (*Result, error) {
+	if opt.Params == (workloads.Params{}) {
+		opt.Params = workloads.DefaultParams()
+	}
+	if opt.Config.NumSMs == 0 {
+		opt.Config = config.GTX480()
+	}
+	wl, err := workloads.New(opt.Workload, opt.Params)
+	if err != nil {
+		return nil, err
+	}
+	// The CCWS baseline needs per-SM providers observing their L1Ds;
+	// wire them automatically unless the caller already did.
+	if opt.System.Scheduler == "ccws" && opt.System.ProviderOverride == nil {
+		sc, attach := core.CCWSSystem()
+		sc.CACP, sc.CACPConfig = opt.System.CACP, opt.System.CACPConfig
+		opt.System = sc
+		userAttach := opt.AttachL1
+		opt.AttachL1 = func(smID int, l1 *memsys.L1D) {
+			attach(smID, l1)
+			if userAttach != nil {
+				userAttach(smID, l1)
+			}
+		}
+	}
+	g, err := opt.System.NewGPU(opt.Config, wl.Mem())
+	if err != nil {
+		return nil, err
+	}
+	if opt.AttachL1 != nil {
+		for i, s := range g.SMs() {
+			opt.AttachL1(i, s.L1D())
+		}
+	}
+	g.PerCycle = opt.PerCycle
+
+	res := &Result{Workload: opt.Workload, System: opt.System.Label(), GPU: g}
+	res.Agg.Kernel = opt.Workload
+	for {
+		k, ok := wl.Next()
+		if !ok {
+			break
+		}
+		launch, err := g.Launch(k)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s on %s: %w", opt.Workload, opt.System.Label(), err)
+		}
+		res.Agg.Merge(launch)
+		res.Launches++
+	}
+	if !opt.SkipVerify {
+		if err := wl.Verify(); err != nil {
+			return nil, fmt.Errorf("harness: %s on %s: verification failed: %w",
+				opt.Workload, opt.System.Label(), err)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"cawa/internal/config"
+	"cawa/internal/core"
+	"cawa/internal/stats"
+	"cawa/internal/workloads"
+)
+
+// PaperApps lists the twelve benchmarks in the paper's Table 2 order:
+// the seven scheduler/cache-sensitive applications first.
+var PaperApps = []string{
+	"bfs", "b+tree", "heartwall", "kmeans", "needle", "srad_1", "strcltr_small",
+	"backprop", "particle", "pathfinder", "strcltr_mid", "tpacf",
+}
+
+// SensApps returns the paper's Sens benchmarks.
+func SensApps() []string { return PaperApps[:7] }
+
+// NonSensApps returns the paper's Non-sens benchmarks.
+func NonSensApps() []string { return PaperApps[7:] }
+
+// Session caches application runs so experiments sharing a design point
+// (e.g. the round-robin baseline) simulate it once.
+type Session struct {
+	// Config is the simulated architecture; defaults to GTX480.
+	Config config.Config
+	// Params scales workloads; defaults to workloads.DefaultParams.
+	Params workloads.Params
+
+	cache map[string]*Result
+}
+
+// NewSession builds a Session with the given architecture and workload
+// scaling.
+func NewSession(cfg config.Config, p workloads.Params) *Session {
+	return &Session{Config: cfg, Params: p, cache: make(map[string]*Result)}
+}
+
+// DefaultSession uses the GTX480 configuration and default scaling.
+func DefaultSession() *Session {
+	return NewSession(config.GTX480(), workloads.DefaultParams())
+}
+
+// Run simulates (or returns the cached) application run on the design
+// point.
+func (s *Session) Run(app string, sc core.SystemConfig) (*Result, error) {
+	key := fmt.Sprintf("%s|%s|cpl=%v|cacp=%v|oracle=%v", app, sc.Scheduler, sc.CPL, sc.CACP, sc.Oracle != nil)
+	if sc.CACPConfig != nil {
+		key += fmt.Sprintf("|ways=%d|sig=%d", sc.CACPConfig.CriticalWays, sc.CACPConfig.Signature)
+	}
+	if sc.CPLTweak != nil {
+		key += fmt.Sprintf("|tweak=%p", sc.CPLTweak)
+	}
+	if r, ok := s.cache[key]; ok {
+		return r, nil
+	}
+	r, err := Run(RunOptions{Workload: app, Params: s.Params, System: sc, Config: s.Config})
+	if err != nil {
+		return nil, err
+	}
+	s.cache[key] = r
+	return r, nil
+}
+
+// Baseline returns the cached round-robin run of app.
+func (s *Session) Baseline(app string) (*Result, error) {
+	return s.Run(app, core.Baseline())
+}
+
+// OracleFor profiles app under the baseline scheduler and returns the
+// per-warp execution times used as oracle criticality by CAWS.
+func (s *Session) OracleFor(app string) (map[int]float64, error) {
+	r, err := s.Baseline(app)
+	if err != nil {
+		return nil, err
+	}
+	oracle := make(map[int]float64, len(r.Agg.Warps))
+	for _, w := range r.Agg.Warps {
+		oracle[w.GID] = float64(w.ExecTime())
+	}
+	return oracle, nil
+}
+
+// CriticalGIDs returns, for a finished run, the global warp id of the
+// slowest (critical) warp of every block with at least minWarps warps.
+func CriticalGIDs(agg *stats.Launch, minWarps int) map[int]bool {
+	out := make(map[int]bool)
+	for _, ws := range agg.BlockGroup() {
+		if len(ws) < minWarps {
+			continue
+		}
+		out[stats.CriticalWarp(ws).GID] = true
+	}
+	return out
+}
+
+// pickBlock selects the block with the highest warp execution time
+// disparity among blocks with at least minWarps warps, returning its
+// warp records sorted fastest-first.
+func pickBlock(agg *stats.Launch, minWarps int) []stats.WarpRecord {
+	groups := agg.BlockGroup()
+	ids := make([]int, 0, len(groups))
+	for id, ws := range groups {
+		if len(ws) >= minWarps {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		for id := range groups {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	best, bestD := -1, -1.0
+	for _, id := range ids {
+		if d := stats.BlockDisparity(groups[id]); d > bestD {
+			best, bestD = id, d
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return stats.SortedByExecTime(groups[best])
+}

@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Table is the printable result of one experiment: a figure's series or
+// a paper table's rows.
+type Table struct {
+	ID      string
+	Title   string
+	Note    string
+	Columns []string // column headers; rows carry one label + len-1 values
+	rows    []tableRow
+}
+
+type tableRow struct {
+	label  string
+	values []string
+}
+
+// NewTable creates a table whose first column holds row labels.
+func NewTable(id, title string, columns ...string) *Table {
+	return &Table{ID: id, Title: title, Columns: columns}
+}
+
+// AddRow appends a numeric row formatted with %.3f (integers collapse).
+func (t *Table) AddRow(label string, values ...float64) {
+	vs := make([]string, len(values))
+	for i, v := range values {
+		vs[i] = formatNum(v)
+	}
+	t.rows = append(t.rows, tableRow{label, vs})
+}
+
+// AddTextRow appends a row of preformatted cells.
+func (t *Table) AddTextRow(label string, values ...string) {
+	t.rows = append(t.rows, tableRow{label, values})
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Value returns the numeric-formatted cell (row, col) where col 0 is the
+// first value column; it is a test convenience.
+func (t *Table) Value(row, col int) string { return t.rows[row].values[col] }
+
+// Label returns the row label.
+func (t *Table) Label(row int) string { return t.rows[row].label }
+
+func formatNum(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// MarshalJSON renders the table as a structured document for plotting
+// pipelines (cawabench -json).
+func (t *Table) MarshalJSON() ([]byte, error) {
+	type jsonRow struct {
+		Label  string   `json:"label"`
+		Values []string `json:"values"`
+	}
+	doc := struct {
+		ID      string    `json:"id"`
+		Title   string    `json:"title"`
+		Note    string    `json:"note,omitempty"`
+		Columns []string  `json:"columns"`
+		Rows    []jsonRow `json:"rows"`
+	}{ID: t.ID, Title: t.Title, Note: t.Note, Columns: t.Columns}
+	for _, r := range t.rows {
+		doc.Rows = append(doc.Rows, jsonRow{Label: r.label, Values: r.values})
+	}
+	return json.Marshal(doc)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		if len(r.label) > widths[0] {
+			widths[0] = len(r.label)
+		}
+		for i, v := range r.values {
+			if i+1 < len(widths) && len(v) > widths[i+1] {
+				widths[i+1] = len(v)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else if i < len(widths) {
+				fmt.Fprintf(&b, "  %*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "  %s", c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, r := range t.rows {
+		writeRow(append([]string{r.label}, r.values...))
+	}
+	return b.String()
+}

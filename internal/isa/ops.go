@@ -1,0 +1,296 @@
+// Package isa defines the register-based mini instruction set executed by
+// the simulated GPU, a program builder with label resolution, and the
+// control-flow analysis that computes SIMT reconvergence points
+// (immediate post-dominators) for divergent branches.
+//
+// The ISA plays the role PTX plays for GPGPU-sim in the paper: it is rich
+// enough to express the twelve evaluation workloads (integer and floating
+// point arithmetic, global/shared memory, divergent control flow and
+// barriers) while keeping per-instruction semantics simple enough for a
+// cycle-level timing model.
+package isa
+
+import "fmt"
+
+// Reg names one of the per-thread general-purpose registers, R0..R63.
+// All registers hold 64-bit values; floating-point data is stored as
+// IEEE-754 bits (see Float/Int helpers on Value).
+type Reg uint8
+
+// NumRegs is the size of the per-thread register file.
+const NumRegs = 64
+
+// Convenient register aliases.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	R16
+	R17
+	R18
+	R19
+	R20
+	R21
+	R22
+	R23
+	R24
+	R25
+	R26
+	R27
+	R28
+	R29
+	R30
+	R31
+)
+
+// Op is an opcode of the mini ISA.
+type Op uint8
+
+// Opcodes. Binary operations read A and B (B may be an immediate when
+// Instr.BImm is set) and write Dst.
+const (
+	OpNop Op = iota
+
+	// Data movement.
+	OpMov   // Dst = A
+	OpMovI  // Dst = Imm
+	OpSReg  // Dst = special register selected by Imm
+	OpParam // Dst = kernel parameter Imm
+
+	// Integer arithmetic and logic.
+	OpAdd // Dst = A + B
+	OpSub // Dst = A - B
+	OpMul // Dst = A * B
+	OpMad // Dst = A*B + Dst
+	OpDiv // Dst = A / B (B==0 -> 0)
+	OpRem // Dst = A % B (B==0 -> 0)
+	OpMin // Dst = min(A, B)
+	OpMax // Dst = max(A, B)
+	OpAnd // Dst = A & B
+	OpOr  // Dst = A | B
+	OpXor // Dst = A ^ B
+	OpShl // Dst = A << B
+	OpShr // Dst = A >> B (arithmetic)
+	OpAbs // Dst = |A|
+
+	// Integer comparisons: Dst = 1 if true else 0.
+	OpSetLT
+	OpSetLE
+	OpSetEQ
+	OpSetNE
+	OpSetGT
+	OpSetGE
+
+	// Select: Dst = (Dst != 0) ? A : B. The predicate is the previous
+	// value of Dst, so a typical sequence is SetLT(Rd, x, y) followed by
+	// Sel(Rd, a, b).
+	OpSel
+
+	// Floating point (operands are IEEE-754 bit patterns).
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFMad // Dst = A*B + Dst
+	OpFDiv
+	OpFSqrt // Dst = sqrt(A)
+	OpFMin
+	OpFMax
+	OpFAbs  // Dst = |A|
+	OpFNeg  // Dst = -A
+	OpFExp  // Dst = exp(A)
+	OpFLog  // Dst = ln(A)
+	OpCvtIF // Dst = float(A as int)
+	OpCvtFI // Dst = int(trunc(A as float))
+
+	// Floating-point comparisons: Dst = 1 if true else 0.
+	OpFSetLT
+	OpFSetLE
+	OpFSetGT
+	OpFSetGE
+	OpFSetEQ
+
+	// Memory. Addresses are byte addresses; accesses are 8-byte words.
+	OpLd  // Dst = global[A + Imm]
+	OpSt  // global[A + Imm] = B
+	OpLdS // Dst = shared[A + Imm]
+	OpStS // shared[A + Imm] = B
+
+	// Control flow.
+	OpBra   // unconditional jump to Imm
+	OpCBra  // jump to Imm if A != 0
+	OpCBraZ // jump to Imm if A == 0
+	OpBar   // block-wide barrier
+	OpExit  // thread exit
+
+	opCount // sentinel
+)
+
+// SpecialReg selects the source of an OpSReg read.
+type SpecialReg int64
+
+// Special registers available to kernels.
+const (
+	SRTid    SpecialReg = iota // thread index within the block
+	SRNtid                     // block size (threads per block)
+	SRCtaid                    // block index within the grid
+	SRNctaid                   // grid size (blocks)
+	SRLane                     // lane index within the warp
+	SRWarp                     // warp index within the block
+	SRGTid                     // global thread index (Ctaid*Ntid + Tid)
+)
+
+// Class groups opcodes by the functional unit that executes them, which
+// determines issue latency in the timing model.
+type Class uint8
+
+// Functional-unit classes.
+const (
+	ClassALU  Class = iota // simple integer/logic, moves, compares
+	ClassFPU               // floating add/mul/compare/convert
+	ClassSFU               // div, rem, sqrt, exp, log
+	ClassMem               // global loads/stores
+	ClassSMem              // shared-memory accesses
+	ClassCtrl              // branches, barrier, exit
+)
+
+var opInfo = [opCount]struct {
+	name  string
+	class Class
+}{
+	OpNop:    {"nop", ClassALU},
+	OpMov:    {"mov", ClassALU},
+	OpMovI:   {"movi", ClassALU},
+	OpSReg:   {"sreg", ClassALU},
+	OpParam:  {"param", ClassALU},
+	OpAdd:    {"add", ClassALU},
+	OpSub:    {"sub", ClassALU},
+	OpMul:    {"mul", ClassALU},
+	OpMad:    {"mad", ClassALU},
+	OpDiv:    {"div", ClassSFU},
+	OpRem:    {"rem", ClassSFU},
+	OpMin:    {"min", ClassALU},
+	OpMax:    {"max", ClassALU},
+	OpAnd:    {"and", ClassALU},
+	OpOr:     {"or", ClassALU},
+	OpXor:    {"xor", ClassALU},
+	OpShl:    {"shl", ClassALU},
+	OpShr:    {"shr", ClassALU},
+	OpAbs:    {"abs", ClassALU},
+	OpSetLT:  {"set.lt", ClassALU},
+	OpSetLE:  {"set.le", ClassALU},
+	OpSetEQ:  {"set.eq", ClassALU},
+	OpSetNE:  {"set.ne", ClassALU},
+	OpSetGT:  {"set.gt", ClassALU},
+	OpSetGE:  {"set.ge", ClassALU},
+	OpSel:    {"sel", ClassALU},
+	OpFAdd:   {"fadd", ClassFPU},
+	OpFSub:   {"fsub", ClassFPU},
+	OpFMul:   {"fmul", ClassFPU},
+	OpFMad:   {"fmad", ClassFPU},
+	OpFDiv:   {"fdiv", ClassSFU},
+	OpFSqrt:  {"fsqrt", ClassSFU},
+	OpFMin:   {"fmin", ClassFPU},
+	OpFMax:   {"fmax", ClassFPU},
+	OpFAbs:   {"fabs", ClassFPU},
+	OpFNeg:   {"fneg", ClassFPU},
+	OpFExp:   {"fexp", ClassSFU},
+	OpFLog:   {"flog", ClassSFU},
+	OpCvtIF:  {"cvt.if", ClassFPU},
+	OpCvtFI:  {"cvt.fi", ClassFPU},
+	OpFSetLT: {"fset.lt", ClassFPU},
+	OpFSetLE: {"fset.le", ClassFPU},
+	OpFSetGT: {"fset.gt", ClassFPU},
+	OpFSetGE: {"fset.ge", ClassFPU},
+	OpFSetEQ: {"fset.eq", ClassFPU},
+	OpLd:     {"ld.global", ClassMem},
+	OpSt:     {"st.global", ClassMem},
+	OpLdS:    {"ld.shared", ClassSMem},
+	OpStS:    {"st.shared", ClassSMem},
+	OpBra:    {"bra", ClassCtrl},
+	OpCBra:   {"cbra", ClassCtrl},
+	OpCBraZ:  {"cbraz", ClassCtrl},
+	OpBar:    {"bar.sync", ClassCtrl},
+	OpExit:   {"exit", ClassCtrl},
+}
+
+// String returns the mnemonic of the opcode.
+func (o Op) String() string {
+	if int(o) < len(opInfo) && opInfo[o].name != "" {
+		return opInfo[o].name
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class returns the functional-unit class of the opcode.
+func (o Op) Class() Class {
+	if int(o) < len(opInfo) {
+		return opInfo[o].class
+	}
+	return ClassALU
+}
+
+// IsBranch reports whether the opcode transfers control.
+func (o Op) IsBranch() bool { return o == OpBra || o == OpCBra || o == OpCBraZ }
+
+// IsCondBranch reports whether the opcode is a conditional branch, i.e.
+// may diverge.
+func (o Op) IsCondBranch() bool { return o == OpCBra || o == OpCBraZ }
+
+// IsMem reports whether the opcode accesses global memory.
+func (o Op) IsMem() bool { return o == OpLd || o == OpSt }
+
+// IsLoad reports whether the opcode is a load (global or shared).
+func (o Op) IsLoad() bool { return o == OpLd || o == OpLdS }
+
+// IsStore reports whether the opcode is a store (global or shared).
+func (o Op) IsStore() bool { return o == OpSt || o == OpStS }
+
+// HasDst reports whether the opcode writes a destination register.
+func (o Op) HasDst() bool {
+	switch o {
+	case OpNop, OpSt, OpStS, OpBra, OpCBra, OpCBraZ, OpBar, OpExit:
+		return false
+	}
+	return true
+}
+
+// ReadsA reports whether the opcode reads source register A.
+func (o Op) ReadsA() bool {
+	switch o {
+	case OpNop, OpMovI, OpSReg, OpParam, OpBra, OpBar, OpExit:
+		return false
+	}
+	return true
+}
+
+// ReadsB reports whether the opcode reads source operand B (register or
+// immediate).
+func (o Op) ReadsB() bool {
+	switch o {
+	case OpAdd, OpSub, OpMul, OpMad, OpDiv, OpRem, OpMin, OpMax,
+		OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpSetLT, OpSetLE, OpSetEQ, OpSetNE, OpSetGT, OpSetGE, OpSel,
+		OpFAdd, OpFSub, OpFMul, OpFMad, OpFDiv, OpFMin, OpFMax,
+		OpFSetLT, OpFSetLE, OpFSetGT, OpFSetGE, OpFSetEQ,
+		OpSt, OpStS:
+		return true
+	}
+	return false
+}
+
+// ReadsDst reports whether the opcode reads its destination register as an
+// input (accumulating multiply-add and select).
+func (o Op) ReadsDst() bool { return o == OpMad || o == OpFMad || o == OpSel }

@@ -1,0 +1,152 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleAsm = `
+// simple guarded accumulate kernel
+    sreg   r0, %gtid
+    param  r1, param[1]
+    set.ge r2, r0, r1
+    cbra   r2, @done
+    movi   r3, 0
+    movi   r4, 10
+loop:
+    add    r3, r3, r0
+    sub    r4, r4, 1
+    cbra   r4, @loop
+    param  r5, param[0]
+    mul    r6, r0, 8
+    add    r5, r5, r6
+    st.global [r5+0], r3
+done:
+    exit
+`
+
+func TestParseBasics(t *testing.T) {
+	p, err := Parse("sample", sampleAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 14 {
+		t.Fatalf("parsed %d instructions", p.Len())
+	}
+	if pc, ok := p.LabelPC("loop"); !ok || p.At(8).Target() != pc {
+		t.Fatalf("loop label wiring broken")
+	}
+	// Reconvergence must be computed for the parsed conditional branches.
+	if p.At(3).Rpc == NoReconv {
+		t.Fatal("rpc not computed for parsed branch")
+	}
+}
+
+func TestParseDisasmRoundTrip(t *testing.T) {
+	b := NewBuilder("rt")
+	b.SReg(R0, SRLane)
+	b.MovI(R1, -5)
+	b.MovF(R2, 2.5)
+	b.AddI(R3, R0, 100)
+	b.Add(R4, R3, R1)
+	b.FMad(R2, R2, R2)
+	b.Ld(R5, R4, -16)
+	b.St(R4, 24, R5)
+	b.LdS(R6, R0, 0)
+	b.StS(R0, 8, R6)
+	b.SetNE(R7, R5, R6)
+	b.CBra(R7, "side")
+	b.FSqrt(R8, R2)
+	b.Bra("end")
+	b.Label("side")
+	b.CvtIF(R8, R1)
+	b.Label("end")
+	b.Bar()
+	b.Exit()
+	orig := b.MustBuild()
+
+	parsed, err := Parse("rt", orig.Disasm())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, orig.Disasm())
+	}
+	if parsed.Len() != orig.Len() {
+		t.Fatalf("length drift: %d vs %d", parsed.Len(), orig.Len())
+	}
+	for pc := 0; pc < orig.Len(); pc++ {
+		a, bIn := orig.At(int32(pc)), parsed.At(int32(pc))
+		if a.Op != bIn.Op || a.Dst != bIn.Dst || a.A != bIn.A ||
+			a.B != bIn.B || a.BImm != bIn.BImm || a.Imm != bIn.Imm || a.Rpc != bIn.Rpc {
+			t.Fatalf("pc %d drift:\n  orig   %v\n  parsed %v", pc, a, bIn)
+		}
+	}
+}
+
+func TestParseAbsoluteTargets(t *testing.T) {
+	p, err := Parse("abs", `
+    movi r1, 2
+    cbra r1, @3
+    nop
+    exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.At(1).Target() != 3 {
+		t.Fatalf("absolute target %d", p.At(1).Target())
+	}
+}
+
+func TestParseNegatedPredicate(t *testing.T) {
+	p, err := Parse("neg", `
+    movi r1, 0
+    cbra !r1, @end
+    nop
+end:
+    exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.At(1).Op != OpCBraZ {
+		t.Fatalf("negated predicate parsed as %s", p.At(1).Op)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic": "frobnicate r1, r2\nexit",
+		"bad register":     "movi r99, 1\nexit",
+		"missing operand":  "add r1, r2\nexit",
+		"bad memory":       "ld.global r1, r2\nexit",
+		"bad target":       "bra @999\nexit",
+		"bad sreg":         "sreg r1, %bogus\nexit",
+		"garbage operand":  "add r1, r2, $$$\nexit",
+	}
+	for name, src := range cases {
+		if _, err := Parse(name, src); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestParseSharedAndSpecials(t *testing.T) {
+	src := `
+    sreg r0, %lane
+    sreg r1, %warp
+    sreg r2, %ctaid
+    movf r3, 1.5
+    ld.shared r4, [r0+0]
+    st.shared [r0+8], r4
+    exit
+`
+	p := MustParse("sh", src)
+	if p.At(3).Imm != F2B(1.5) {
+		t.Fatal("movf immediate wrong")
+	}
+	if p.At(4).Op != OpLdS || p.At(5).Op != OpStS {
+		t.Fatal("shared ops wrong")
+	}
+	if !strings.Contains(p.Disasm(), "%lane") {
+		t.Fatal("disasm lost special register name")
+	}
+}

@@ -1,0 +1,78 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomProgram emits a random but well-formed program mixing every
+// operand form the disassembler can print.
+func randomProgram(rng *rand.Rand) *Program {
+	b := NewBuilder("fuzz")
+	reg := func() Reg { return Reg(rng.Intn(16)) }
+	n := 3 + rng.Intn(20)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(12) {
+		case 0:
+			b.MovI(reg(), int64(rng.Intn(1<<16))-1<<15)
+		case 1:
+			b.Add(reg(), reg(), reg())
+		case 2:
+			b.AddI(reg(), reg(), int64(rng.Intn(1000)))
+		case 3:
+			b.FMul(reg(), reg(), reg())
+		case 4:
+			b.Ld(reg(), reg(), int64(rng.Intn(64))*8-128)
+		case 5:
+			b.St(reg(), int64(rng.Intn(64))*8, reg())
+		case 6:
+			b.LdS(reg(), reg(), int64(rng.Intn(16))*8)
+		case 7:
+			b.SetLE(reg(), reg(), reg())
+		case 8:
+			b.SReg(reg(), SpecialReg(rng.Intn(7)))
+		case 9:
+			b.Param(reg(), rng.Intn(4))
+		case 10:
+			b.FSqrt(reg(), reg())
+		case 11:
+			b.Sel(reg(), reg(), reg())
+		}
+	}
+	// A forward conditional branch over a small tail.
+	lbl := b.FreshLabel("f")
+	b.CBra(reg(), lbl)
+	b.Nop()
+	b.Label(lbl)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// TestParseDisasmRoundTripProperty: Parse(Disasm(p)) must reproduce p
+// exactly, for arbitrary generated programs.
+func TestParseDisasmRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		orig := randomProgram(rng)
+		parsed, err := Parse("fuzz", orig.Disasm())
+		if err != nil {
+			t.Logf("parse error: %v\n%s", err, orig.Disasm())
+			return false
+		}
+		if parsed.Len() != orig.Len() {
+			return false
+		}
+		for pc := int32(0); pc < int32(orig.Len()); pc++ {
+			a, b := orig.At(pc), parsed.At(pc)
+			if a != b {
+				t.Logf("pc %d: %v vs %v", pc, a, b)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+// Package memory provides the flat global-memory backing store of the
+// simulated GPU: a word-addressed array with a bump allocator, used for
+// functional (value) simulation. Timing is modeled separately by
+// internal/memsys; this package only stores data.
+package memory
+
+import (
+	"fmt"
+
+	"cawa/internal/isa"
+)
+
+// WordBytes is the size of one addressable word. All ISA memory accesses
+// move one word.
+const WordBytes = 8
+
+// Base is the address of the first allocatable byte. Address 0 is kept
+// unmapped so that it can serve as a null pointer in kernels.
+const Base int64 = 4096
+
+// Memory is a flat, word-granular global memory.
+type Memory struct {
+	words []int64
+	brk   int64
+}
+
+// New creates a memory of the given capacity in bytes (rounded up to a
+// whole word).
+func New(sizeBytes int64) *Memory {
+	n := (sizeBytes + WordBytes - 1) / WordBytes
+	return &Memory{words: make([]int64, n), brk: Base}
+}
+
+// Size returns the capacity in bytes.
+func (m *Memory) Size() int64 { return int64(len(m.words)) * WordBytes }
+
+// Alloc reserves space for nWords words and returns its byte address.
+// Allocations are aligned to 128 bytes (one cache line) so that distinct
+// buffers never share a line. Alloc panics when memory is exhausted;
+// workloads size their backing store at construction.
+func (m *Memory) Alloc(nWords int) int64 {
+	const align = 128
+	addr := (m.brk + align - 1) &^ (align - 1)
+	end := addr + int64(nWords)*WordBytes
+	if end > m.Size() {
+		panic(fmt.Sprintf("memory: out of memory allocating %d words (brk %d, size %d)", nWords, m.brk, m.Size()))
+	}
+	m.brk = end
+	return addr
+}
+
+// index converts a byte address to a word index, forcing word alignment
+// the way real hardware drops low address bits.
+func (m *Memory) index(addr int64) int64 {
+	i := addr &^ (WordBytes - 1) / WordBytes
+	if i < 0 || i >= int64(len(m.words)) {
+		panic(fmt.Sprintf("memory: address %#x out of range", addr))
+	}
+	return i
+}
+
+// Load returns the word at the byte address.
+func (m *Memory) Load(addr int64) int64 { return m.words[m.index(addr)] }
+
+// Store writes the word at the byte address.
+func (m *Memory) Store(addr int64, v int64) { m.words[m.index(addr)] = v }
+
+// LoadF returns the float stored at the byte address.
+func (m *Memory) LoadF(addr int64) float64 { return isa.B2F(m.Load(addr)) }
+
+// StoreF writes a float at the byte address.
+func (m *Memory) StoreF(addr int64, f float64) { m.Store(addr, isa.F2B(f)) }
+
+// WriteWords copies vals into memory starting at addr.
+func (m *Memory) WriteWords(addr int64, vals []int64) {
+	for i, v := range vals {
+		m.Store(addr+int64(i)*WordBytes, v)
+	}
+}
+
+// WriteFloats copies float vals into memory starting at addr.
+func (m *Memory) WriteFloats(addr int64, vals []float64) {
+	for i, v := range vals {
+		m.StoreF(addr+int64(i)*WordBytes, v)
+	}
+}
+
+// ReadWords copies n words starting at addr into a new slice.
+func (m *Memory) ReadWords(addr int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = m.Load(addr + int64(i)*WordBytes)
+	}
+	return out
+}
+
+// ReadFloats copies n floats starting at addr into a new slice.
+func (m *Memory) ReadFloats(addr int64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = m.LoadF(addr + int64(i)*WordBytes)
+	}
+	return out
+}

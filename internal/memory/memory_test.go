@@ -1,0 +1,85 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAlignment(t *testing.T) {
+	m := New(1 << 16)
+	a := m.Alloc(3)
+	b := m.Alloc(1)
+	if a < Base {
+		t.Fatalf("allocation below base: %#x", a)
+	}
+	if a%128 != 0 || b%128 != 0 {
+		t.Fatalf("allocations not line-aligned: %#x %#x", a, b)
+	}
+	if b < a+3*WordBytes {
+		t.Fatal("allocations overlap")
+	}
+}
+
+func TestAllocExhaustionPanics(t *testing.T) {
+	m := New(4096 + 256)
+	m.Alloc(16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected out-of-memory panic")
+		}
+	}()
+	m.Alloc(1 << 20)
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := New(1 << 16)
+	a := m.Alloc(8)
+	m.Store(a, -42)
+	if got := m.Load(a); got != -42 {
+		t.Fatalf("load %d", got)
+	}
+	// Word-alignment forcing: low address bits are dropped.
+	m.Store(a+8, 7)
+	if got := m.Load(a + 8 + 3); got != 7 {
+		t.Fatalf("misaligned load %d", got)
+	}
+}
+
+func TestFloatsAndSlices(t *testing.T) {
+	m := New(1 << 16)
+	a := m.Alloc(4)
+	m.WriteFloats(a, []float64{1.5, -2.25, 3})
+	got := m.ReadFloats(a, 3)
+	if got[0] != 1.5 || got[1] != -2.25 || got[2] != 3 {
+		t.Fatalf("floats %v", got)
+	}
+	b := m.Alloc(4)
+	m.WriteWords(b, []int64{9, 8, 7})
+	if w := m.ReadWords(b, 3); w[0] != 9 || w[1] != 8 || w[2] != 7 {
+		t.Fatalf("words %v", w)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := New(4096 + 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Load(1 << 30)
+}
+
+// TestStoreLoadProperty: arbitrary word-aligned writes read back.
+func TestStoreLoadProperty(t *testing.T) {
+	m := New(1 << 20)
+	base := m.Alloc(1024)
+	f := func(idx uint16, v int64) bool {
+		addr := base + int64(idx%1024)*WordBytes
+		m.Store(addr, v)
+		return m.Load(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

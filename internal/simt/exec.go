@@ -1,0 +1,332 @@
+package simt
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"cawa/internal/isa"
+)
+
+// StepKind classifies what the timing model must do with an executed
+// instruction.
+type StepKind uint8
+
+// Step kinds.
+const (
+	// StepCompute is an ALU/FPU/SFU instruction: occupy the unit for the
+	// class latency.
+	StepCompute StepKind = iota
+	// StepMem is a global-memory access: coalesce and access the L1D.
+	StepMem
+	// StepSMem is a shared-memory access: fixed low latency.
+	StepSMem
+	// StepBarrier parked the warp at the block barrier.
+	StepBarrier
+	// StepExit terminated the active lanes.
+	StepExit
+)
+
+// MemAccess is one lane's memory request.
+type MemAccess struct {
+	Lane int
+	Addr int64
+}
+
+// Step reports everything the timing model and the criticality predictor
+// need to know about one executed warp instruction.
+type Step struct {
+	PC    int32
+	Instr isa.Instr
+	Kind  StepKind
+	Mask  uint64 // lanes that executed
+	Lanes int    // popcount of Mask
+
+	// Memory information (Kind==StepMem or StepSMem).
+	IsLoad   bool
+	Accesses []MemAccess
+
+	// Branch information, consumed by the criticality prediction logic
+	// (Section 3.1, Algorithm 2).
+	CondBranch bool
+	Divergent  bool   // lanes split between taken and fall-through
+	TakenMask  uint64 // lanes that took the branch
+	NextPC     int32  // PC the warp continues at (-1 when done)
+}
+
+// Exec executes the next instruction of the warp functionally and
+// returns its Step record. The caller must ensure the warp is not done
+// and not waiting at a barrier.
+func Exec(w *Warp, prog *isa.Program, ctx *ExecContext) Step {
+	w.popReconverged()
+	e := w.top()
+	pc := e.PC
+	mask := e.Mask
+	in := prog.At(pc)
+
+	st := Step{PC: pc, Instr: in, Mask: mask, Lanes: bits.OnesCount64(mask), Kind: StepCompute}
+
+	switch in.Op {
+	case isa.OpBra:
+		e.PC = in.Target()
+
+	case isa.OpCBra, isa.OpCBraZ:
+		st.CondBranch = true
+		var taken uint64
+		for lane := 0; lane < w.Size; lane++ {
+			if mask&(1<<uint(lane)) == 0 {
+				continue
+			}
+			v := w.regs[lane][in.A]
+			if (in.Op == isa.OpCBra) == (v != 0) {
+				taken |= 1 << uint(lane)
+			}
+		}
+		st.TakenMask = taken
+		switch {
+		case taken == mask:
+			e.PC = in.Target()
+		case taken == 0:
+			e.PC = pc + 1
+		default:
+			st.Divergent = true
+			rpc := in.Rpc
+			e.PC = rpc
+			w.stack = append(w.stack,
+				StackEntry{PC: pc + 1, RPC: rpc, Mask: mask &^ taken},
+				StackEntry{PC: in.Target(), RPC: rpc, Mask: taken},
+			)
+		}
+
+	case isa.OpBar:
+		st.Kind = StepBarrier
+		w.AtBarrier = true
+		e.PC = pc + 1
+
+	case isa.OpExit:
+		st.Kind = StepExit
+		w.exitLanes(mask)
+
+	case isa.OpLd, isa.OpSt:
+		st.Kind = StepMem
+		st.IsLoad = in.Op == isa.OpLd
+		st.Accesses = make([]MemAccess, 0, st.Lanes)
+		for lane := 0; lane < w.Size; lane++ {
+			if mask&(1<<uint(lane)) == 0 {
+				continue
+			}
+			addr := w.regs[lane][in.A] + in.Imm
+			st.Accesses = append(st.Accesses, MemAccess{Lane: lane, Addr: addr})
+			if st.IsLoad {
+				w.regs[lane][in.Dst] = ctx.Mem.Load(addr)
+			} else {
+				ctx.Mem.Store(addr, w.regs[lane][in.B])
+			}
+		}
+		e.PC = pc + 1
+
+	case isa.OpLdS, isa.OpStS:
+		st.Kind = StepSMem
+		st.IsLoad = in.Op == isa.OpLdS
+		st.Accesses = make([]MemAccess, 0, st.Lanes)
+		for lane := 0; lane < w.Size; lane++ {
+			if mask&(1<<uint(lane)) == 0 {
+				continue
+			}
+			addr := w.regs[lane][in.A] + in.Imm
+			idx := addr / 8
+			if idx < 0 || idx >= int64(len(ctx.Shared)) {
+				panic(fmt.Sprintf("simt: %s: shared-memory address %#x out of range (block %d, lane %d, pc %d)",
+					prog.Name, addr, ctx.BlockID, lane, pc))
+			}
+			st.Accesses = append(st.Accesses, MemAccess{Lane: lane, Addr: addr})
+			if st.IsLoad {
+				w.regs[lane][in.Dst] = ctx.Shared[idx]
+			} else {
+				ctx.Shared[idx] = w.regs[lane][in.B]
+			}
+		}
+		e.PC = pc + 1
+
+	default:
+		for lane := 0; lane < w.Size; lane++ {
+			if mask&(1<<uint(lane)) == 0 {
+				continue
+			}
+			execALU(w, lane, in, ctx)
+		}
+		e.PC = pc + 1
+	}
+
+	if w.Done() {
+		st.NextPC = -1
+	} else {
+		st.NextPC = w.PC()
+	}
+	return st
+}
+
+// execALU computes one lane's result for a non-memory, non-control
+// instruction.
+func execALU(w *Warp, lane int, in isa.Instr, ctx *ExecContext) {
+	r := &w.regs[lane]
+	a := r[in.A]
+	var b int64
+	if in.BImm {
+		b = in.Imm
+	} else {
+		b = r[in.B]
+	}
+
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpMov:
+		r[in.Dst] = a
+	case isa.OpMovI:
+		r[in.Dst] = in.Imm
+	case isa.OpSReg:
+		r[in.Dst] = specialReg(w, lane, isa.SpecialReg(in.Imm), ctx)
+	case isa.OpParam:
+		idx := int(in.Imm)
+		if idx >= len(ctx.Params) {
+			panic(fmt.Sprintf("simt: parameter index %d out of range (have %d)", idx, len(ctx.Params)))
+		}
+		r[in.Dst] = ctx.Params[idx]
+	case isa.OpAdd:
+		r[in.Dst] = a + b
+	case isa.OpSub:
+		r[in.Dst] = a - b
+	case isa.OpMul:
+		r[in.Dst] = a * b
+	case isa.OpMad:
+		r[in.Dst] = a*b + r[in.Dst]
+	case isa.OpDiv:
+		if b == 0 {
+			r[in.Dst] = 0
+		} else {
+			r[in.Dst] = a / b
+		}
+	case isa.OpRem:
+		if b == 0 {
+			r[in.Dst] = 0
+		} else {
+			r[in.Dst] = a % b
+		}
+	case isa.OpMin:
+		r[in.Dst] = min(a, b)
+	case isa.OpMax:
+		r[in.Dst] = max(a, b)
+	case isa.OpAnd:
+		r[in.Dst] = a & b
+	case isa.OpOr:
+		r[in.Dst] = a | b
+	case isa.OpXor:
+		r[in.Dst] = a ^ b
+	case isa.OpShl:
+		r[in.Dst] = a << clampShift(b)
+	case isa.OpShr:
+		r[in.Dst] = a >> clampShift(b)
+	case isa.OpAbs:
+		if a < 0 {
+			r[in.Dst] = -a
+		} else {
+			r[in.Dst] = a
+		}
+	case isa.OpSetLT:
+		r[in.Dst] = b2i(a < b)
+	case isa.OpSetLE:
+		r[in.Dst] = b2i(a <= b)
+	case isa.OpSetEQ:
+		r[in.Dst] = b2i(a == b)
+	case isa.OpSetNE:
+		r[in.Dst] = b2i(a != b)
+	case isa.OpSetGT:
+		r[in.Dst] = b2i(a > b)
+	case isa.OpSetGE:
+		r[in.Dst] = b2i(a >= b)
+	case isa.OpSel:
+		if r[in.Dst] != 0 {
+			r[in.Dst] = a
+		} else {
+			r[in.Dst] = b
+		}
+	case isa.OpFAdd:
+		r[in.Dst] = isa.F2B(isa.B2F(a) + isa.B2F(b))
+	case isa.OpFSub:
+		r[in.Dst] = isa.F2B(isa.B2F(a) - isa.B2F(b))
+	case isa.OpFMul:
+		r[in.Dst] = isa.F2B(isa.B2F(a) * isa.B2F(b))
+	case isa.OpFMad:
+		r[in.Dst] = isa.F2B(isa.B2F(a)*isa.B2F(b) + isa.B2F(r[in.Dst]))
+	case isa.OpFDiv:
+		r[in.Dst] = isa.F2B(isa.B2F(a) / isa.B2F(b))
+	case isa.OpFSqrt:
+		r[in.Dst] = isa.F2B(math.Sqrt(isa.B2F(a)))
+	case isa.OpFMin:
+		r[in.Dst] = isa.F2B(math.Min(isa.B2F(a), isa.B2F(b)))
+	case isa.OpFMax:
+		r[in.Dst] = isa.F2B(math.Max(isa.B2F(a), isa.B2F(b)))
+	case isa.OpFAbs:
+		r[in.Dst] = isa.F2B(math.Abs(isa.B2F(a)))
+	case isa.OpFNeg:
+		r[in.Dst] = isa.F2B(-isa.B2F(a))
+	case isa.OpFExp:
+		r[in.Dst] = isa.F2B(math.Exp(isa.B2F(a)))
+	case isa.OpFLog:
+		r[in.Dst] = isa.F2B(math.Log(isa.B2F(a)))
+	case isa.OpCvtIF:
+		r[in.Dst] = isa.F2B(float64(a))
+	case isa.OpCvtFI:
+		r[in.Dst] = int64(isa.B2F(a))
+	case isa.OpFSetLT:
+		r[in.Dst] = b2i(isa.B2F(a) < isa.B2F(b))
+	case isa.OpFSetLE:
+		r[in.Dst] = b2i(isa.B2F(a) <= isa.B2F(b))
+	case isa.OpFSetGT:
+		r[in.Dst] = b2i(isa.B2F(a) > isa.B2F(b))
+	case isa.OpFSetGE:
+		r[in.Dst] = b2i(isa.B2F(a) >= isa.B2F(b))
+	case isa.OpFSetEQ:
+		r[in.Dst] = b2i(isa.B2F(a) == isa.B2F(b))
+	default:
+		panic(fmt.Sprintf("simt: unimplemented opcode %s", in.Op))
+	}
+}
+
+func specialReg(w *Warp, lane int, sr isa.SpecialReg, ctx *ExecContext) int64 {
+	tid := int64(w.IndexInBlock*w.Size + lane)
+	switch sr {
+	case isa.SRTid:
+		return tid
+	case isa.SRNtid:
+		return int64(ctx.BlockDim)
+	case isa.SRCtaid:
+		return int64(ctx.BlockID)
+	case isa.SRNctaid:
+		return int64(ctx.GridDim)
+	case isa.SRLane:
+		return int64(lane)
+	case isa.SRWarp:
+		return int64(w.IndexInBlock)
+	case isa.SRGTid:
+		return int64(ctx.BlockID)*int64(ctx.BlockDim) + tid
+	}
+	panic(fmt.Sprintf("simt: unknown special register %d", int64(sr)))
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func clampShift(b int64) uint {
+	if b < 0 {
+		return 0
+	}
+	if b > 63 {
+		return 63
+	}
+	return uint(b)
+}

@@ -1,0 +1,73 @@
+// Package simt implements the functional side of SIMT execution: warps
+// with PDOM reconvergence stacks, per-thread register files, and the
+// semantics of every ISA instruction. The timing model (internal/sm)
+// drives Step and decides *when* instructions issue; this package
+// decides *what* they do.
+package simt
+
+import (
+	"errors"
+	"fmt"
+
+	"cawa/internal/isa"
+	"cawa/internal/memory"
+)
+
+// Kernel is a launchable GPU program: code plus launch geometry and
+// parameters (buffer base addresses and scalars).
+type Kernel struct {
+	// Name labels the kernel in reports.
+	Name string
+	// Program is the assembled code.
+	Program *isa.Program
+	// GridDim is the number of thread-blocks.
+	GridDim int
+	// BlockDim is the number of threads per block.
+	BlockDim int
+	// Params are the kernel arguments read by OpParam.
+	Params []int64
+	// SharedWords is the per-block shared memory requirement in words.
+	SharedWords int
+	// RegsPerThread, when positive, is enforced against the SM register
+	// file during block dispatch (occupancy limiting). Zero disables the
+	// register constraint.
+	RegsPerThread int
+}
+
+// Validate reports whether the launch geometry is usable.
+func (k *Kernel) Validate() error {
+	switch {
+	case k.Program == nil:
+		return errors.New("simt: kernel has no program")
+	case k.GridDim <= 0:
+		return fmt.Errorf("simt: kernel %s: GridDim %d must be positive", k.Name, k.GridDim)
+	case k.BlockDim <= 0:
+		return fmt.Errorf("simt: kernel %s: BlockDim %d must be positive", k.Name, k.BlockDim)
+	case k.SharedWords < 0:
+		return fmt.Errorf("simt: kernel %s: negative shared memory", k.Name)
+	}
+	return nil
+}
+
+// TotalThreads returns GridDim*BlockDim.
+func (k *Kernel) TotalThreads() int { return k.GridDim * k.BlockDim }
+
+// WarpsPerBlock returns the number of warps a block occupies for the
+// given warp size.
+func (k *Kernel) WarpsPerBlock(warpSize int) int {
+	return (k.BlockDim + warpSize - 1) / warpSize
+}
+
+// ExecContext carries the environment one warp executes against.
+type ExecContext struct {
+	// Mem is the global memory.
+	Mem *memory.Memory
+	// Shared is the owning block's shared memory.
+	Shared []int64
+	// Params are the kernel arguments.
+	Params []int64
+	// BlockID, GridDim, BlockDim describe the launch point.
+	BlockID  int
+	GridDim  int
+	BlockDim int
+}

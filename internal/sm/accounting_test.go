@@ -1,0 +1,108 @@
+package sm
+
+import (
+	"testing"
+
+	"cawa/internal/isa"
+	"cawa/internal/simt"
+)
+
+// TestStallAccountingConsistency: for every finished warp, the issue
+// cycles plus all stall categories must not exceed the warp's execution
+// time, and memory-heavy kernels must attribute most of their wait to
+// memory.
+func TestStallAccountingConsistency(t *testing.T) {
+	r := newRig(t, nil)
+	n := 2048
+	buf := r.mem.Alloc(n * 64)
+	b := isa.NewBuilder("memheavy")
+	b.SReg(isa.R0, isa.SRGTid)
+	b.MulI(isa.R1, isa.R0, 512) // scattered: one line per thread
+	b.Param(isa.R2, 0)
+	b.Add(isa.R1, isa.R1, isa.R2)
+	b.MovI(isa.R5, 8)
+	b.Label("head")
+	b.Ld(isa.R3, isa.R1, 0)
+	b.AddI(isa.R3, isa.R3, 1)
+	b.St(isa.R1, 0, isa.R3)
+	b.SubI(isa.R5, isa.R5, 1)
+	b.CBra(isa.R5, "head")
+	b.Exit()
+	k := &simt.Kernel{Name: "memheavy", Program: b.MustBuild(), GridDim: 4, BlockDim: 128,
+		Params: []int64{buf}}
+	r.sm.SetKernel(k)
+	dispatched := 0
+	for r.sm.CanAcceptBlock() && dispatched < k.GridDim {
+		r.sm.DispatchBlock(dispatched, dispatched*4, 0)
+		dispatched++
+	}
+	var now int64
+	for r.done < dispatched {
+		now++
+		r.sys.Cycle(now)
+		r.sm.Cycle(now)
+		if now > 10_000_000 {
+			t.Fatal("timeout")
+		}
+	}
+	var memTotal, execTotal int64
+	for _, w := range r.sm.Finished {
+		exec := w.ExecTime()
+		accounted := w.IssueCycles + w.SchedStall + w.MemStall + w.ALUStall +
+			w.BarrierStall + w.EmptyStall
+		if accounted > exec {
+			t.Fatalf("warp %d accounts %d cycles over %d exec", w.GID, accounted, exec)
+		}
+		if w.IssueCycles != w.Instructions {
+			t.Fatalf("warp %d issued %d cycles for %d instructions", w.GID, w.IssueCycles, w.Instructions)
+		}
+		memTotal += w.MemStall
+		execTotal += exec
+	}
+	if memShare := float64(memTotal) / float64(execTotal); memShare < 0.3 {
+		t.Fatalf("memory-bound kernel attributed only %.2f of time to memory", memShare)
+	}
+}
+
+// TestDivergenceCounted: a kernel with guaranteed lane divergence must
+// record divergent branches in the warp records.
+func TestDivergenceCounted(t *testing.T) {
+	r := newRig(t, nil)
+	b := isa.NewBuilder("div")
+	b.SReg(isa.R0, isa.SRLane)
+	b.AndI(isa.R1, isa.R0, 1)
+	b.CBra(isa.R1, "odd")
+	b.AddI(isa.R2, isa.R0, 1)
+	b.Bra("join")
+	b.Label("odd")
+	b.AddI(isa.R2, isa.R0, 2)
+	b.Label("join")
+	b.Exit()
+	k := &simt.Kernel{Name: "div", Program: b.MustBuild(), GridDim: 1, BlockDim: 32}
+	r.sm.SetKernel(k)
+	r.sm.DispatchBlock(0, 0, 0)
+	r.run(t, 1, 100000)
+	if r.sm.Finished[0].DivergentBranches != 1 {
+		t.Fatalf("divergent branches %d, want 1", r.sm.Finished[0].DivergentBranches)
+	}
+}
+
+// TestL1IColdMissesStallFetch: the very first issues pay instruction
+// cache misses; the I-cache must end up holding the program.
+func TestL1IColdMissesStallFetch(t *testing.T) {
+	r := newRig(t, nil)
+	k := countKernel(t, r.mem, 64)
+	r.sm.SetKernel(k)
+	r.sm.DispatchBlock(0, 0, 0)
+	r.run(t, 1, 100000)
+	ic := r.sm.L1I()
+	if ic.Misses == 0 {
+		t.Fatal("no instruction cache misses recorded")
+	}
+	if ic.Hits == 0 {
+		t.Fatal("no instruction cache hits recorded")
+	}
+	if ic.HitRate() < 0.9 {
+		t.Fatalf("I-cache hit rate %.2f too low for a tiny kernel", ic.HitRate())
+	}
+}

@@ -1,0 +1,405 @@
+package sm
+
+import (
+	"fmt"
+
+	"cawa/internal/cache"
+	"cawa/internal/isa"
+	"cawa/internal/memsys"
+	"cawa/internal/simt"
+)
+
+// Cycle advances the SM by one cycle. The GPU calls memsys.Cycle first,
+// so load fills for this cycle have already been delivered.
+func (m *SM) Cycle(now int64) {
+	m.cycle = now
+	m.retireWritebacks(now)
+	for u := range m.units {
+		m.issueFrom(&m.units[u], now)
+	}
+	m.accountStalls(now)
+}
+
+// retireWritebacks clears scoreboard bits whose compute results are due.
+func (m *SM) retireWritebacks(now int64) {
+	for i := range m.slots {
+		s := &m.slots[i]
+		if !s.valid || len(s.wb) == 0 {
+			continue
+		}
+		kept := s.wb[:0]
+		for _, e := range s.wb {
+			if e.time <= now {
+				s.busyALU &^= 1 << e.reg
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		s.wb = kept
+	}
+}
+
+// readiness evaluates whether slot i can issue at now and records the
+// stall classification. MSHR capacity is not checked here (it is
+// checked once at issue time); a rejected issue demotes the slot to a
+// structural memory stall for the cycle.
+func (m *SM) readiness(i int, now int64) bool {
+	s := &m.slots[i]
+	s.reason = reasonNone
+	if !s.valid || s.warp.Done() {
+		return false
+	}
+	if s.warp.AtBarrier {
+		s.reason = reasonBarrier
+		return false
+	}
+	pc := s.warp.PC()
+	if !m.fetch(pc, now) {
+		s.reason = reasonMemStruct
+		return false
+	}
+	in := m.prog.At(pc)
+	need := regMask(in)
+	if need&s.busyMem != 0 {
+		s.reason = reasonMemData
+		return false
+	}
+	if need&s.busyALU != 0 {
+		s.reason = reasonALU
+		return false
+	}
+	switch in.Op.Class() {
+	case isa.ClassMem, isa.ClassSMem:
+		if m.lsuBusyUntil > now {
+			s.reason = reasonMemStruct
+			return false
+		}
+	}
+	s.reason = reasonReady
+	s.readyCycle = now
+	return true
+}
+
+// issueFrom lets one scheduler unit pick and issue a warp. A pick whose
+// memory access cannot be accepted (MSHR full) is removed from the
+// ready set and the policy re-selects, bounding retries by the ready
+// count.
+func (m *SM) issueFrom(u *schedUnit, now int64) {
+	u.ready = u.ready[:0]
+	for _, i := range u.slots {
+		if m.readiness(i, now) {
+			u.ready = append(u.ready, i)
+		}
+	}
+	// Bound MSHR-reject retries: once the miss path is saturated,
+	// further loads this cycle will almost surely reject too, and
+	// probing them all is wasted work.
+	const maxRejects = 2
+	for rejects := 0; len(u.ready) > 0 && rejects <= maxRejects; rejects++ {
+		u.ctx.Cycle = now
+		u.ctx.Ready = u.ready
+		pick := u.policy.Select(&u.ctx)
+		if pick < 0 {
+			return
+		}
+		if m.tryIssue(pick, now) {
+			return
+		}
+		// Structural reject: reclassify and let the policy try again.
+		s := &m.slots[pick]
+		s.reason = reasonMemStruct
+		s.readyCycle = -1
+		u.ready = removeSlot(u.ready, pick)
+	}
+}
+
+func removeSlot(xs []int, v int) []int {
+	out := xs[:0]
+	for _, x := range xs {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// tryIssue executes one instruction from the warp in slot i, unless its
+// global-memory access cannot be accepted this cycle.
+func (m *SM) tryIssue(i int, now int64) bool {
+	s := &m.slots[i]
+	w := s.warp
+	blk := s.block
+
+	pc := w.PC()
+	in := m.prog.At(pc)
+	if in.Op == isa.OpLd {
+		if s.peekPC == pc && s.peekInstr == s.rec.Instructions && len(s.peekBuf) > 0 {
+			m.lineBuf = append(m.lineBuf[:0], s.peekBuf...)
+		} else {
+			m.peekLines(s, in)
+			s.peekPC = pc
+			s.peekInstr = s.rec.Instructions
+			s.peekBuf = append(s.peekBuf[:0], m.lineBuf...)
+		}
+		if !m.l1d.CanAccept(m.lineBuf) {
+			return false
+		}
+	}
+
+	stall := now - s.lastIssue - 1
+	if stall < 0 {
+		stall = 0
+	}
+	st := simt.Exec(w, m.prog, &blk.ctx)
+	s.lastIssue = now
+	s.issuedCycle = now
+	s.rec.IssueCycles++
+	s.rec.Instructions++
+	s.rec.ThreadInstrs += int64(st.Lanes)
+	m.Instructions++
+	m.ThreadInstrs += int64(st.Lanes)
+	if st.Divergent {
+		s.rec.DivergentBranches++
+	}
+	m.crit.OnIssue(i, &st, stall, now)
+
+	switch st.Kind {
+	case simt.StepCompute:
+		if st.Instr.Op.HasDst() {
+			s.busyALU |= 1 << st.Instr.Dst
+			s.wb = append(s.wb, wbEvent{time: now + m.classLatency(st.Instr.Op.Class()), reg: st.Instr.Dst})
+		}
+
+	case simt.StepSMem:
+		m.issueShared(s, &st, now)
+
+	case simt.StepMem:
+		m.issueGlobal(i, s, &st, now)
+
+	case simt.StepBarrier:
+		blk.atBarrier++
+		m.maybeReleaseBarrier(blk)
+
+	case simt.StepExit:
+		if w.Done() {
+			m.finishWarp(i, now)
+		}
+	}
+	return true
+}
+
+// issueShared models shared-memory latency and bank conflicts: the LSU
+// is occupied for one cycle per maximum bank-conflict degree across the
+// 32 banks.
+func (m *SM) issueShared(s *slot, st *simt.Step, now int64) {
+	const banks = 32
+	var bankWord [banks]int64
+	var bankCnt [banks]int
+	degree := 1
+	for _, a := range st.Accesses {
+		word := a.Addr / 8
+		b := int(word % banks)
+		if bankCnt[b] == 0 || bankWord[b] != word {
+			bankWord[b] = word
+			bankCnt[b]++
+			if bankCnt[b] > degree {
+				degree = bankCnt[b]
+			}
+		}
+	}
+	m.lsuBusyUntil = now + int64(degree)
+	if st.IsLoad {
+		s.busyALU |= 1 << st.Instr.Dst
+		s.wb = append(s.wb, wbEvent{time: now + int64(m.cfg.SharedMemLatency) + int64(degree) - 1, reg: st.Instr.Dst})
+	}
+}
+
+// peekLines fills m.lineBuf with the distinct cache lines the next
+// memory instruction of slot s will access, without executing it.
+func (m *SM) peekLines(s *slot, in isa.Instr) {
+	w := s.warp
+	mask := w.ActiveMask()
+	lineSize := int64(m.cfg.L1D.LineBytes)
+	m.lineBuf = m.lineBuf[:0]
+	for lane := 0; lane < w.Size; lane++ {
+		if mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		addr := (w.Reg(lane, in.A) + in.Imm) &^ (lineSize - 1)
+		// Fast path: consecutive lanes usually touch the same line.
+		if n := len(m.lineBuf); n > 0 && m.lineBuf[n-1] == addr {
+			continue
+		}
+		if !containsInt64(m.lineBuf, addr) {
+			m.lineBuf = append(m.lineBuf, addr)
+		}
+	}
+}
+
+func containsInt64(xs []int64, v int64) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// issueGlobal coalesces a global access into line transactions and
+// sends them to the L1D. For loads, m.lineBuf was just filled by
+// tryIssue and acceptance verified; stores recompute their lines (they
+// never reject).
+func (m *SM) issueGlobal(slotIdx int, s *slot, st *simt.Step, now int64) {
+	if !st.IsLoad {
+		lineSize := int64(m.cfg.L1D.LineBytes)
+		m.lineBuf = m.lineBuf[:0]
+		for _, a := range st.Accesses {
+			la := a.Addr &^ (lineSize - 1)
+			if !containsInt64(m.lineBuf, la) {
+				m.lineBuf = append(m.lineBuf, la)
+			}
+		}
+	}
+	m.lsuBusyUntil = now + int64(len(m.lineBuf))
+	m.MemInstrs++
+	m.MemTxns += int64(len(m.lineBuf))
+
+	critical := m.crit.IsCritical(slotIdx)
+	if st.IsLoad {
+		m.nextToken++
+		tok := m.nextToken
+		remaining := 0
+		for _, la := range m.lineBuf {
+			req := cache.Request{Addr: la, PC: st.PC, Warp: s.warp.GID, Critical: critical}
+			switch m.l1d.AccessLoad(req, tok, now) {
+			case memsys.Hit:
+			case memsys.Miss:
+				remaining++
+			case memsys.Reject:
+				panic(fmt.Sprintf("sm %d: load rejected after CanAccept (line %#x)", m.ID, la))
+			}
+		}
+		if remaining == 0 {
+			s.busyALU |= 1 << st.Instr.Dst
+			s.wb = append(s.wb, wbEvent{time: now + int64(m.cfg.L1HitLatency), reg: st.Instr.Dst})
+		} else {
+			s.busyMem |= 1 << st.Instr.Dst
+			m.tokens[tok] = &loadToken{slot: slotIdx, gen: s.gen, reg: st.Instr.Dst, remaining: remaining}
+		}
+		return
+	}
+	for _, la := range m.lineBuf {
+		req := cache.Request{Addr: la, PC: st.PC, Warp: s.warp.GID, Critical: critical, Write: true}
+		m.l1d.AccessStore(req, now)
+	}
+}
+
+// handleFill receives completed L1 miss lines and unblocks loads.
+func (m *SM) handleFill(_ int64, tokens []int64) {
+	for _, t := range tokens {
+		lt, ok := m.tokens[t]
+		if !ok {
+			continue
+		}
+		lt.remaining--
+		if lt.remaining > 0 {
+			continue
+		}
+		delete(m.tokens, t)
+		s := &m.slots[lt.slot]
+		if s.valid && s.gen == lt.gen {
+			s.busyMem &^= 1 << lt.reg
+		}
+	}
+}
+
+// maybeReleaseBarrier opens the block barrier once every live warp has
+// arrived.
+func (m *SM) maybeReleaseBarrier(blk *blockState) {
+	if blk.atBarrier < blk.live || blk.atBarrier == 0 {
+		return
+	}
+	blk.atBarrier = 0
+	for _, si := range blk.slots {
+		s := &m.slots[si]
+		if s.valid && s.block == blk {
+			s.warp.AtBarrier = false
+		}
+	}
+}
+
+// finishWarp records the warp's completion. The slot stays allocated —
+// a thread-block's resources (warp slots, registers, shared memory) are
+// only released when every warp of the block has finished. This is the
+// root of the warp criticality problem the paper studies: fast warps
+// idle at the implicit kernel-exit barrier, wasting their resources,
+// until the critical warp arrives (Section 2.2).
+func (m *SM) finishWarp(i int, now int64) {
+	s := &m.slots[i]
+	s.rec.FinishCycle = now
+	m.Finished = append(m.Finished, s.rec)
+	blk := s.block
+
+	m.units[i%len(m.units)].policy.OnWarpFinished(i)
+	m.crit.OnWarpFinished(i)
+
+	blk.live--
+	if blk.live == 0 {
+		m.retireBlock(blk, now)
+		return
+	}
+	m.maybeReleaseBarrier(blk)
+}
+
+// retireBlock frees every slot of the block and returns its resources.
+func (m *SM) retireBlock(blk *blockState, now int64) {
+	for _, i := range blk.slots {
+		s := &m.slots[i]
+		if s.block != blk {
+			continue
+		}
+		s.valid = false
+		s.gen++
+		s.warp = nil
+		s.block = nil
+		s.busyALU, s.busyMem = 0, 0
+		s.wb = nil
+	}
+	m.residentBlocks--
+	m.sharedInUse -= len(blk.shared) * 8
+	if m.kernel.RegsPerThread > 0 {
+		m.regsInUse -= m.kernel.RegsPerThread * m.kernel.BlockDim
+	}
+	if m.OnBlockDone != nil {
+		m.OnBlockDone(blk.id, now)
+	}
+}
+
+// accountStalls classifies this cycle for every resident warp that did
+// not issue (Figures 2c and 4; CPL's stall term sees the same cycles
+// via the per-issue stall delta).
+func (m *SM) accountStalls(now int64) {
+	for i := range m.slots {
+		s := &m.slots[i]
+		if !s.valid || s.issuedCycle == now || s.warp.Done() {
+			continue
+		}
+		switch {
+		case s.readyCycle == now:
+			s.rec.SchedStall++
+		case s.reason == reasonBarrier:
+			s.rec.BarrierStall++
+		case s.reason == reasonMemData || s.reason == reasonMemStruct:
+			s.rec.MemStall++
+		case s.reason == reasonALU:
+			s.rec.ALUStall++
+		default:
+			s.rec.EmptyStall++
+		}
+	}
+}
+
+// Occupancy returns resident warps over capacity (statistics).
+func (m *SM) Occupancy() float64 {
+	return float64(m.ResidentWarps()) / float64(len(m.slots))
+}

@@ -1,0 +1,108 @@
+package sm
+
+import (
+	"fmt"
+
+	"cawa/internal/simt"
+	"cawa/internal/stats"
+)
+
+// CanAcceptBlock reports whether a block of the installed kernel can be
+// dispatched right now, honoring the occupancy limits of Table 1: warp
+// slots, block slots, shared memory, and (when the kernel declares a
+// per-thread register count) the register file.
+func (m *SM) CanAcceptBlock() bool {
+	k := m.kernel
+	if k == nil {
+		return false
+	}
+	if m.residentBlocks >= m.cfg.MaxBlocksPerSM {
+		return false
+	}
+	need := k.WarpsPerBlock(m.cfg.WarpSize)
+	free := 0
+	for i := range m.slots {
+		if !m.slots[i].valid {
+			free++
+		}
+	}
+	if free < need {
+		return false
+	}
+	if m.sharedInUse+k.SharedWords*8 > m.cfg.SharedMemPerSM {
+		return false
+	}
+	if k.RegsPerThread > 0 && m.regsInUse+k.RegsPerThread*k.BlockDim > m.cfg.RegistersPerSM {
+		return false
+	}
+	return true
+}
+
+// DispatchBlock places block blockID of the installed kernel onto the
+// SM. gidBase numbers the block's warps globally. The caller must have
+// checked CanAcceptBlock.
+func (m *SM) DispatchBlock(blockID, gidBase int, now int64) {
+	k := m.kernel
+	if k == nil || !m.CanAcceptBlock() {
+		panic(fmt.Sprintf("sm %d: DispatchBlock without capacity", m.ID))
+	}
+	blk := &blockState{
+		id:     blockID,
+		shared: make([]int64, k.SharedWords),
+	}
+	blk.ctx = simt.ExecContext{
+		Mem:      m.mem,
+		Shared:   blk.shared,
+		Params:   k.Params,
+		BlockID:  blockID,
+		GridDim:  k.GridDim,
+		BlockDim: k.BlockDim,
+	}
+
+	warps := k.WarpsPerBlock(m.cfg.WarpSize)
+	progLen := int32(k.Program.Len())
+	placed := 0
+	for i := range m.slots {
+		if placed == warps {
+			break
+		}
+		s := &m.slots[i]
+		if s.valid {
+			continue
+		}
+		lanes := k.BlockDim - placed*m.cfg.WarpSize
+		if lanes > m.cfg.WarpSize {
+			lanes = m.cfg.WarpSize
+		}
+		m.ageSeq++
+		w := simt.NewWarp(gidBase+placed, blockID, placed, lanes, m.cfg.WarpSize, progLen)
+		*s = slot{
+			valid:     true,
+			gen:       s.gen + 1,
+			warp:      w,
+			block:     blk,
+			age:       m.ageSeq,
+			lastIssue: now - 1,
+			rec: stats.WarpRecord{
+				GID:           w.GID,
+				SM:            m.ID,
+				Block:         blockID + m.BlockStatsBase,
+				IndexInBlock:  placed,
+				DispatchCycle: now,
+			},
+		}
+		blk.slots = append(blk.slots, i)
+		blk.live++
+		m.units[i%len(m.units)].policy.OnWarpArrived(i)
+		m.crit.OnWarpArrived(i, w)
+		placed++
+	}
+	if placed != warps {
+		panic(fmt.Sprintf("sm %d: placed %d of %d warps", m.ID, placed, warps))
+	}
+	m.residentBlocks++
+	m.sharedInUse += k.SharedWords * 8
+	if k.RegsPerThread > 0 {
+		m.regsInUse += k.RegsPerThread * k.BlockDim
+	}
+}

@@ -1,0 +1,314 @@
+// Package sm models one streaming multiprocessor: warp slots with
+// scoreboards, dual warp schedulers, a load-store unit with a memory
+// coalescer, shared-memory bank conflicts, block barriers, and per-warp
+// stall accounting. It drives the functional model in internal/simt and
+// the memory timing model in internal/memsys.
+package sm
+
+import (
+	"fmt"
+
+	"cawa/internal/cache"
+	"cawa/internal/config"
+	"cawa/internal/isa"
+	"cawa/internal/memory"
+	"cawa/internal/memsys"
+	"cawa/internal/sched"
+	"cawa/internal/simt"
+	"cawa/internal/stats"
+)
+
+// CriticalityProvider feeds warp criticality into the scheduler context
+// and into L1D requests. The CPL logic of the paper (internal/core)
+// implements it; NullCriticality is the criticality-oblivious default.
+type CriticalityProvider interface {
+	// OnWarpArrived registers a warp occupying a slot.
+	OnWarpArrived(slot int, w *simt.Warp)
+	// OnWarpFinished unregisters the slot's warp.
+	OnWarpFinished(slot int)
+	// OnIssue observes every issued instruction along with the stall
+	// cycles since the warp's previous issue (Algorithm 3).
+	OnIssue(slot int, st *simt.Step, stallCycles, cycle int64)
+	// Criticality returns the slot's criticality estimate.
+	Criticality(slot int) float64
+	// IsCritical reports whether the slot's warp is currently predicted
+	// critical (slower than half its block peers, Section 5.2).
+	IsCritical(slot int) bool
+}
+
+// NullCriticality is a no-op provider (criticality-oblivious baseline).
+type NullCriticality struct{}
+
+// OnWarpArrived implements CriticalityProvider.
+func (NullCriticality) OnWarpArrived(int, *simt.Warp) {}
+
+// OnWarpFinished implements CriticalityProvider.
+func (NullCriticality) OnWarpFinished(int) {}
+
+// OnIssue implements CriticalityProvider.
+func (NullCriticality) OnIssue(int, *simt.Step, int64, int64) {}
+
+// Criticality implements CriticalityProvider.
+func (NullCriticality) Criticality(int) float64 { return 0 }
+
+// IsCritical implements CriticalityProvider.
+func (NullCriticality) IsCritical(int) bool { return false }
+
+type wbEvent struct {
+	time int64
+	reg  isa.Reg
+}
+
+// stallReason classifies why a warp could not issue (statistics).
+type stallReason uint8
+
+const (
+	reasonNone stallReason = iota
+	reasonBarrier
+	reasonMemData   // operand blocked on an outstanding load
+	reasonMemStruct // LSU or MSHR structural hazard
+	reasonALU       // operand blocked on an in-flight compute result
+	reasonReady     // issuable (a non-issue then means scheduler delay)
+)
+
+// slot holds one resident warp and its pipeline state.
+type slot struct {
+	valid bool
+	gen   int64 // incremented per occupancy; guards stale load tokens
+	warp  *simt.Warp
+	block *blockState
+	age   int64 // dispatch sequence, for GTO/age tie-breaks
+
+	busyALU uint64 // registers awaiting compute writeback
+	busyMem uint64 // registers awaiting load data
+	wb      []wbEvent
+
+	lastIssue int64 // cycle of the previous issue (or dispatch)
+	rec       stats.WarpRecord
+
+	reason      stallReason // last readiness classification
+	readyCycle  int64       // cycle readiness last evaluated true
+	issuedCycle int64       // cycle of the last issue
+
+	// Memoized memory-coalescing peek: valid while the warp has not
+	// issued since it was computed (registers cannot change underneath).
+	peekPC    int32
+	peekInstr int64
+	peekBuf   []int64
+}
+
+type blockState struct {
+	id        int // grid-wide block id
+	shared    []int64
+	ctx       simt.ExecContext
+	live      int // resident warps not yet finished
+	atBarrier int
+	slots     []int
+}
+
+type loadToken struct {
+	slot      int
+	gen       int64
+	reg       isa.Reg
+	remaining int
+}
+
+type schedUnit struct {
+	policy sched.Policy
+	slots  []int // slot indices owned by this scheduler
+	ready  []int // per-cycle scratch, reused
+	ctx    sched.Context
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	ID  int
+	cfg config.Config
+
+	mem    *memory.Memory
+	l1d    *memsys.L1D
+	l1i    *cache.Cache // instruction cache (tag state only)
+	icBusy int64        // cycle until which an I-miss blocks fetch
+	crit   CriticalityProvider
+	units  []schedUnit
+	slots  []slot
+	kernel *simt.Kernel
+	prog   *isa.Program
+
+	cycle        int64
+	lsuBusyUntil int64
+	tokens       map[int64]*loadToken
+	nextToken    int64
+	ageSeq       int64
+	lineBuf      []int64 // scratch for memory-coalescing peeks
+
+	residentBlocks int
+	sharedInUse    int
+	regsInUse      int
+
+	// Finished accumulates warp records; the GPU drains it.
+	Finished []stats.WarpRecord
+
+	// BlockStatsBase offsets grid-local block ids in warp records so
+	// blocks stay unique across kernel launches (set by the GPU).
+	BlockStatsBase int
+
+	// Counters.
+	Instructions int64
+	ThreadInstrs int64
+	MemInstrs    int64 // global-memory instructions issued
+	MemTxns      int64 // coalesced line transactions generated
+
+	// OnBlockDone, when set, is invoked when a block retires.
+	OnBlockDone func(blockID int, cycle int64)
+}
+
+// Options configures SM construction.
+type Options struct {
+	ID            int
+	Config        config.Config
+	Memory        *memory.Memory
+	MemSys        *memsys.System
+	PolicyFactory sched.Factory
+	L1Policy      cache.Policy
+	Criticality   CriticalityProvider
+}
+
+// New builds an SM, creating its L1D in the shared memory system.
+func New(opt Options) *SM {
+	if opt.PolicyFactory == nil {
+		opt.PolicyFactory = func() sched.Policy { return sched.NewLRR() }
+	}
+	if opt.L1Policy == nil {
+		opt.L1Policy = cache.LRU{}
+	}
+	if opt.Criticality == nil {
+		opt.Criticality = NullCriticality{}
+	}
+	m := &SM{
+		ID:     opt.ID,
+		cfg:    opt.Config,
+		mem:    opt.Memory,
+		crit:   opt.Criticality,
+		slots:  make([]slot, opt.Config.MaxWarpsPerSM),
+		tokens: make(map[int64]*loadToken),
+	}
+	m.l1d = opt.MemSys.NewL1D(opt.L1Policy, m.handleFill)
+	m.l1i = cache.New(opt.Config.L1I, cache.LRU{})
+	m.units = make([]schedUnit, opt.Config.SchedulersPerSM)
+	for i := range m.units {
+		m.units[i].policy = opt.PolicyFactory()
+		m.units[i].ctx = sched.Context{
+			Age:         func(s int) int64 { return m.slots[s].age },
+			Criticality: func(s int) float64 { return m.crit.Criticality(s) },
+			WaitingMem: func(s int) bool {
+				r := m.slots[s].reason
+				return r == reasonMemData || r == reasonMemStruct || r == reasonBarrier
+			},
+		}
+	}
+	for s := range m.slots {
+		u := s % len(m.units)
+		m.units[u].slots = append(m.units[u].slots, s)
+	}
+	return m
+}
+
+// L1D exposes the SM's data cache.
+func (m *SM) L1D() *memsys.L1D { return m.l1d }
+
+// L1I exposes the SM's instruction cache (statistics).
+func (m *SM) L1I() *cache.Cache { return m.l1i }
+
+// instrBytes approximates the encoded size of one instruction in the
+// instruction stream, for L1I footprint modeling (PTX-era encodings are
+// 8 bytes).
+const instrBytes = 8
+
+// fetch models the instruction cache: a hit is free (fetch is ahead of
+// issue); a miss blocks the warp and occupies the fetch path while the
+// line streams in from the (always-hitting) L2.
+func (m *SM) fetch(pc int32, now int64) bool {
+	if m.icBusy > now {
+		return false
+	}
+	addr := int64(pc) * instrBytes
+	if m.l1i.Access(cache.Request{Addr: addr}) {
+		return true
+	}
+	m.l1i.Fill(cache.Request{Addr: addr})
+	m.icBusy = now + int64(m.cfg.L2Latency)/4
+	return false
+}
+
+// Crit exposes the criticality provider (sampling for Figure 12).
+func (m *SM) Crit() CriticalityProvider { return m.crit }
+
+// Policies returns the scheduler policies (tests).
+func (m *SM) Policies() []sched.Policy {
+	out := make([]sched.Policy, len(m.units))
+	for i := range m.units {
+		out[i] = m.units[i].policy
+	}
+	return out
+}
+
+// SetKernel installs the kernel to execute. Any resident blocks must
+// have retired.
+func (m *SM) SetKernel(k *simt.Kernel) {
+	if m.residentBlocks != 0 {
+		panic(fmt.Sprintf("sm %d: SetKernel with %d resident blocks", m.ID, m.residentBlocks))
+	}
+	m.kernel = k
+	m.prog = k.Program
+}
+
+// Idle reports whether no warps are resident.
+func (m *SM) Idle() bool { return m.residentBlocks == 0 }
+
+// ResidentWarps returns the number of live warps (tests, occupancy
+// statistics).
+func (m *SM) ResidentWarps() int {
+	n := 0
+	for i := range m.slots {
+		if m.slots[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Slot gives providers access to a slot's warp (nil when free).
+func (m *SM) Slot(i int) *simt.Warp {
+	if !m.slots[i].valid {
+		return nil
+	}
+	return m.slots[i].warp
+}
+
+// regMask returns the scoreboard bits instruction in reads or writes.
+func regMask(in isa.Instr) uint64 {
+	var mask uint64
+	if in.Op.HasDst() || in.Op.ReadsDst() {
+		mask |= 1 << in.Dst
+	}
+	if in.Op.ReadsA() {
+		mask |= 1 << in.A
+	}
+	if in.Op.ReadsB() && !in.BImm {
+		mask |= 1 << in.B
+	}
+	return mask
+}
+
+// classLatency maps a functional-unit class to its latency.
+func (m *SM) classLatency(c isa.Class) int64 {
+	switch c {
+	case isa.ClassFPU:
+		return int64(m.cfg.FPULatency)
+	case isa.ClassSFU:
+		return int64(m.cfg.SFULatency)
+	default:
+		return int64(m.cfg.ALULatency)
+	}
+}

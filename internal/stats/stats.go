@@ -1,0 +1,228 @@
+// Package stats collects and aggregates the measurements the paper
+// reports: IPC, L1D MPKI, per-warp execution times and their disparity,
+// stall-cycle breakdowns, and per-warp cache hit rates.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// WarpRecord is the lifetime record of one warp.
+type WarpRecord struct {
+	GID          int // global warp id, unique within a launch sequence
+	SM           int
+	Block        int // grid-wide block id
+	IndexInBlock int
+
+	DispatchCycle int64
+	FinishCycle   int64
+
+	// Instructions is the number of warp-instructions committed.
+	Instructions int64
+	// ThreadInstrs weighs each instruction by its active lane count.
+	ThreadInstrs int64
+
+	// Cycle breakdown while resident (sums to residency minus issue
+	// cycles).
+	IssueCycles   int64 // cycles this warp issued an instruction
+	SchedStall    int64 // ready but not selected by the scheduler
+	MemStall      int64 // blocked on global memory (data or structural)
+	ALUStall      int64 // blocked on an in-flight compute result
+	BarrierStall  int64 // parked at a block barrier
+	EmptyStall    int64 // other (e.g. finished lanes awaiting block end)
+	DivergentBranches int64
+}
+
+// ExecTime returns the warp's execution time in cycles.
+func (w *WarpRecord) ExecTime() int64 { return w.FinishCycle - w.DispatchCycle }
+
+// MemShare returns the fraction of the warp's execution time spent
+// blocked on the memory subsystem (Figure 2c).
+func (w *WarpRecord) MemShare() float64 {
+	t := w.ExecTime()
+	if t <= 0 {
+		return 0
+	}
+	return float64(w.MemStall) / float64(t)
+}
+
+// Launch aggregates one kernel launch (or a whole multi-launch run).
+type Launch struct {
+	Kernel string
+	Cycles int64
+
+	// Instruction totals.
+	Instructions int64 // warp-level
+	ThreadInstrs int64
+
+	// L1D totals across SMs.
+	L1DAccesses uint64
+	L1DMisses   uint64
+
+	// L2 totals.
+	L2Accesses uint64
+	L2Misses   uint64
+
+	// Coalescing: global-memory instructions and the line transactions
+	// they generated (1 transaction per instruction = perfectly
+	// coalesced; up to warp-size transactions when fully scattered).
+	MemInstrs int64
+	MemTxns   int64
+
+	Warps []WarpRecord
+}
+
+// CoalescingFactor returns average transactions per global-memory
+// instruction (lower is better; 1.0 is perfect).
+func (l *Launch) CoalescingFactor() float64 {
+	if l.MemInstrs == 0 {
+		return 0
+	}
+	return float64(l.MemTxns) / float64(l.MemInstrs)
+}
+
+// IPC returns thread-instructions per cycle across the whole GPU.
+func (l *Launch) IPC() float64 {
+	if l.Cycles == 0 {
+		return 0
+	}
+	return float64(l.ThreadInstrs) / float64(l.Cycles)
+}
+
+// MPKI returns L1D misses per thousand warp instructions.
+func (l *Launch) MPKI() float64 {
+	if l.Instructions == 0 {
+		return 0
+	}
+	return float64(l.L1DMisses) / float64(l.Instructions) * 1000
+}
+
+// L1DMissRate returns misses/accesses.
+func (l *Launch) L1DMissRate() float64 {
+	if l.L1DAccesses == 0 {
+		return 0
+	}
+	return float64(l.L1DMisses) / float64(l.L1DAccesses)
+}
+
+// BlockGroup returns warp records grouped by grid-wide block id.
+func (l *Launch) BlockGroup() map[int][]WarpRecord {
+	g := make(map[int][]WarpRecord)
+	for _, w := range l.Warps {
+		g[w.Block] = append(g[w.Block], w)
+	}
+	return g
+}
+
+// BlockDisparity returns the execution-time disparity of one block's
+// warps: (slowest - fastest) / slowest. Blocks with fewer than two warps
+// have zero disparity.
+func BlockDisparity(warps []WarpRecord) float64 {
+	if len(warps) < 2 {
+		return 0
+	}
+	minT, maxT := warps[0].ExecTime(), warps[0].ExecTime()
+	for _, w := range warps[1:] {
+		t := w.ExecTime()
+		if t < minT {
+			minT = t
+		}
+		if t > maxT {
+			maxT = t
+		}
+	}
+	if maxT == 0 {
+		return 0
+	}
+	return float64(maxT-minT) / float64(maxT)
+}
+
+// MaxDisparity returns the highest per-block warp execution time
+// disparity across all blocks (Figure 1), considering only blocks with
+// at least minWarps warps.
+func (l *Launch) MaxDisparity(minWarps int) float64 {
+	best := 0.0
+	for _, ws := range l.BlockGroup() {
+		if len(ws) < minWarps {
+			continue
+		}
+		if d := BlockDisparity(ws); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// MeanDisparity returns the average per-block disparity.
+func (l *Launch) MeanDisparity(minWarps int) float64 {
+	sum, n := 0.0, 0
+	for _, ws := range l.BlockGroup() {
+		if len(ws) < minWarps {
+			continue
+		}
+		sum += BlockDisparity(ws)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// CriticalWarp returns the slowest warp of a block (the critical warp by
+// the paper's post-hoc definition).
+func CriticalWarp(warps []WarpRecord) WarpRecord {
+	best := warps[0]
+	for _, w := range warps[1:] {
+		if w.ExecTime() > best.ExecTime() {
+			best = w
+		}
+	}
+	return best
+}
+
+// SortedByExecTime returns the warps ordered fastest-first (Figure 2).
+func SortedByExecTime(warps []WarpRecord) []WarpRecord {
+	out := append([]WarpRecord(nil), warps...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ExecTime() < out[j].ExecTime() })
+	return out
+}
+
+// Merge accumulates another launch's totals into l (multi-launch
+// kernels such as bfs iterate; figures report whole-application numbers).
+func (l *Launch) Merge(o *Launch) {
+	l.Cycles += o.Cycles
+	l.Instructions += o.Instructions
+	l.ThreadInstrs += o.ThreadInstrs
+	l.L1DAccesses += o.L1DAccesses
+	l.L1DMisses += o.L1DMisses
+	l.L2Accesses += o.L2Accesses
+	l.L2Misses += o.L2Misses
+	l.MemInstrs += o.MemInstrs
+	l.MemTxns += o.MemTxns
+	l.Warps = append(l.Warps, o.Warps...)
+}
+
+// GeoMean returns the geometric mean of xs; zero and negative values are
+// skipped (matching how speedup summaries treat missing data).
+func GeoMean(xs []float64) float64 {
+	logSum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// String summarizes the launch.
+func (l *Launch) String() string {
+	return fmt.Sprintf("%s: cycles=%d ipc=%.2f warp-instrs=%d mpki=%.2f warps=%d",
+		l.Kernel, l.Cycles, l.IPC(), l.Instructions, l.MPKI(), len(l.Warps))
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func rec(gid, block int, start, end, mem int64) WarpRecord {
+	return WarpRecord{GID: gid, Block: block, DispatchCycle: start, FinishCycle: end, MemStall: mem}
+}
+
+func TestWarpRecordDerived(t *testing.T) {
+	w := rec(1, 0, 100, 300, 50)
+	if w.ExecTime() != 200 {
+		t.Fatalf("exec time %d", w.ExecTime())
+	}
+	if got := w.MemShare(); got != 0.25 {
+		t.Fatalf("mem share %v", got)
+	}
+	zero := WarpRecord{}
+	if zero.MemShare() != 0 {
+		t.Fatal("zero-duration mem share")
+	}
+}
+
+func TestBlockDisparity(t *testing.T) {
+	warps := []WarpRecord{
+		rec(0, 0, 0, 100, 0),
+		rec(1, 0, 0, 150, 0),
+		rec(2, 0, 0, 200, 0),
+	}
+	if got := BlockDisparity(warps); got != 0.5 {
+		t.Fatalf("disparity %v, want 0.5", got)
+	}
+	if BlockDisparity(warps[:1]) != 0 {
+		t.Fatal("single-warp disparity must be 0")
+	}
+}
+
+func TestLaunchAggregates(t *testing.T) {
+	l := &Launch{
+		Kernel:       "x",
+		Cycles:       1000,
+		Instructions: 2000,
+		ThreadInstrs: 50000,
+		L1DAccesses:  400,
+		L1DMisses:    100,
+		Warps: []WarpRecord{
+			rec(0, 0, 0, 100, 0), rec(1, 0, 0, 200, 0),
+			rec(2, 1, 50, 100, 0), rec(3, 1, 50, 80, 0),
+		},
+	}
+	if got := l.IPC(); got != 50 {
+		t.Fatalf("IPC %v", got)
+	}
+	if got := l.MPKI(); got != 50 {
+		t.Fatalf("MPKI %v", got)
+	}
+	if got := l.L1DMissRate(); got != 0.25 {
+		t.Fatalf("miss rate %v", got)
+	}
+	groups := l.BlockGroup()
+	if len(groups) != 2 || len(groups[0]) != 2 {
+		t.Fatalf("groups %v", groups)
+	}
+	// Block 0 disparity: (200-100)/200 = 0.5; block 1: (50-30)/50 = 0.4.
+	if got := l.MaxDisparity(2); got != 0.5 {
+		t.Fatalf("max disparity %v", got)
+	}
+	if got := l.MeanDisparity(2); math.Abs(got-0.45) > 1e-9 {
+		t.Fatalf("mean disparity %v", got)
+	}
+	cw := CriticalWarp(groups[0])
+	if cw.GID != 1 {
+		t.Fatalf("critical warp %d", cw.GID)
+	}
+	sorted := SortedByExecTime(groups[1])
+	if sorted[0].GID != 3 || sorted[1].GID != 2 {
+		t.Fatalf("sorted %v", sorted)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Launch{Cycles: 10, Instructions: 5, ThreadInstrs: 100, L1DAccesses: 4, L1DMisses: 2,
+		Warps: []WarpRecord{rec(0, 0, 0, 10, 0)}}
+	b := &Launch{Cycles: 20, Instructions: 10, ThreadInstrs: 300, L1DAccesses: 6, L1DMisses: 1,
+		Warps: []WarpRecord{rec(1, 1, 0, 20, 0)}}
+	a.Merge(b)
+	if a.Cycles != 30 || a.Instructions != 15 || a.ThreadInstrs != 400 ||
+		a.L1DAccesses != 10 || a.L1DMisses != 3 || len(a.Warps) != 2 {
+		t.Fatalf("merged %+v", a)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); got != 4 {
+		t.Fatalf("geomean %v", got)
+	}
+	if got := GeoMean([]float64{1, 0, -5}); got != 1 {
+		t.Fatalf("geomean with skips %v", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+}
+
+// Property: disparity is scale invariant and in [0,1).
+func TestDisparityProperties(t *testing.T) {
+	f := func(times []uint32) bool {
+		if len(times) < 2 {
+			return true
+		}
+		var warps, scaled []WarpRecord
+		for i, tt := range times {
+			d := int64(tt%100000) + 1
+			warps = append(warps, rec(i, 0, 0, d, 0))
+			scaled = append(scaled, rec(i, 0, 0, d*3, 0))
+		}
+		d1, d2 := BlockDisparity(warps), BlockDisparity(scaled)
+		return d1 >= 0 && d1 < 1 && math.Abs(d1-d2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,245 @@
+package workloads
+
+import (
+	"fmt"
+
+	"cawa/internal/isa"
+	"cawa/internal/memory"
+	"cawa/internal/simt"
+)
+
+func init() {
+	register("bfs", true, func(p Params) Workload { return newBFS(p, false) })
+	register("bfs-balanced", true, func(p Params) Workload { return newBFS(p, true) })
+}
+
+// bfs ports the Rodinia breadth-first search (Algorithm 1 of the
+// paper): an iterative frontier expansion with two kernels per level.
+// The default graph has skewed degrees (10% hub nodes), producing the
+// workload imbalance of Section 2.2.1. The bfs-balanced variant builds
+// a complete binary tree, isolating diverging-branch-induced disparity
+// (Section 2.2.2, Figure 2b).
+//
+// Paper input: 65536 nodes. Default here: 32768 nodes (scale 2 restores
+// the paper's size).
+type bfs struct {
+	base
+	n     int
+	rowA  int64 // CSR row offsets, n+1 entries
+	edgeA int64
+	maskA int64 // frontier mask
+	updA  int64 // updating mask
+	visA  int64
+	costA int64
+	overA int64
+
+	k1, k2 *simt.Kernel
+	stage  int
+	iter   int
+	maxIt  int
+
+	rows  []int
+	edges []int
+}
+
+const bfsBlockDim = 512 // 16 warps per block, as in the paper's Figure 12
+
+func newBFS(p Params, balanced bool) *bfs {
+	n := p.scaled(32768)
+	rng := p.rng()
+
+	// Build the graph in CSR form.
+	var adj [][]int
+	if balanced {
+		// Complete binary tree: every node has exactly two children.
+		adj = make([][]int, n)
+		for i := 0; i < n; i++ {
+			for c := 2*i + 1; c <= 2*i+2 && c < n; c++ {
+				adj[i] = append(adj[i], c)
+			}
+		}
+	} else {
+		adj = make([][]int, n)
+		for i := 0; i < n; i++ {
+			deg := 1 + rng.Intn(3)
+			if rng.Intn(10) == 0 {
+				deg = 16 + rng.Intn(48) // hub node
+			}
+			for d := 0; d < deg; d++ {
+				adj[i] = append(adj[i], rng.Intn(n))
+			}
+		}
+		// Backbone chain keeps every node reachable from the source.
+		for i := 0; i+1 < n; i++ {
+			adj[i] = append(adj[i], i+1)
+		}
+	}
+
+	rows := make([]int, n+1)
+	var edges []int
+	for i, nb := range adj {
+		rows[i] = len(edges)
+		edges = append(edges, nb...)
+		_ = i
+	}
+	rows[n] = len(edges)
+
+	memBytes := int64(n*6+len(edges)+64) * 8 * 2
+	w := &bfs{
+		base:  base{name: name(balanced), sensitive: true, mem: memory.New(memBytes + 1<<20)},
+		n:     n,
+		rows:  rows,
+		edges: edges,
+		maxIt: 4 * n,
+	}
+	m := w.mem
+	w.rowA = m.Alloc(n + 1)
+	w.edgeA = m.Alloc(maxInt(len(edges), 1))
+	w.maskA = m.Alloc(n)
+	w.updA = m.Alloc(n)
+	w.visA = m.Alloc(n)
+	w.costA = m.Alloc(n)
+	w.overA = m.Alloc(1)
+
+	for i, r := range rows {
+		m.Store(w.rowA+int64(i)*8, int64(r))
+	}
+	for i, e := range edges {
+		m.Store(w.edgeA+int64(i)*8, int64(e))
+	}
+	m.Store(w.maskA, 1) // source node 0 in frontier
+	m.Store(w.visA, 1)
+
+	grid := (n + bfsBlockDim - 1) / bfsBlockDim
+	w.k1 = mustKernel("bfs_k1", bfsKernel1(), grid, bfsBlockDim,
+		[]int64{w.rowA, w.edgeA, w.maskA, w.updA, w.visA, w.costA, int64(n)}, 0)
+	w.k2 = mustKernel("bfs_k2", bfsKernel2(), grid, bfsBlockDim,
+		[]int64{w.maskA, w.updA, w.visA, w.overA, int64(n)}, 0)
+	return w
+}
+
+func name(balanced bool) string {
+	if balanced {
+		return "bfs-balanced"
+	}
+	return "bfs"
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// bfsKernel1 expands the frontier: for every masked node, visit its
+// neighbours, setting their cost and updating mask (Algorithm 1).
+func bfsKernel1() *isa.Builder {
+	b := isa.NewBuilder("bfs_k1")
+	b.SReg(isa.R0, isa.SRGTid)
+	b.Param(isa.R1, 6) // n
+	guardRange(b, isa.R0, isa.R1, isa.R2)
+	b.Param(isa.R3, 2) // graph mask
+	ldElem(b, isa.R4, isa.R3, isa.R0, isa.R5)
+	b.CBraZ(isa.R4, "exit") // not in frontier
+	b.MovI(isa.R6, 0)
+	stElem(b, isa.R3, isa.R0, isa.R6, isa.R5) // mask[tid] = 0
+	b.Param(isa.R7, 0)                        // row offsets
+	ldElem(b, isa.R8, isa.R7, isa.R0, isa.R5) // i = rows[tid]
+	b.AddI(isa.R10, isa.R0, 1)
+	ldElem(b, isa.R9, isa.R7, isa.R10, isa.R5) // end = rows[tid+1]
+	b.Param(isa.R12, 5)                        // cost
+	ldElem(b, isa.R11, isa.R12, isa.R0, isa.R5)
+	b.AddI(isa.R11, isa.R11, 1) // my cost + 1
+	b.Param(isa.R13, 1)         // edges
+	b.Param(isa.R14, 4)         // visited
+	b.Param(isa.R15, 3)         // updating mask
+	b.MovI(isa.R18, 1)
+	b.Label("loop")
+	b.SetGE(isa.R2, isa.R8, isa.R9)
+	b.CBra(isa.R2, "exit")
+	ldElem(b, isa.R16, isa.R13, isa.R8, isa.R5) // id = edges[i]
+	ldElem(b, isa.R17, isa.R14, isa.R16, isa.R5)
+	b.CBra(isa.R17, "skip") // already visited: non-child node
+	stElem(b, isa.R12, isa.R16, isa.R11, isa.R5) // cost[id] = cost[tid]+1
+	stElem(b, isa.R15, isa.R16, isa.R18, isa.R5) // updating[id] = 1
+	b.Label("skip")
+	b.AddI(isa.R8, isa.R8, 1)
+	b.Bra("loop")
+	b.Label("exit")
+	b.Exit()
+	return b
+}
+
+// bfsKernel2 promotes updated nodes into the next frontier and raises
+// the continuation flag.
+func bfsKernel2() *isa.Builder {
+	b := isa.NewBuilder("bfs_k2")
+	b.SReg(isa.R0, isa.SRGTid)
+	b.Param(isa.R1, 4) // n
+	guardRange(b, isa.R0, isa.R1, isa.R2)
+	b.Param(isa.R3, 1) // updating mask
+	ldElem(b, isa.R4, isa.R3, isa.R0, isa.R5)
+	b.CBraZ(isa.R4, "exit")
+	b.MovI(isa.R6, 1)
+	b.Param(isa.R7, 0) // graph mask
+	stElem(b, isa.R7, isa.R0, isa.R6, isa.R5)
+	b.Param(isa.R8, 2) // visited
+	stElem(b, isa.R8, isa.R0, isa.R6, isa.R5)
+	b.Param(isa.R9, 3) // over flag
+	b.St(isa.R9, 0, isa.R6)
+	b.MovI(isa.R10, 0)
+	stElem(b, isa.R3, isa.R0, isa.R10, isa.R5)
+	b.Label("exit")
+	b.Exit()
+	return b
+}
+
+// Next implements Workload: k1, k2, then repeat while the over flag was
+// raised.
+func (w *bfs) Next() (*simt.Kernel, bool) {
+	if w.iter >= w.maxIt {
+		return nil, false
+	}
+	if w.stage == 0 {
+		if w.iter > 0 && w.mem.Load(w.overA) == 0 {
+			return nil, false
+		}
+		w.mem.Store(w.overA, 0)
+		w.stage = 1
+		return w.k1, true
+	}
+	w.stage = 0
+	w.iter++
+	return w.k2, true
+}
+
+// Verify implements Workload: simulated costs must equal BFS levels.
+func (w *bfs) Verify() error {
+	dist := make([]int, w.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[0] = 0
+	queue := []int{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range w.edges[w.rows[u]:w.rows[u+1]] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	for i := 0; i < w.n; i++ {
+		want := int64(dist[i])
+		if dist[i] < 0 {
+			want = 0 // unreached nodes keep their initial cost
+		}
+		if got := w.mem.Load(w.costA + int64(i)*8); got != want {
+			return fmt.Errorf("bfs: cost[%d] = %d, want %d", i, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"cawa/internal/isa"
+	"cawa/internal/memory"
+	"cawa/internal/simt"
+)
+
+func init() {
+	register("b+tree", true, func(p Params) Workload { return newBTree(p) })
+}
+
+// btreeOrder is the fan-out of the serialized B+ tree (keys per node).
+const btreeOrder = 8
+
+// Serialized node layout, in words:
+//
+//	[0] nKeys   [1] isLeaf
+//	[2 .. 2+ORDER)           keys
+//	[2+ORDER .. 3+2*ORDER)   children (byte addresses) or values in leaves
+const (
+	btreeKeysOff  = 2 * 8 // byte offset of keys
+	btreeChildOff = (2 + btreeOrder) * 8
+	btreeNodeWords = 2 + btreeOrder + btreeOrder + 1
+)
+
+// btree ports the Rodinia b+tree search kernel: every thread walks the
+// tree root-to-leaf for one query key — data-dependent pointer chasing
+// with divergent key-scan loops.
+//
+// Paper input: 1M nodes. Default here: 65536 keys, 32768 queries.
+type btree struct {
+	base
+	keys    []int64
+	queries []int64
+	rootA   int64
+	resA    int64
+	kern    *simt.Kernel
+	done    bool
+}
+
+type buildNode struct {
+	leaf     bool
+	keys     []int64
+	children []*buildNode
+	values   []int64
+	addr     int64
+}
+
+func newBTree(p Params) *btree {
+	nKeys := p.scaled(65536)
+	nQueries := p.scaled(32768)
+	rng := p.rng()
+
+	keySet := make(map[int64]bool, nKeys)
+	for len(keySet) < nKeys {
+		keySet[int64(rng.Intn(nKeys * 8))] = true
+	}
+	keys := make([]int64, 0, nKeys)
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	queries := make([]int64, nQueries)
+	for i := range queries {
+		if rng.Intn(4) == 0 {
+			queries[i] = int64(rng.Intn(nKeys * 8)) // possibly absent
+		} else {
+			queries[i] = keys[rng.Intn(len(keys))]
+		}
+	}
+
+	w := &btree{
+		base:    base{name: "b+tree", sensitive: true, mem: memory.New(int64(nKeys*16+nQueries*4)*8 + 1<<21)},
+		keys:    keys,
+		queries: queries,
+	}
+
+	root := buildBPlusTree(keys)
+	w.rootA = w.serialize(root)
+
+	m := w.mem
+	qA := m.Alloc(nQueries)
+	w.resA = m.Alloc(nQueries)
+	m.WriteWords(qA, queries)
+
+	const blockDim = 256
+	grid := (nQueries + blockDim - 1) / blockDim
+	w.kern = mustKernel("btree_search", btreeKernel(), grid, blockDim,
+		[]int64{w.resA, qA, w.rootA, int64(nQueries)}, 0)
+	return w
+}
+
+// buildBPlusTree bulk-loads a B+ tree from sorted keys.
+func buildBPlusTree(keys []int64) *buildNode {
+	var level []*buildNode
+	for i := 0; i < len(keys); i += btreeOrder {
+		end := i + btreeOrder
+		if end > len(keys) {
+			end = len(keys)
+		}
+		n := &buildNode{leaf: true, keys: append([]int64(nil), keys[i:end]...)}
+		for _, k := range n.keys {
+			n.values = append(n.values, k*3+1)
+		}
+		level = append(level, n)
+	}
+	if len(level) == 0 {
+		level = []*buildNode{{leaf: true}}
+	}
+	for len(level) > 1 {
+		var next []*buildNode
+		for i := 0; i < len(level); i += btreeOrder + 1 {
+			end := i + btreeOrder + 1
+			if end > len(level) {
+				end = len(level)
+			}
+			n := &buildNode{children: level[i:end:end]}
+			for _, c := range n.children[1:] {
+				n.keys = append(n.keys, leftmostKey(c))
+			}
+			next = append(next, n)
+		}
+		level = next
+	}
+	return level[0]
+}
+
+func leftmostKey(n *buildNode) int64 {
+	for !n.leaf {
+		n = n.children[0]
+	}
+	return n.keys[0]
+}
+
+// serialize lays the tree out in workload memory, returning the root's
+// byte address.
+func (w *btree) serialize(root *buildNode) int64 {
+	// Allocate breadth-first so siblings are contiguous.
+	queue := []*buildNode{root}
+	for qi := 0; qi < len(queue); qi++ {
+		n := queue[qi]
+		n.addr = w.mem.Alloc(btreeNodeWords)
+		queue = append(queue, n.children...)
+	}
+	for _, n := range queue {
+		m := w.mem
+		m.Store(n.addr, int64(len(n.keys)))
+		leaf := int64(0)
+		if n.leaf {
+			leaf = 1
+		}
+		m.Store(n.addr+8, leaf)
+		for i, k := range n.keys {
+			m.Store(n.addr+btreeKeysOff+int64(i)*8, k)
+		}
+		if n.leaf {
+			for i, v := range n.values {
+				m.Store(n.addr+btreeChildOff+int64(i)*8, v)
+			}
+		} else {
+			for i, c := range n.children {
+				m.Store(n.addr+btreeChildOff+int64(i)*8, c.addr)
+			}
+		}
+	}
+	return root.addr
+}
+
+// btreeKernel walks root-to-leaf and scans the leaf for the query key.
+func btreeKernel() *isa.Builder {
+	b := isa.NewBuilder("btree_search")
+	b.SReg(isa.R0, isa.SRGTid)
+	b.Param(isa.R1, 3) // nQueries
+	guardRange(b, isa.R0, isa.R1, isa.R2)
+	b.Param(isa.R3, 1) // queries
+	ldElem(b, isa.R4, isa.R3, isa.R0, isa.R5) // key
+	b.Param(isa.R5, 2)                        // node = root
+	b.Label("walk")
+	b.Ld(isa.R6, isa.R5, 8) // isLeaf
+	b.CBra(isa.R6, "leaf")
+	b.Ld(isa.R7, isa.R5, 0) // nKeys
+	b.MovI(isa.R8, 0)       // i
+	b.Label("scan")
+	b.SetGE(isa.R2, isa.R8, isa.R7)
+	b.CBra(isa.R2, "descend")
+	b.MulI(isa.R9, isa.R8, 8)
+	b.Add(isa.R9, isa.R9, isa.R5)
+	b.Ld(isa.R10, isa.R9, btreeKeysOff) // separator key i
+	b.SetLT(isa.R2, isa.R4, isa.R10)    // key < sep: take child i
+	b.CBra(isa.R2, "descend")
+	b.AddI(isa.R8, isa.R8, 1)
+	b.Bra("scan")
+	b.Label("descend")
+	b.MulI(isa.R9, isa.R8, 8)
+	b.Add(isa.R9, isa.R9, isa.R5)
+	b.Ld(isa.R5, isa.R9, btreeChildOff) // node = child[i]
+	b.Bra("walk")
+
+	b.Label("leaf")
+	b.Ld(isa.R7, isa.R5, 0) // nKeys
+	b.MovI(isa.R11, -1)     // result
+	b.MovI(isa.R8, 0)
+	b.Label("lscan")
+	b.SetGE(isa.R2, isa.R8, isa.R7)
+	b.CBra(isa.R2, "lend")
+	b.MulI(isa.R9, isa.R8, 8)
+	b.Add(isa.R9, isa.R9, isa.R5)
+	b.Ld(isa.R10, isa.R9, btreeKeysOff)
+	b.SetEQ(isa.R2, isa.R4, isa.R10)
+	b.CBraZ(isa.R2, "lnext")
+	b.Ld(isa.R11, isa.R9, btreeChildOff) // value i
+	b.Bra("lend")
+	b.Label("lnext")
+	b.AddI(isa.R8, isa.R8, 1)
+	b.Bra("lscan")
+	b.Label("lend")
+	b.Param(isa.R12, 0) // results
+	stElem(b, isa.R12, isa.R0, isa.R11, isa.R2)
+	b.Label("exit")
+	b.Exit()
+	return b
+}
+
+// Next implements Workload.
+func (w *btree) Next() (*simt.Kernel, bool) {
+	if w.done {
+		return nil, false
+	}
+	w.done = true
+	return w.kern, true
+}
+
+// Verify implements Workload.
+func (w *btree) Verify() error {
+	present := make(map[int64]bool, len(w.keys))
+	for _, k := range w.keys {
+		present[k] = true
+	}
+	for i, q := range w.queries {
+		want := int64(-1)
+		if present[q] {
+			want = q*3 + 1
+		}
+		if got := w.mem.Load(w.resA + int64(i)*8); got != want {
+			return fmt.Errorf("b+tree: result[%d] (key %d) = %d, want %d", i, q, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package workloads
+
+import (
+	"testing"
+
+	"cawa/internal/isa"
+)
+
+func TestRegistryCategories(t *testing.T) {
+	names := Names()
+	if len(names) != 13 { // 12 paper benchmarks + bfs-balanced variant
+		t.Fatalf("registered %d workloads: %v", len(names), names)
+	}
+	sens, nons := Sensitive(), NonSensitive()
+	if len(sens)+len(nons) != len(names) {
+		t.Fatal("categories do not partition the registry")
+	}
+	for _, want := range []string{"bfs", "b+tree", "heartwall", "kmeans", "needle", "srad_1", "strcltr_small", "bfs-balanced"} {
+		found := false
+		for _, s := range sens {
+			if s == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s not classified Sens", want)
+		}
+	}
+	if _, err := New("bogus", DefaultParams()); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestParamsScaling(t *testing.T) {
+	p := Params{Scale: 0.5}
+	if got := p.scaled(100); got != 50 {
+		t.Fatalf("scaled %d", got)
+	}
+	if got := (Params{}).scaled(100); got != 100 {
+		t.Fatalf("zero-scale default %d", got)
+	}
+	if got := (Params{Scale: 0.0001}).scaled(100); got != 1 {
+		t.Fatalf("floor %d", got)
+	}
+	// Determinism: same seed, same stream.
+	a, b := (Params{Seed: 5}).rng(), (Params{Seed: 5}).rng()
+	for i := 0; i < 10; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("seeded generators diverge")
+		}
+	}
+}
+
+func TestBTreeBulkLoadInvariants(t *testing.T) {
+	keys := make([]int64, 1000)
+	for i := range keys {
+		keys[i] = int64(i * 3)
+	}
+	root := buildBPlusTree(keys)
+
+	var walk func(n *buildNode, lo, hi int64, depth int) (int, int)
+	leafDepth := -1
+	count := 0
+	walk = func(n *buildNode, lo, hi int64, depth int) (int, int) {
+		if len(n.keys) > btreeOrder {
+			t.Fatalf("node overflow: %d keys", len(n.keys))
+		}
+		for i := 1; i < len(n.keys); i++ {
+			if n.keys[i-1] >= n.keys[i] {
+				t.Fatal("keys not strictly sorted in node")
+			}
+		}
+		for _, k := range n.keys {
+			if k < lo || k >= hi {
+				t.Fatalf("key %d outside range [%d,%d)", k, lo, hi)
+			}
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				t.Fatalf("unbalanced leaves: %d vs %d", leafDepth, depth)
+			}
+			count += len(n.keys)
+			if len(n.values) != len(n.keys) {
+				t.Fatal("leaf values missing")
+			}
+			return depth, depth
+		}
+		if len(n.children) != len(n.keys)+1 {
+			t.Fatalf("internal node: %d keys, %d children", len(n.keys), len(n.children))
+		}
+		for i, c := range n.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i]
+			}
+			walk(c, clo, chi, depth+1)
+		}
+		return depth, depth
+	}
+	walk(root, -1<<62, 1<<62, 0)
+	if count != len(keys) {
+		t.Fatalf("tree holds %d keys, want %d", count, len(keys))
+	}
+}
+
+func TestBFSGraphShape(t *testing.T) {
+	w := newBFS(Params{Scale: 0.05, Seed: 2}, false)
+	if w.rows[len(w.rows)-1] != len(w.edges) {
+		t.Fatal("CSR rows do not cover edges")
+	}
+	for i := 0; i+1 < len(w.rows); i++ {
+		if w.rows[i] > w.rows[i+1] {
+			t.Fatal("row offsets not monotone")
+		}
+	}
+	for _, e := range w.edges {
+		if e < 0 || e >= w.n {
+			t.Fatalf("edge target %d out of range", e)
+		}
+	}
+	// Backbone guarantees reachability: node i has an edge to i+1.
+	for i := 0; i+1 < w.n; i++ {
+		found := false
+		for _, e := range w.edges[w.rows[i]:w.rows[i+1]] {
+			if e == i+1 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("backbone edge %d->%d missing", i, i+1)
+		}
+	}
+
+	bal := newBFS(Params{Scale: 0.05, Seed: 2}, true)
+	for i := 0; i < bal.n; i++ {
+		deg := bal.rows[i+1] - bal.rows[i]
+		if deg > 2 {
+			t.Fatalf("balanced tree node %d has degree %d", i, deg)
+		}
+	}
+}
+
+func TestKernelsAssembleAndAnnotate(t *testing.T) {
+	// Every statically-built workload kernel must assemble, have
+	// reconvergence points on all conditional branches, and declare an
+	// "exit" label (the guardRange convention).
+	progs := []*isa.Builder{
+		bfsKernel1(), bfsKernel2(), kmeansKernel(), btreeKernel(),
+		heartwallKernel(256, 4, 2), sradKernel(160), streamclusterKernel(),
+		backpropKernel(4096, 128, 256), particleLikelihood(16), particleResample(),
+		tpacfKernel(),
+	}
+	for _, b := range progs {
+		p, err := b.Build()
+		if err != nil {
+			t.Fatalf("assemble: %v", err)
+		}
+		for pc := int32(0); pc < int32(p.Len()); pc++ {
+			in := p.At(pc)
+			if in.Op.IsCondBranch() && in.Rpc == isa.NoReconv {
+				t.Fatalf("%s: branch at pc %d lacks a reconvergence point", p.Name, pc)
+			}
+		}
+	}
+}
+
+func TestWorkloadMemoryLayouts(t *testing.T) {
+	// Buffers must be line-aligned and non-overlapping (Alloc contract),
+	// spot-checked through the kmeans instance.
+	w := newKMeans(Params{Scale: 0.02, Seed: 1})
+	for _, a := range []int64{w.xA, w.cA, w.assignA} {
+		if a%128 != 0 {
+			t.Fatalf("buffer %#x not line aligned", a)
+		}
+	}
+	if w.cA <= w.xA || w.assignA <= w.cA {
+		t.Fatal("allocations out of order / overlapping")
+	}
+}

@@ -1,0 +1,106 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"cawa/internal/config"
+	"cawa/internal/core"
+	"cawa/internal/harness"
+	"cawa/internal/workloads"
+)
+
+// TestSchedulerWorkloadMatrix verifies functional correctness of a
+// representative workload subset under every scheduler and cache
+// combination: timing policies must never change results.
+func TestSchedulerWorkloadMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix is slow")
+	}
+	apps := []string{"bfs", "kmeans", "needle", "backprop", "tpacf"}
+	systems := []core.SystemConfig{
+		{Scheduler: "lrr"},
+		{Scheduler: "gto"},
+		{Scheduler: "2lvl"},
+		{Scheduler: "gcaws", CPL: true},
+		{Scheduler: "lrr", CPL: true, CACP: true},
+		{Scheduler: "gto", CPL: true, CACP: true},
+		{Scheduler: "2lvl", CPL: true, CACP: true},
+		core.CAWA(),
+	}
+	for _, app := range apps {
+		for _, sc := range systems {
+			app, sc := app, sc
+			t.Run(app+"/"+sc.Label(), func(t *testing.T) {
+				t.Parallel()
+				_, err := harness.Run(harness.RunOptions{
+					Workload: app,
+					Params:   workloads.Params{Scale: 0.1, Seed: 11},
+					System:   sc,
+					Config:   config.Small(),
+				})
+				if err != nil {
+					t.Fatalf("%s on %s: %v", app, sc.Label(), err)
+				}
+			})
+		}
+	}
+}
+
+// TestOracleCAWSMatrix verifies the oracle-driven scheduler end to end:
+// profile under the baseline, then re-run under CAWS.
+func TestOracleCAWSMatrix(t *testing.T) {
+	s := harness.NewSession(config.Small(), workloads.Params{Scale: 0.1, Seed: 11})
+	for _, app := range []string{"bfs", "needle"} {
+		oracle, err := s.OracleFor(app)
+		if err != nil {
+			t.Fatalf("profile %s: %v", app, err)
+		}
+		if _, err := s.Run(app, core.SystemConfig{Scheduler: "caws", Oracle: oracle}); err != nil {
+			t.Fatalf("caws %s: %v", app, err)
+		}
+	}
+}
+
+// TestSeedsChangeInputs: different seeds must produce different
+// workloads (guards against frozen generators).
+func TestSeedsChangeInputs(t *testing.T) {
+	r1, err := harness.Run(harness.RunOptions{
+		Workload: "bfs", Params: workloads.Params{Scale: 0.05, Seed: 1},
+		System: core.Baseline(), Config: config.Small(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := harness.Run(harness.RunOptions{
+		Workload: "bfs", Params: workloads.Params{Scale: 0.05, Seed: 2},
+		System: core.Baseline(), Config: config.Small(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Agg.Cycles == r2.Agg.Cycles && r1.Agg.Instructions == r2.Agg.Instructions {
+		t.Fatal("different seeds produced identical executions")
+	}
+}
+
+// TestScaleChangesSize: the Scale knob must actually grow the problem.
+func TestScaleChangesSize(t *testing.T) {
+	small, err := harness.Run(harness.RunOptions{
+		Workload: "kmeans", Params: workloads.Params{Scale: 0.05, Seed: 1},
+		System: core.Baseline(), Config: config.Small(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := harness.Run(harness.RunOptions{
+		Workload: "kmeans", Params: workloads.Params{Scale: 0.1, Seed: 1},
+		System: core.Baseline(), Config: config.Small(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Agg.Instructions <= small.Agg.Instructions {
+		t.Fatalf("scale 0.1 (%d instrs) not larger than 0.05 (%d)",
+			big.Agg.Instructions, small.Agg.Instructions)
+	}
+}

@@ -1,0 +1,62 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"cawa/internal/config"
+	"cawa/internal/core"
+	"cawa/internal/harness"
+	"cawa/internal/workloads"
+)
+
+// smallParams shrinks workloads so the full matrix stays fast in tests.
+func smallParams() workloads.Params {
+	return workloads.Params{Scale: 0.25, Seed: 7}
+}
+
+// TestAllWorkloadsVerifyBaseline runs every registered workload to
+// completion on the round-robin baseline and checks results against the
+// Go references.
+func TestAllWorkloadsVerifyBaseline(t *testing.T) {
+	for _, name := range workloads.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res, err := harness.Run(harness.RunOptions{
+				Workload: name,
+				Params:   smallParams(),
+				System:   core.Baseline(),
+				Config:   config.Small(),
+			})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.Agg.Instructions == 0 {
+				t.Fatalf("no instructions executed")
+			}
+			t.Logf("%s: %s (launches=%d)", name, &res.Agg, res.Launches)
+		})
+	}
+}
+
+// TestAllWorkloadsVerifyCAWA runs every workload under the full CAWA
+// design point: the coordinated scheduler and cache prioritization must
+// never change functional results.
+func TestAllWorkloadsVerifyCAWA(t *testing.T) {
+	for _, name := range workloads.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res, err := harness.Run(harness.RunOptions{
+				Workload: name,
+				Params:   smallParams(),
+				System:   core.CAWA(),
+				Config:   config.Small(),
+			})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			t.Logf("%s: %s", name, &res.Agg)
+		})
+	}
+}
