@@ -11,12 +11,14 @@ package cawa
 // plus experiment-specific headline metrics via b.ReportMetric.
 
 import (
+	"runtime"
 	"strconv"
 	"testing"
 )
 
 func benchSession() *Session {
-	return NewSession(SmallConfig(), Params{Scale: 0.25, Seed: 7})
+	return NewSession(SmallConfig(), Params{Scale: 0.25, Seed: 7}).
+		SetWorkers(runtime.GOMAXPROCS(0))
 }
 
 // runExp is the common driver: run the experiment b.N times (sessions
@@ -50,9 +52,9 @@ func BenchmarkFig1Disparity(b *testing.B) {
 	b.ReportMetric(metric(tbl, tbl.Rows()-1, 0), "avg_disparity")
 }
 
-func BenchmarkFig2aImbalance(b *testing.B)  { runExp(b, "fig2a") }
-func BenchmarkFig2bBranch(b *testing.B)     { runExp(b, "fig2b") }
-func BenchmarkFig2cMemory(b *testing.B)     { runExp(b, "fig2c") }
+func BenchmarkFig2aImbalance(b *testing.B) { runExp(b, "fig2a") }
+func BenchmarkFig2bBranch(b *testing.B)    { runExp(b, "fig2b") }
+func BenchmarkFig2cMemory(b *testing.B)    { runExp(b, "fig2c") }
 
 func BenchmarkFig3Reuse(b *testing.B) {
 	tbl := runExp(b, "fig3")
@@ -112,6 +114,27 @@ func BenchmarkAblationPartition(b *testing.B) { runExp(b, "abl-partition") }
 func BenchmarkAblationSignature(b *testing.B) { runExp(b, "abl-signature") }
 func BenchmarkAblationDynPart(b *testing.B)   { runExp(b, "abl-dynpart") }
 func BenchmarkExtensionCCWS(b *testing.B)     { runExp(b, "ext-ccws") }
+
+// Parallel sweep throughput: a small run matrix prewarmed across the
+// worker pool — the fan-out path cawabench -exp all takes.
+func BenchmarkParallelSweep(b *testing.B) {
+	keys := []RunKey{
+		{App: "bfs", System: Baseline()},
+		{App: "bfs", System: SystemConfig{Scheduler: "gto"}},
+		{App: "bfs", System: CAWA()},
+		{App: "kmeans", System: Baseline()},
+		{App: "kmeans", System: SystemConfig{Scheduler: "gto"}},
+		{App: "kmeans", System: CAWA()},
+	}
+	for i := 0; i < b.N; i++ {
+		s := NewSession(SmallConfig(), Params{Scale: 0.125, Seed: 7}).
+			SetWorkers(runtime.GOMAXPROCS(0))
+		if err := s.Prewarm(keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+}
 
 // Raw simulator throughput: simulated cycles per second on a
 // cache-thrashing workload (kmeans) under the full CAWA design.

@@ -75,11 +75,27 @@ func Run(workload string, p Params, sc SystemConfig, cfg Config) (*Result, error
 // Table is a printable experiment result.
 type Table = harness.Table
 
-// Session caches runs shared between experiments.
+// Session schedules runs shared between experiments over a bounded
+// worker pool, deduplicating concurrent requests for the same design
+// point (see Session.SetWorkers and Session.Prewarm).
 type Session = harness.Session
 
-// NewSession builds an experiment session.
+// RunKey names one (application, design point) cell of a session's run
+// matrix.
+type RunKey = harness.RunKey
+
+// RunTiming is the recorded wall-clock cost of one simulation.
+type RunTiming = harness.RunTiming
+
+// NewSession builds an experiment session sized to runtime.NumCPU
+// workers.
 func NewSession(cfg Config, p Params) *Session { return harness.NewSession(cfg, p) }
+
+// PrewarmExperiments simulates the pooled run matrices of the named
+// experiments across the session's worker pool.
+func PrewarmExperiments(s *Session, ids []string) error {
+	return harness.PrewarmExperiments(s, ids)
+}
 
 // ExperimentIDs lists the reproducible tables and figures.
 func ExperimentIDs() []string { return harness.ExperimentIDs() }

@@ -4,11 +4,19 @@
 //
 //	cawabench -exp fig9            # one experiment
 //	cawabench -exp fig9,fig10     # several
-//	cawabench -all                 # everything (slow)
+//	cawabench -exp all             # everything
+//	cawabench -all                 # everything (same as -exp all)
 //	cawabench -list                # show available experiment ids
 //
+// Simulations fan out across a worker pool (-j, default all cores):
+// every experiment declares its run matrix, the matrices are pooled and
+// deduplicated, and the cells simulate in parallel before the tables
+// build sequentially. Tables are byte-identical to a -j 1 run.
+//
 // The -scale and -sms flags trade fidelity for speed; EXPERIMENTS.md
-// records the reference results at the default settings.
+// records the reference results at the default settings. -timing writes
+// a machine-readable JSON summary of per-run and total wall-clock so
+// sweep-throughput regressions are trackable.
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,15 +33,31 @@ import (
 	"cawa/internal/workloads"
 )
 
+// timingSummary is the machine-readable wall-clock report (-timing).
+type timingSummary struct {
+	Workers      int                 `json:"workers"`
+	Experiments  []experimentTiming  `json:"experiments"`
+	Runs         []harness.RunTiming `json:"runs"`
+	SimSeconds   float64             `json:"sim_seconds"`   // summed simulation time across workers
+	TotalSeconds float64             `json:"total_seconds"` // wall-clock of the whole invocation
+}
+
+type experimentTiming struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+}
+
 func main() {
 	var (
-		exp    = flag.String("exp", "", "comma-separated experiment ids")
-		all    = flag.Bool("all", false, "run every experiment")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		scale  = flag.Float64("scale", 1, "workload size multiplier")
-		seed   = flag.Int64("seed", 1, "input generator seed")
-		sms    = flag.Int("sms", 0, "override number of SMs")
-		asJSON = flag.Bool("json", false, "emit tables as JSON documents")
+		exp     = flag.String("exp", "", "comma-separated experiment ids, or \"all\"")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		scale   = flag.Float64("scale", 1, "workload size multiplier")
+		seed    = flag.Int64("seed", 1, "input generator seed")
+		sms     = flag.Int("sms", 0, "override number of SMs")
+		workers = flag.Int("j", 0, "max concurrent simulations (0 = all cores)")
+		asJSON  = flag.Bool("json", false, "emit tables as JSON documents")
+		timing  = flag.String("timing", "", "write a JSON timing summary to this file (\"-\" = stderr)")
 	)
 	flag.Parse()
 
@@ -46,29 +71,44 @@ func main() {
 
 	var ids []string
 	switch {
-	case *all:
+	case *all || *exp == "all":
 		ids = harness.ExperimentIDs()
 	case *exp != "":
 		ids = strings.Split(*exp, ",")
 	default:
-		fmt.Fprintln(os.Stderr, "cawabench: pass -exp <ids>, -all, or -list")
+		fmt.Fprintln(os.Stderr, "cawabench: pass -exp <ids>, -exp all, or -list")
 		os.Exit(2)
+	}
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
 	}
 
 	cfg := config.GTX480()
 	if *sms > 0 {
 		cfg.NumSMs = *sms
 	}
-	session := harness.NewSession(cfg, workloads.Params{Scale: *scale, Seed: *seed})
+	if *workers <= 0 {
+		*workers = runtime.NumCPU()
+	}
+	session := harness.NewSession(cfg, workloads.Params{Scale: *scale, Seed: *seed}).SetWorkers(*workers)
 
+	wallStart := time.Now()
+	// Pool the declared run matrices of every requested experiment so
+	// independent simulations from different figures share the workers.
+	if err := harness.PrewarmExperiments(session, ids); err != nil {
+		fmt.Fprintf(os.Stderr, "cawabench: %v\n", err)
+		os.Exit(1)
+	}
+	summary := timingSummary{Workers: *workers}
 	for _, id := range ids {
-		id = strings.TrimSpace(id)
 		start := time.Now()
 		tbl, err := harness.RunExperiment(id, session)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cawabench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start).Seconds()
+		summary.Experiments = append(summary.Experiments, experimentTiming{ID: id, Seconds: elapsed})
 		if *asJSON {
 			doc, err := json.MarshalIndent(tbl, "", "  ")
 			if err != nil {
@@ -79,6 +119,26 @@ func main() {
 			continue
 		}
 		fmt.Println(tbl)
-		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		fmt.Printf("(%s in %.1fs)\n\n", id, elapsed)
+	}
+
+	if *timing != "" {
+		summary.Runs = session.Timings()
+		for _, r := range summary.Runs {
+			summary.SimSeconds += r.Seconds
+		}
+		summary.TotalSeconds = time.Since(wallStart).Seconds()
+		doc, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cawabench: timing: %v\n", err)
+			os.Exit(1)
+		}
+		doc = append(doc, '\n')
+		if *timing == "-" {
+			os.Stderr.Write(doc)
+		} else if err := os.WriteFile(*timing, doc, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "cawabench: timing: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"sort"
+	"strings"
 
 	"cawa/internal/cache"
 	"cawa/internal/config"
@@ -45,6 +48,12 @@ type SystemConfig struct {
 	// factory entirely — used to decorate providers with trace
 	// recorders or custom instrumentation.
 	ProviderOverride func() sm.CriticalityProvider
+	// Variant is a stable identity label distinguishing design points
+	// whose behaviour lives in the non-comparable fields above
+	// (CPLTweak, ProviderOverride). Key requires it whenever either is
+	// set, so caches never collapse distinct variants or key off
+	// process-specific pointer values.
+	Variant string
 }
 
 // CAWA returns the full coordinated design of the paper:
@@ -66,6 +75,57 @@ func (sc SystemConfig) Label() string {
 		label += "+cacp"
 	}
 	return label
+}
+
+// Key returns a stable identity for the design point, usable as a
+// cache key across processes: it is built only from value state (never
+// pointer formatting). Design points carrying behaviour in function
+// fields (CPLTweak, ProviderOverride) must also set Variant; Key
+// returns an error otherwise rather than silently colliding.
+func (sc SystemConfig) Key() (string, error) {
+	if (sc.CPLTweak != nil || sc.ProviderOverride != nil) && sc.Variant == "" {
+		return "", fmt.Errorf("core: SystemConfig with CPLTweak/ProviderOverride requires a Variant label for a stable identity")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|cpl=%v|cacp=%v", sc.Scheduler, sc.CPL, sc.CACP)
+	if sc.CACPConfig != nil {
+		c := sc.CACPConfig
+		fmt.Fprintf(&b, "|ways=%d|sig=%d|line=%d|noship=%v|nopart=%v|dyn=%v|srrip=%v",
+			c.CriticalWays, c.Signature, c.LineBytes,
+			c.DisableSHiP, c.DisablePartition, c.DynamicPartition, c.UseSRRIP)
+	}
+	if sc.Oracle != nil {
+		fmt.Fprintf(&b, "|oracle=%016x", oracleFingerprint(sc.Oracle))
+	}
+	if sc.Variant != "" {
+		fmt.Fprintf(&b, "|variant=%s", sc.Variant)
+	}
+	return b.String(), nil
+}
+
+// oracleFingerprint hashes the oracle table (FNV-1a over sorted
+// entries) so distinct profiles key distinctly and identical profiles
+// key identically, independent of map iteration order.
+func oracleFingerprint(oracle map[int]float64) uint64 {
+	gids := make([]int, 0, len(oracle))
+	for gid := range oracle {
+		gids = append(gids, gid)
+	}
+	sort.Ints(gids)
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, gid := range gids {
+		mix(uint64(gid))
+		mix(math.Float64bits(oracle[gid]))
+	}
+	return h
 }
 
 // BuildOptions assembles gpu.Options for the design point.

@@ -8,18 +8,31 @@ import (
 )
 
 func init() {
-	registerExp("abl-cpl", "Ablation: CPL counter terms (Equation 1)", ablCPL)
-	registerExp("abl-greedy", "Ablation: greedy vs re-ranking criticality scheduling", ablGreedy)
-	registerExp("abl-partition", "Ablation: CACP critical-partition size sweep", ablPartition)
-	registerExp("abl-signature", "Ablation: CACP signature composition", ablSignature)
-	registerExp("abl-dynpart", "Extension: UCP-style dynamic partition tuning (Section 3.3)", ablDynPart)
+	registerExpReq("abl-cpl", "Ablation: CPL counter terms (Equation 1)",
+		sensMatrixOf(ablCPLSystems), ablCPL)
+	registerExpReq("abl-greedy", "Ablation: greedy vs re-ranking criticality scheduling",
+		sensMatrixOf(ablGreedySystems), ablGreedy)
+	registerExpReq("abl-partition", "Ablation: CACP critical-partition size sweep",
+		sensMatrixOf(ablPartitionSystems), ablPartition)
+	registerExpReq("abl-signature", "Ablation: CACP signature composition",
+		sensMatrixOf(ablSignatureSystems), ablSignature)
+	registerExpReq("abl-dynpart", "Extension: UCP-style dynamic partition tuning (Section 3.3)",
+		sensMatrixOf(ablDynPartSystems), ablDynPart)
+}
+
+// sensMatrixOf declares a run matrix of the given design points plus
+// the RR baseline over the Sens applications.
+func sensMatrixOf(systems func() []core.SystemConfig) func(s *Session) []RunKey {
+	return func(s *Session) []RunKey {
+		return matrix(s.sensApps(), append([]core.SystemConfig{core.Baseline()}, systems()...)...)
+	}
 }
 
 // gmeanSpeedup runs the design point over the Sens apps and returns the
 // geometric-mean IPC speedup over the RR baseline.
 func gmeanSpeedup(s *Session, sc core.SystemConfig) (float64, error) {
 	var sp []float64
-	for _, app := range SensApps() {
+	for _, app := range s.sensApps() {
 		base, err := s.Baseline(app)
 		if err != nil {
 			return 0, err
@@ -33,27 +46,38 @@ func gmeanSpeedup(s *Session, sc core.SystemConfig) (float64, error) {
 	return stats.GeoMean(sp), nil
 }
 
-// Stable tweak funcs so the session cache can key on them.
+// Stable tweak funcs; the Variant labels give the design points a
+// stable cache identity (pointer-keyed closures are not cacheable).
 var (
 	tweakInstOnly  = func(c *core.CPL) { c.DisableStallTerm = true }
 	tweakStallOnly = func(c *core.CPL) { c.DisableInstTerm = true }
 )
+
+// ablCPLVariants pairs each Equation-1 ablation with its table label.
+var ablCPLVariants = []struct {
+	name string
+	sc   core.SystemConfig
+}{
+	{"inst+stall (paper)", core.SystemConfig{Scheduler: "gcaws", CPL: true}},
+	{"inst-only", core.SystemConfig{Scheduler: "gcaws", CPL: true, CPLTweak: tweakInstOnly, Variant: "cpl-inst-only"}},
+	{"stall-only", core.SystemConfig{Scheduler: "gcaws", CPL: true, CPLTweak: tweakStallOnly, Variant: "cpl-stall-only"}},
+}
+
+func ablCPLSystems() []core.SystemConfig {
+	out := make([]core.SystemConfig, len(ablCPLVariants))
+	for i, v := range ablCPLVariants {
+		out[i] = v.sc
+	}
+	return out
+}
 
 // ablCPL compares the full Equation-1 criticality counter against
 // instruction-disparity-only and stall-only predictors, under gCAWS.
 func ablCPL(s *Session) (*Table, error) {
 	t := NewTable("abl-cpl", "CPL term ablation (gCAWS, GMEAN speedup over RR, Sens apps)",
 		"variant", "gmean_speedup")
-	variants := []struct {
-		name  string
-		tweak func(*core.CPL)
-	}{
-		{"inst+stall (paper)", nil},
-		{"inst-only", tweakInstOnly},
-		{"stall-only", tweakStallOnly},
-	}
-	for _, v := range variants {
-		g, err := gmeanSpeedup(s, core.SystemConfig{Scheduler: "gcaws", CPL: true, CPLTweak: v.tweak})
+	for _, v := range ablCPLVariants {
+		g, err := gmeanSpeedup(s, v.sc)
 		if err != nil {
 			return nil, err
 		}
@@ -62,17 +86,25 @@ func ablCPL(s *Session) (*Table, error) {
 	return t, nil
 }
 
+func ablGreedySystems() []core.SystemConfig {
+	return []core.SystemConfig{
+		{Scheduler: "gcaws", CPL: true},
+		{Scheduler: "caws", CPL: true},
+	}
+}
+
 // ablGreedy compares gCAWS's greedy hold of the selected critical warp
 // against re-ranking by criticality every cycle (the caws policy driven
 // by CPL instead of an oracle).
 func ablGreedy(s *Session) (*Table, error) {
 	t := NewTable("abl-greedy", "Greedy hold vs per-cycle re-ranking (GMEAN speedup over RR, Sens apps)",
 		"variant", "gmean_speedup")
-	g1, err := gmeanSpeedup(s, core.SystemConfig{Scheduler: "gcaws", CPL: true})
+	systems := ablGreedySystems()
+	g1, err := gmeanSpeedup(s, systems[0])
 	if err != nil {
 		return nil, err
 	}
-	g2, err := gmeanSpeedup(s, core.SystemConfig{Scheduler: "caws", CPL: true})
+	g2, err := gmeanSpeedup(s, systems[1])
 	if err != nil {
 		return nil, err
 	}
@@ -81,23 +113,43 @@ func ablGreedy(s *Session) (*Table, error) {
 	return t, nil
 }
 
+// ablPartitionWays are the sweep points of the critical-way ablation.
+var ablPartitionWays = []int{2, 4, 8, 12, 14}
+
+func ablPartitionSystems() []core.SystemConfig {
+	out := make([]core.SystemConfig, 0, len(ablPartitionWays))
+	for _, ways := range ablPartitionWays {
+		cfg := core.DefaultCACPConfig()
+		cfg.CriticalWays = ways
+		out = append(out, core.SystemConfig{
+			Scheduler: "gcaws", CPL: true, CACP: true, CACPConfig: &cfg,
+		})
+	}
+	return out
+}
+
 // ablPartition sweeps the number of L1D ways reserved for critical
 // lines (paper: 8 of 16 is best).
 func ablPartition(s *Session) (*Table, error) {
 	t := NewTable("abl-partition", "CACP critical ways sweep (GMEAN speedup over RR, Sens apps)",
 		"critical_ways", "gmean_speedup")
-	for _, ways := range []int{2, 4, 8, 12, 14} {
-		cfg := core.DefaultCACPConfig()
-		cfg.CriticalWays = ways
-		g, err := gmeanSpeedup(s, core.SystemConfig{
-			Scheduler: "gcaws", CPL: true, CACP: true, CACPConfig: &cfg,
-		})
+	for i, sc := range ablPartitionSystems() {
+		g, err := gmeanSpeedup(s, sc)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(fmt.Sprintf("%d/16", ways), g)
+		t.AddRow(fmt.Sprintf("%d/16", ablPartitionWays[i]), g)
 	}
 	return t, nil
+}
+
+func ablDynPartSystems() []core.SystemConfig {
+	dcfg := core.DefaultCACPConfig()
+	dcfg.DynamicPartition = true
+	return []core.SystemConfig{
+		core.CAWA(),
+		{Scheduler: "gcaws", CPL: true, CACP: true, CACPConfig: &dcfg},
+	}
 }
 
 // ablDynPart compares the paper's static 8/16 split against the
@@ -105,15 +157,12 @@ func ablPartition(s *Session) (*Table, error) {
 func ablDynPart(s *Session) (*Table, error) {
 	t := NewTable("abl-dynpart", "Static vs dynamic CACP partition (GMEAN speedup over RR, Sens apps)",
 		"variant", "gmean_speedup")
-	static, err := gmeanSpeedup(s, core.CAWA())
+	systems := ablDynPartSystems()
+	static, err := gmeanSpeedup(s, systems[0])
 	if err != nil {
 		return nil, err
 	}
-	dcfg := core.DefaultCACPConfig()
-	dcfg.DynamicPartition = true
-	dynamic, err := gmeanSpeedup(s, core.SystemConfig{
-		Scheduler: "gcaws", CPL: true, CACP: true, CACPConfig: &dcfg,
-	})
+	dynamic, err := gmeanSpeedup(s, systems[1])
 	if err != nil {
 		return nil, err
 	}
@@ -122,29 +171,40 @@ func ablDynPart(s *Session) (*Table, error) {
 	return t, nil
 }
 
+// ablSignatureKinds pairs each predictor indexing scheme with its
+// table label.
+var ablSignatureKinds = []struct {
+	name string
+	kind core.SignatureKind
+}{
+	{"pc^addr (paper)", core.SigPCXorAddr},
+	{"pc-only", core.SigPCOnly},
+	{"addr-only", core.SigAddrOnly},
+}
+
+func ablSignatureSystems() []core.SystemConfig {
+	out := make([]core.SystemConfig, 0, len(ablSignatureKinds))
+	for _, k := range ablSignatureKinds {
+		cfg := core.DefaultCACPConfig()
+		cfg.Signature = k.kind
+		out = append(out, core.SystemConfig{
+			Scheduler: "gcaws", CPL: true, CACP: true, CACPConfig: &cfg,
+		})
+	}
+	return out
+}
+
 // ablSignature compares the paper's PC-xor-address signature with
 // PC-only and address-only predictor indexing.
 func ablSignature(s *Session) (*Table, error) {
 	t := NewTable("abl-signature", "CACP signature composition (GMEAN speedup over RR, Sens apps)",
 		"signature", "gmean_speedup")
-	kinds := []struct {
-		name string
-		kind core.SignatureKind
-	}{
-		{"pc^addr (paper)", core.SigPCXorAddr},
-		{"pc-only", core.SigPCOnly},
-		{"addr-only", core.SigAddrOnly},
-	}
-	for _, k := range kinds {
-		cfg := core.DefaultCACPConfig()
-		cfg.Signature = k.kind
-		g, err := gmeanSpeedup(s, core.SystemConfig{
-			Scheduler: "gcaws", CPL: true, CACP: true, CACPConfig: &cfg,
-		})
+	for i, sc := range ablSignatureSystems() {
+		g, err := gmeanSpeedup(s, sc)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(k.name, g)
+		t.AddRow(ablSignatureKinds[i].name, g)
 	}
 	return t, nil
 }

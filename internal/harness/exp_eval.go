@@ -11,15 +11,38 @@ import (
 )
 
 func init() {
-	registerExp("fig9", "IPC speedup over the RR baseline: 2-level, GTO, CAWA", fig9)
-	registerExp("fig10", "L1D MPKI: baseline RR, 2-level, GTO, CAWA", fig10)
+	registerExpReq("fig9", "IPC speedup over the RR baseline: 2-level, GTO, CAWA", evalMatrix, fig9)
+	registerExpReq("fig10", "L1D MPKI: baseline RR, 2-level, GTO, CAWA", evalMatrix, fig10)
 	registerExp("fig11", "CPL warp criticality prediction accuracy", fig11)
-	registerExp("fig12", "Critical warp scheduling priority over time, RR vs gCAWS (bfs)", fig12)
-	registerExp("fig13", "Speedup of oracle CAWS, gCAWS, and CAWA over RR (Sens apps)", fig13)
-	registerExp("fig14", "Critical-warp L1D hit rate, normalized to the RR baseline", fig14)
+	registerExpReq("fig12", "Critical warp scheduling priority over time, RR vs gCAWS (bfs)",
+		func(s *Session) []RunKey { return matrix([]string{"bfs"}, core.Baseline()) }, fig12)
+	registerExpReq("fig13", "Speedup of oracle CAWS, gCAWS, and CAWA over RR (Sens apps)", fig13Requests, fig13)
+	registerExpReq("fig14", "Critical-warp L1D hit rate, normalized to the RR baseline",
+		func(s *Session) []RunKey {
+			return matrix(s.sensApps(), core.Baseline(), core.SystemConfig{Scheduler: "gto"}, core.CAWA())
+		}, fig14)
 	registerExp("fig15", "Zero-reuse critical-warp lines: baseline vs CAWA", fig15)
-	registerExp("fig16", "L1D MPKI with CACP applied to RR/GTO/2-level schedulers", fig16)
-	registerExp("fig17", "IPC with CACP applied to RR/GTO/2-level schedulers", fig17)
+	registerExpReq("fig16", "L1D MPKI with CACP applied to RR/GTO/2-level schedulers", cacpMatrix, fig16)
+	registerExpReq("fig17", "IPC with CACP applied to RR/GTO/2-level schedulers", cacpMatrix, fig17)
+}
+
+// evalMatrix is the shared run matrix of Figures 9 and 10: baseline
+// plus every evaluated scheduler, across the full application set.
+func evalMatrix(s *Session) []RunKey {
+	systems := []core.SystemConfig{core.Baseline()}
+	for _, sys := range evalSystems {
+		systems = append(systems, sys.sc)
+	}
+	return matrix(s.paperApps(), systems...)
+}
+
+// cacpMatrix is the shared run matrix of Figures 16 and 17.
+func cacpMatrix(s *Session) []RunKey {
+	systems := make([]core.SystemConfig, 0, len(cacpSystems))
+	for _, sys := range cacpSystems {
+		systems = append(systems, sys.sc)
+	}
+	return matrix(s.sensApps(), systems...)
 }
 
 var evalSystems = []struct {
@@ -39,7 +62,7 @@ func fig9(s *Session) (*Table, error) {
 		"app", "2lvl", "gto", "cawa")
 	perSys := map[string][]float64{}
 	perSysSens := map[string][]float64{}
-	for _, app := range PaperApps {
+	for _, app := range s.paperApps() {
 		base, err := s.Baseline(app)
 		if err != nil {
 			return nil, err
@@ -80,7 +103,7 @@ func isSens(app string) bool {
 // may rise while IPC still improves).
 func fig10(s *Session) (*Table, error) {
 	t := NewTable("fig10", "L1D MPKI", "app", "rr", "2lvl", "gto", "cawa")
-	for _, app := range PaperApps {
+	for _, app := range s.paperApps() {
 		base, err := s.Baseline(app)
 		if err != nil {
 			return nil, err
@@ -144,18 +167,20 @@ func (cs *cplSampler) hook(g *gpu.GPU, cycle int64) {
 // needle).
 func fig11(s *Session) (*Table, error) {
 	t := NewTable("fig11", "CPL criticality prediction accuracy", "app", "accuracy")
-	var accs []float64
-	for _, app := range PaperApps {
+	apps := s.paperApps()
+	// Each instrumented run owns its sampler, so the per-app runs are
+	// independent; fan them out and build the table sequentially.
+	accs := make([]float64, len(apps))
+	err := s.Fanout(len(apps), func(i int) error {
+		app := apps[i]
 		sampler := newCPLSampler(50)
-		r, err := Run(RunOptions{
+		r, err := s.RunUncached(RunOptions{
 			Workload: app,
-			Params:   s.Params,
 			System:   core.SystemConfig{Scheduler: "gcaws", CPL: true},
-			Config:   s.Config,
 			PerCycle: sampler.hook,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var num, den float64
 		for _, ws := range r.Agg.BlockGroup() {
@@ -175,8 +200,14 @@ func fig11(s *Session) (*Table, error) {
 		if app == "needle" && den == 0 {
 			acc = 1 // single-warp blocks are trivially critical
 		}
-		t.AddRow(app, acc)
-		accs = append(accs, acc)
+		accs[i] = acc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, app := range apps {
+		t.AddRow(app, accs[i])
 	}
 	mean := 0.0
 	for _, a := range accs {
@@ -235,25 +266,22 @@ func fig12(s *Session) (*Table, error) {
 	}
 	target := warps[len(warps)-1].GID // critical warp of that block
 
-	trace := func(scheduler string) ([]rankPoint, error) {
+	schedulers := []string{"lrr", "gcaws"}
+	traces := make([][]rankPoint, len(schedulers))
+	err = s.Fanout(len(schedulers), func(i int) error {
 		rs := &rankSampler{target: target, every: 10}
-		_, err := Run(RunOptions{
+		_, err := s.RunUncached(RunOptions{
 			Workload: "bfs",
-			Params:   s.Params,
-			System:   core.SystemConfig{Scheduler: scheduler, CPL: true},
-			Config:   s.Config,
+			System:   core.SystemConfig{Scheduler: schedulers[i], CPL: true},
 			PerCycle: rs.hook,
 		})
-		return rs.points, err
-	}
-	rrPoints, err := trace("lrr")
+		traces[i] = rs.points
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	gPoints, err := trace("gcaws")
-	if err != nil {
-		return nil, err
-	}
+	rrPoints, gPoints := traces[0], traces[1]
 
 	const bins = 20
 	t := NewTable("fig12", fmt.Sprintf("Criticality rank of critical warp gid=%d over normalized lifetime", target),
@@ -296,11 +324,31 @@ func binRanks(points []rankPoint, bins int) []float64 {
 // full CAWA over RR on the Sens applications (paper: oracle CAWS best
 // on small kernels; gCAWS/CAWA win on large kernels and kmeans; CAWA
 // ~5% above gCAWS overall).
+// fig13Requests declares fig13's matrix. The oracle design points
+// depend on baseline profiles, so the baselines prewarm first (in
+// parallel), then the oracle-keyed runs join the matrix.
+func fig13Requests(s *Session) []RunKey {
+	apps := s.sensApps()
+	if err := s.Prewarm(matrix(apps, core.Baseline())); err != nil {
+		return nil // the error resurfaces in fig13's sequential pass
+	}
+	keys := matrix(apps,
+		core.SystemConfig{Scheduler: "gcaws", CPL: true}, core.CAWA())
+	for _, app := range apps {
+		oracle, err := s.OracleFor(app)
+		if err != nil {
+			return nil
+		}
+		keys = append(keys, RunKey{App: app, System: core.SystemConfig{Scheduler: "caws", Oracle: oracle}})
+	}
+	return keys
+}
+
 func fig13(s *Session) (*Table, error) {
 	t := NewTable("fig13", "Speedup over RR: oracle CAWS, gCAWS, CAWA",
 		"app", "caws_oracle", "gcaws", "cawa")
 	var sp1, sp2, sp3 []float64
-	for _, app := range SensApps() {
+	for _, app := range s.sensApps() {
 		base, err := s.Baseline(app)
 		if err != nil {
 			return nil, err
@@ -358,7 +406,7 @@ func fig14(s *Session) (*Table, error) {
 	t := NewTable("fig14", "Critical-warp L1D hit rate normalized to RR baseline",
 		"app", "gto", "cawa")
 	var g, c []float64
-	for _, app := range SensApps() {
+	for _, app := range s.sensApps() {
 		base, err := s.Baseline(app)
 		if err != nil {
 			return nil, err
@@ -388,11 +436,9 @@ func fig14(s *Session) (*Table, error) {
 // (lines "useful to critical warps" that never saw a re-reference).
 func zeroReuseShare(s *Session, app string, sc core.SystemConfig) (float64, error) {
 	var zero, total uint64
-	_, err := Run(RunOptions{
+	_, err := s.RunUncached(RunOptions{
 		Workload: app,
-		Params:   s.Params,
 		System:   sc,
-		Config:   s.Config,
 		AttachL1: func(_ int, l1 *memsys.L1D) {
 			l1.Cache().EvictListener = func(ev *cache.Eviction) {
 				if ev.Line.FillCritical {
@@ -419,23 +465,30 @@ func zeroReuseShare(s *Session, app string, sc core.SystemConfig) (float64, erro
 func fig15(s *Session) (*Table, error) {
 	t := NewTable("fig15", "Zero-reuse critical-warp lines (share of critical evictions)",
 		"app", "baseline", "cawa")
-	var sumB, sumC float64
-	n := 0
-	for _, app := range SensApps() {
-		b, err := zeroReuseShare(s, app, core.SystemConfig{Scheduler: "lrr", CPL: true})
-		if err != nil {
-			return nil, err
-		}
-		c, err := zeroReuseShare(s, app, core.CAWA())
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(app, b, c)
-		sumB += b
-		sumC += c
-		n++
+	apps := s.sensApps()
+	systems := []core.SystemConfig{{Scheduler: "lrr", CPL: true}, core.CAWA()}
+	// Eviction-listener runs bypass the cache; fan out all app×system
+	// cells and assemble the table sequentially.
+	shares := make([][]float64, len(apps))
+	for i := range shares {
+		shares[i] = make([]float64, len(systems))
 	}
-	t.AddRow("AVG", sumB/float64(n), sumC/float64(n))
+	err := s.Fanout(len(apps)*len(systems), func(i int) error {
+		a, j := i/len(systems), i%len(systems)
+		v, err := zeroReuseShare(s, apps[a], systems[j])
+		shares[a][j] = v
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sumB, sumC float64
+	for i, app := range apps {
+		t.AddRow(app, shares[i][0], shares[i][1])
+		sumB += shares[i][0]
+		sumC += shares[i][1]
+	}
+	t.AddRow("AVG", sumB/float64(len(apps)), sumC/float64(len(apps)))
 	return t, nil
 }
 
@@ -462,7 +515,7 @@ func fig16(s *Session) (*Table, error) {
 		cols = append(cols, sys.label)
 	}
 	t := NewTable("fig16", "L1D MPKI with CACP under different schedulers", cols...)
-	for _, app := range SensApps() {
+	for _, app := range s.sensApps() {
 		row := make([]float64, 0, len(cacpSystems))
 		for _, sys := range cacpSystems {
 			r, err := s.Run(app, sys.sc)
@@ -485,7 +538,7 @@ func fig17(s *Session) (*Table, error) {
 	}
 	t := NewTable("fig17", "IPC speedup over RR with CACP under different schedulers", cols...)
 	gmeans := make([][]float64, len(cacpSystems)-1)
-	for _, app := range SensApps() {
+	for _, app := range s.sensApps() {
 		base, err := s.Baseline(app)
 		if err != nil {
 			return nil, err

@@ -6,30 +6,38 @@ import (
 )
 
 func init() {
-	registerExp("ext-ccws", "Extension: CCWS locality-aware throttling vs GTO and CAWA", extCCWS)
+	registerExpReq("ext-ccws", "Extension: CCWS locality-aware throttling vs GTO and CAWA",
+		func(s *Session) []RunKey {
+			return matrix(s.sensApps(),
+				core.Baseline(), core.SystemConfig{Scheduler: "gto"}, core.CAWA())
+		}, extCCWS)
 }
 
 // extCCWS compares the CCWS-style baseline (reference [34] of the
 // paper) against GTO and the full CAWA design on the Sens applications.
 // CCWS needs its per-SM providers attached to the L1Ds, so its runs
-// bypass the session cache.
+// bypass the session cache; they still fan out across the worker pool.
 func extCCWS(s *Session) (*Table, error) {
 	t := NewTable("ext-ccws", "Speedup over RR: CCWS, GTO, CAWA (Sens apps)",
 		"app", "ccws", "gto", "cawa")
-	var sp1, sp2, sp3 []float64
-	for _, app := range SensApps() {
-		base, err := s.Baseline(app)
-		if err != nil {
-			return nil, err
-		}
+	apps := s.sensApps()
+	ccwsRuns := make([]*Result, len(apps))
+	err := s.Fanout(len(apps), func(i int) error {
 		sc, attach := core.CCWSSystem()
-		rCCWS, err := Run(RunOptions{
-			Workload: app,
-			Params:   s.Params,
+		r, err := s.RunUncached(RunOptions{
+			Workload: apps[i],
 			System:   sc,
-			Config:   s.Config,
 			AttachL1: attach,
 		})
+		ccwsRuns[i] = r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sp1, sp2, sp3 []float64
+	for i, app := range apps {
+		base, err := s.Baseline(app)
 		if err != nil {
 			return nil, err
 		}
@@ -41,7 +49,7 @@ func extCCWS(s *Session) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		a := rCCWS.Agg.IPC() / base.Agg.IPC()
+		a := ccwsRuns[i].Agg.IPC() / base.Agg.IPC()
 		b := rGTO.Agg.IPC() / base.Agg.IPC()
 		c := rCAWA.Agg.IPC() / base.Agg.IPC()
 		t.AddRow(app, a, b, c)

@@ -10,14 +10,22 @@ import (
 )
 
 func init() {
-	registerExp("fig1", "Warp execution time disparity across GPGPU applications (max per-block, baseline RR)", fig1)
-	registerExp("fig2a", "Per-warp execution time, highest-disparity block, bfs (workload imbalance)", fig2a)
-	registerExp("fig2b", "Per-warp execution time and instruction count, balanced-tree bfs (branch behaviour)", fig2b)
-	registerExp("fig2c", "Memory-subsystem share of warp execution time, bfs", fig2c)
+	registerExpReq("fig1", "Warp execution time disparity across GPGPU applications (max per-block, baseline RR)",
+		func(s *Session) []RunKey { return matrix(s.paperApps(), core.Baseline()) }, fig1)
+	registerExpReq("fig2a", "Per-warp execution time, highest-disparity block, bfs (workload imbalance)",
+		func(s *Session) []RunKey { return matrix([]string{"bfs"}, core.Baseline()) }, fig2a)
+	registerExpReq("fig2b", "Per-warp execution time and instruction count, balanced-tree bfs (branch behaviour)",
+		func(s *Session) []RunKey { return matrix([]string{"bfs-balanced"}, core.Baseline()) }, fig2b)
+	registerExpReq("fig2c", "Memory-subsystem share of warp execution time, bfs",
+		func(s *Session) []RunKey { return matrix([]string{"bfs"}, core.Baseline()) }, fig2c)
 	registerExp("fig3", "Reuse distance of critical-warp cache lines, bfs (16KB 4-way L1D)", fig3)
-	registerExp("fig4", "Scheduler-induced extra wait time for the critical warp, baseline RR", fig4)
+	registerExpReq("fig4", "Scheduler-induced extra wait time for the critical warp, baseline RR",
+		func(s *Session) []RunKey { return matrix(fig4Apps, core.Baseline()) }, fig4)
 	registerExp("fig8", "Per-PC reuse behaviour of bfs under 256KB vs 16KB caches", fig8)
 }
+
+// fig4Apps are the four applications the paper's Figure 4 breaks down.
+var fig4Apps = []string{"bfs", "b+tree", "kmeans", "srad_1"}
 
 // fig1: for every application, the highest per-block warp execution
 // time disparity under the round-robin baseline (paper: average 45%,
@@ -26,7 +34,8 @@ func fig1(s *Session) (*Table, error) {
 	t := NewTable("fig1", "Warp execution time disparity (baseline RR)",
 		"app", "max_disparity", "mean_disparity")
 	sum := 0.0
-	for _, app := range PaperApps {
+	apps := s.paperApps()
+	for _, app := range apps {
 		r, err := s.Baseline(app)
 		if err != nil {
 			return nil, err
@@ -35,7 +44,7 @@ func fig1(s *Session) (*Table, error) {
 		t.AddRow(app, d, r.Agg.MeanDisparity(2))
 		sum += d
 	}
-	t.AddRow("AVG", sum/float64(len(PaperApps)), 0)
+	t.AddRow("AVG", sum/float64(len(apps)), 0)
 	t.Note = "disparity = (slowest - fastest) / slowest warp execution time within a block"
 	return t, nil
 }
@@ -122,11 +131,9 @@ func warpTimeTable(s *Session, app, id string) (*Table, error) {
 func fig3(s *Session) (*Table, error) {
 	// The footnote geometry: 16KB, 4-way, 128B lines -> 32 sets.
 	profilers := make([]*reuse.Profiler, s.Config.NumSMs)
-	r, err := Run(RunOptions{
+	r, err := s.RunUncached(RunOptions{
 		Workload: "bfs",
-		Params:   s.Params,
 		System:   core.SystemConfig{Scheduler: "lrr", CPL: true},
-		Config:   s.Config,
 		AttachL1: func(smID int, l1 *memsys.L1D) {
 			profilers[smID] = reuse.NewProfiler(32, 128, 128, 2048)
 			l1.AccessListener = profilers[smID].Record
@@ -178,7 +185,7 @@ func frac(h reuse.Histogram, lo, hi int64) float64 {
 func fig4(s *Session) (*Table, error) {
 	t := NewTable("fig4", "Scheduler-induced wait of the critical warp (baseline RR)",
 		"app", "sched_wait_share", "mem_share", "issue_share")
-	for _, app := range []string{"bfs", "b+tree", "kmeans", "srad_1"} {
+	for _, app := range fig4Apps {
 		r, err := s.Baseline(app)
 		if err != nil {
 			return nil, err
@@ -208,11 +215,9 @@ func fig4(s *Session) (*Table, error) {
 // size), motivating the signature-based predictors.
 func fig8(s *Session) (*Table, error) {
 	profilers := make([]*reuse.Profiler, s.Config.NumSMs)
-	_, err := Run(RunOptions{
+	_, err := s.RunUncached(RunOptions{
 		Workload: "bfs",
-		Params:   s.Params,
 		System:   core.SystemConfig{Scheduler: "lrr", CPL: true},
-		Config:   s.Config,
 		AttachL1: func(smID int, l1 *memsys.L1D) {
 			// Capacities in 128B lines: 16KB = 128, 256KB = 2048.
 			profilers[smID] = reuse.NewProfiler(32, 128, 128, 2048)

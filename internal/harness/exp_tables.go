@@ -11,7 +11,12 @@ import (
 func init() {
 	registerExp("tab1", "GPGPU-sim configuration (Table 1)", tab1)
 	registerExp("tab2", "Benchmarks and data-set classification (Table 2)", tab2)
-	registerExp("sec552", "CPL-guided scheduling on top of GTO (Section 5.5.2)", sec552)
+	registerExpReq("sec552", "CPL-guided scheduling on top of GTO (Section 5.5.2)",
+		func(s *Session) []RunKey {
+			return matrix(s.sensApps(),
+				core.SystemConfig{Scheduler: "gto"},
+				core.SystemConfig{Scheduler: "gcaws", CPL: true})
+		}, sec552)
 }
 
 // tab1 renders the architectural configuration in the paper's format.
@@ -57,7 +62,7 @@ func tab2(s *Session) (*Table, error) {
 func sec552(s *Session) (*Table, error) {
 	t := NewTable("sec552", "gCAWS (CPL on GTO) vs plain GTO", "app", "speedup_vs_gto")
 	var sp []float64
-	for _, app := range SensApps() {
+	for _, app := range s.sensApps() {
 		gto, err := s.Run(app, core.SystemConfig{Scheduler: "gto"})
 		if err != nil {
 			return nil, err

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Experiment regenerates one of the paper's tables or figures.
@@ -11,17 +12,31 @@ type Experiment struct {
 	ID string
 	// Title summarizes what the paper's figure/table shows.
 	Title string
-	// Run produces the table.
+	// Requests declares the experiment's run matrix: every cacheable
+	// (app, design point) cell Run will consult. RunExperiment prewarms
+	// the matrix across the session's worker pool before table
+	// construction; nil means the experiment has no cacheable matrix
+	// (or manages its own fan-out of hooked runs).
+	Requests func(s *Session) []RunKey
+	// Run produces the table. Table construction is sequential and
+	// deterministic; all simulation fan-out happens in Requests or
+	// through Session.Fanout.
 	Run func(s *Session) (*Table, error)
 }
 
 var experiments = map[string]*Experiment{}
 
 func registerExp(id, title string, run func(s *Session) (*Table, error)) {
+	registerExpReq(id, title, nil, run)
+}
+
+// registerExpReq registers an experiment together with its declared run
+// matrix.
+func registerExpReq(id, title string, requests func(s *Session) []RunKey, run func(s *Session) (*Table, error)) {
 	if _, dup := experiments[id]; dup {
 		panic(fmt.Sprintf("harness: duplicate experiment %q", id))
 	}
-	experiments[id] = &Experiment{ID: id, Title: title, Run: run}
+	experiments[id] = &Experiment{ID: id, Title: title, Requests: requests, Run: run}
 }
 
 // LookupExperiment returns the experiment registered under id.
@@ -40,11 +55,52 @@ func ExperimentIDs() []string {
 	return out
 }
 
-// RunExperiment runs the experiment by id against the session.
+// RunExperiment runs the experiment by id against the session: its run
+// matrix simulates in parallel across the session's workers, then the
+// table builds sequentially from the cached results.
 func RunExperiment(id string, s *Session) (*Table, error) {
 	e, ok := LookupExperiment(id)
 	if !ok {
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
+	if e.Requests != nil {
+		if err := s.Prewarm(e.Requests(s)); err != nil {
+			return nil, err
+		}
+	}
 	return e.Run(s)
+}
+
+// PrewarmExperiments collects the run matrices of the named experiments
+// (gathering concurrently — a Requests func may itself simulate
+// prerequisite runs) and simulates the union across the session's
+// worker pool. Drivers covering several experiments (cawabench
+// -exp all) call it once so independent simulations from different
+// figures share the pool instead of parallelizing only within each
+// figure.
+func PrewarmExperiments(s *Session, ids []string) error {
+	exps := make([]*Experiment, len(ids))
+	for i, id := range ids {
+		e, ok := LookupExperiment(id)
+		if !ok {
+			return fmt.Errorf("harness: unknown experiment %q (have %v)", id, ExperimentIDs())
+		}
+		exps[i] = e
+	}
+	var mu sync.Mutex
+	var keys []RunKey
+	err := s.Fanout(len(exps), func(i int) error {
+		if exps[i].Requests == nil {
+			return nil
+		}
+		ks := exps[i].Requests(s)
+		mu.Lock()
+		keys = append(keys, ks...)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return s.Prewarm(keys)
 }

@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"testing"
+
+	"cawa/internal/config"
+	"cawa/internal/core"
+	"cawa/internal/sm"
+	"cawa/internal/workloads"
+)
+
+func tinySession() *Session {
+	return NewSession(config.Small(), workloads.Params{Scale: 0.05, Seed: 3})
+}
+
+// TestSessionSingleflightDedup: concurrent requests for one design
+// point must simulate exactly once and share the result.
+func TestSessionSingleflightDedup(t *testing.T) {
+	s := tinySession().SetWorkers(4)
+	const callers = 8
+	results := make([]*Result, callers)
+	err := s.Fanout(callers, func(i int) error {
+		r, err := s.Run("needle", core.Baseline())
+		results[i] = r
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d received a different result instance", i)
+		}
+	}
+	if n := len(s.Timings()); n != 1 {
+		t.Fatalf("%d simulations executed, want 1 (singleflight)", n)
+	}
+}
+
+// TestSessionKeyRequiresVariant: design points carrying behaviour in
+// function fields are not cacheable without a stable Variant label, and
+// distinct Variants must occupy distinct cache slots.
+func TestSessionKeyRequiresVariant(t *testing.T) {
+	s := tinySession().SetWorkers(2)
+	tweak := func(c *core.CPL) { c.DisableStallTerm = true }
+	if _, err := s.Run("needle", core.SystemConfig{Scheduler: "gcaws", CPL: true, CPLTweak: tweak}); err == nil {
+		t.Fatal("CPLTweak without Variant accepted")
+	}
+	if _, err := s.Run("needle", core.SystemConfig{
+		Scheduler:        "lrr",
+		ProviderOverride: func() sm.CriticalityProvider { return core.NewCPL() },
+	}); err == nil {
+		t.Fatal("ProviderOverride without Variant accepted")
+	}
+	r1, err := s.Run("needle", core.SystemConfig{Scheduler: "gcaws", CPL: true, CPLTweak: tweak, Variant: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Run("needle", core.SystemConfig{Scheduler: "gcaws", CPL: true, CPLTweak: tweak, Variant: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 == r2 {
+		t.Fatal("distinct Variants shared a cache entry")
+	}
+	if n := len(s.Timings()); n != 2 {
+		t.Fatalf("%d simulations executed, want 2", n)
+	}
+}
+
+// TestParallelSequentialTablesIdentical: the determinism guarantee of
+// the parallel engine — a representative experiment rendered from a
+// single-worker session and from a multi-worker session must be
+// byte-for-byte identical.
+func TestParallelSequentialTablesIdentical(t *testing.T) {
+	render := func(workers int) string {
+		s := NewSession(config.Small(), workloads.Params{Scale: 0.1, Seed: 7}).SetWorkers(workers)
+		s.Apps = []string{"bfs", "kmeans"}
+		tbl, err := RunExperiment("fig9", s)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return tbl.String()
+	}
+	seq := render(1)
+	par := render(4)
+	if seq != par {
+		t.Fatalf("parallel table diverged from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestPrewarmExperiments: pooling the matrices of several experiments
+// must populate the cache so the subsequent sequential passes add no
+// simulations.
+func TestPrewarmExperiments(t *testing.T) {
+	s := tinySession().SetWorkers(4)
+	s.Apps = []string{"bfs"}
+	ids := []string{"fig1", "fig2a", "fig2c"}
+	if err := PrewarmExperiments(s, ids); err != nil {
+		t.Fatal(err)
+	}
+	warmed := len(s.Timings())
+	if warmed != 1 { // all three matrices collapse to baseline("bfs")
+		t.Fatalf("%d simulations after prewarm, want 1", warmed)
+	}
+	for _, id := range ids {
+		if _, err := RunExperiment(id, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(s.Timings()); n != warmed {
+		t.Fatalf("sequential passes re-simulated: %d runs, want %d", n, warmed)
+	}
+	if err := PrewarmExperiments(s, []string{"nope"}); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+// TestCCWSAutoWiringPrecedence documents the provider precedence of the
+// ccws scheduler in harness.Run: an explicit ProviderOverride always
+// wins and suppresses the auto-wiring entirely; without one, only the
+// provider factory and L1 attachment are filled in, and every other
+// System field (here CACP) keeps the caller's semantics.
+func TestCCWSAutoWiringPrecedence(t *testing.T) {
+	p := workloads.Params{Scale: 0.05, Seed: 3}
+
+	// Auto-wiring path: ccws with no override gets CCWS providers, and
+	// the caller's CACP request survives untouched.
+	res, err := Run(RunOptions{
+		Workload: "needle", Params: p, Config: config.Small(),
+		System: core.SystemConfig{Scheduler: "ccws", CPL: true, CACP: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.GPU.SMs() {
+		if _, ok := m.Crit().(*core.CCWSProvider); !ok {
+			t.Fatalf("auto-wired ccws run has provider %T, want *core.CCWSProvider", m.Crit())
+		}
+		if _, ok := m.L1D().Cache().Policy().(*core.CACP); !ok {
+			t.Fatalf("auto-wiring dropped the caller's CACP policy (got %T)", m.L1D().Cache().Policy())
+		}
+	}
+
+	// Override path: the caller's factory is used verbatim; no CCWS
+	// provider is injected.
+	res, err = Run(RunOptions{
+		Workload: "needle", Params: p, Config: config.Small(),
+		System: core.SystemConfig{
+			Scheduler:        "ccws",
+			ProviderOverride: func() sm.CriticalityProvider { return core.NewCPL() },
+			Variant:          "cpl-under-ccws",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.GPU.SMs() {
+		if _, ok := m.Crit().(*core.CPL); !ok {
+			t.Fatalf("explicit ProviderOverride ignored: provider %T, want *core.CPL", m.Crit())
+		}
+	}
+}

@@ -55,11 +55,15 @@ func Run(opt RunOptions) (*Result, error) {
 		return nil, err
 	}
 	// The CCWS baseline needs per-SM providers observing their L1Ds;
-	// wire them automatically unless the caller already did.
+	// wire them automatically unless the caller already supplied a
+	// ProviderOverride. Precedence: an explicit ProviderOverride always
+	// wins (no auto-wiring, no AttachL1 hijack); otherwise only the
+	// provider factory and the L1 attachment are filled in — every
+	// other System field (CACP, CACPConfig, Variant, ...) keeps the
+	// caller's semantics. Documented by TestCCWSAutoWiringPrecedence.
 	if opt.System.Scheduler == "ccws" && opt.System.ProviderOverride == nil {
 		sc, attach := core.CCWSSystem()
-		sc.CACP, sc.CACPConfig = opt.System.CACP, opt.System.CACPConfig
-		opt.System = sc
+		opt.System.ProviderOverride = sc.ProviderOverride
 		userAttach := opt.AttachL1
 		opt.AttachL1 = func(smID int, l1 *memsys.L1D) {
 			attach(smID, l1)

@@ -2,7 +2,10 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"time"
 
 	"cawa/internal/config"
 	"cawa/internal/core"
@@ -23,21 +26,65 @@ func SensApps() []string { return PaperApps[:7] }
 // NonSensApps returns the paper's Non-sens benchmarks.
 func NonSensApps() []string { return PaperApps[7:] }
 
-// Session caches application runs so experiments sharing a design point
-// (e.g. the round-robin baseline) simulate it once.
+// RunKey names one (application, design point) cell of an experiment's
+// run matrix. Experiments declare their matrix up front (see
+// Experiment.Requests) so the session can simulate all cells in
+// parallel before sequential table construction.
+type RunKey struct {
+	App    string
+	System core.SystemConfig
+}
+
+// RunTiming records the wall-clock cost of one simulation the session's
+// worker pool executed (cache hits and singleflight waiters are not
+// recorded — each simulation appears exactly once).
+type RunTiming struct {
+	App     string  `json:"app"`
+	System  string  `json:"system"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Session is a concurrent run scheduler: it executes application runs
+// on a bounded worker pool (default runtime.NumCPU), caches results,
+// and deduplicates concurrent requests for the same (app, design
+// point) so each cell simulates exactly once (singleflight). All
+// methods are safe for concurrent use. Each simulation is itself
+// single-threaded and fully self-contained (per-instance GPU, memory
+// image and workload RNG), so results are deterministic regardless of
+// worker count or completion order.
 type Session struct {
 	// Config is the simulated architecture; defaults to GTX480.
 	Config config.Config
 	// Params scales workloads; defaults to workloads.DefaultParams.
 	Params workloads.Params
+	// Apps, when non-nil, restricts the application set experiments
+	// iterate over (default: PaperApps). Reduced-scale tests use it to
+	// run a figure on a subset of benchmarks.
+	Apps []string
 
-	cache map[string]*Result
+	mu      sync.Mutex
+	cache   map[string]*flight
+	sem     chan struct{}
+	timings []RunTiming
+}
+
+// flight is one singleflight cache slot: the first requester simulates
+// and closes done; later requesters block on done and share the result.
+type flight struct {
+	done chan struct{}
+	res  *Result
+	err  error
 }
 
 // NewSession builds a Session with the given architecture and workload
-// scaling.
+// scaling, sized to runtime.NumCPU workers.
 func NewSession(cfg config.Config, p workloads.Params) *Session {
-	return &Session{Config: cfg, Params: p, cache: make(map[string]*Result)}
+	return &Session{
+		Config: cfg,
+		Params: p,
+		cache:  make(map[string]*flight),
+		sem:    make(chan struct{}, runtime.NumCPU()),
+	}
 }
 
 // DefaultSession uses the GTX480 configuration and default scaling.
@@ -45,25 +92,163 @@ func DefaultSession() *Session {
 	return NewSession(config.GTX480(), workloads.DefaultParams())
 }
 
+// SetWorkers bounds the number of simulations in flight (values below 1
+// clamp to 1) and returns the session for chaining. Runs already
+// holding a slot finish under the previous bound.
+func (s *Session) SetWorkers(n int) *Session {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	s.sem = make(chan struct{}, n)
+	s.mu.Unlock()
+	return s
+}
+
+// Workers returns the current worker-pool bound.
+func (s *Session) Workers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return cap(s.sem)
+}
+
+// acquire claims a worker slot, returning its release func.
+func (s *Session) acquire() (release func()) {
+	s.mu.Lock()
+	sem := s.sem
+	s.mu.Unlock()
+	sem <- struct{}{}
+	return func() { <-sem }
+}
+
+// simulate executes one run under the worker-pool bound and records its
+// wall-clock cost.
+func (s *Session) simulate(opt RunOptions) (*Result, error) {
+	release := s.acquire()
+	start := time.Now()
+	r, err := Run(opt)
+	elapsed := time.Since(start)
+	release()
+	s.mu.Lock()
+	s.timings = append(s.timings, RunTiming{
+		App:     opt.Workload,
+		System:  opt.System.Label(),
+		Seconds: elapsed.Seconds(),
+	})
+	s.mu.Unlock()
+	return r, err
+}
+
 // Run simulates (or returns the cached) application run on the design
-// point.
+// point. Concurrent calls with the same key share one simulation.
 func (s *Session) Run(app string, sc core.SystemConfig) (*Result, error) {
-	key := fmt.Sprintf("%s|%s|cpl=%v|cacp=%v|oracle=%v", app, sc.Scheduler, sc.CPL, sc.CACP, sc.Oracle != nil)
-	if sc.CACPConfig != nil {
-		key += fmt.Sprintf("|ways=%d|sig=%d", sc.CACPConfig.CriticalWays, sc.CACPConfig.Signature)
-	}
-	if sc.CPLTweak != nil {
-		key += fmt.Sprintf("|tweak=%p", sc.CPLTweak)
-	}
-	if r, ok := s.cache[key]; ok {
-		return r, nil
-	}
-	r, err := Run(RunOptions{Workload: app, Params: s.Params, System: sc, Config: s.Config})
+	sysKey, err := sc.Key()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("harness: %s: %w", app, err)
 	}
-	s.cache[key] = r
-	return r, nil
+	key := app + "|" + sysKey
+	s.mu.Lock()
+	if s.cache == nil {
+		s.cache = make(map[string]*flight)
+	}
+	if f, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.res, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.cache[key] = f
+	s.mu.Unlock()
+
+	f.res, f.err = s.simulate(RunOptions{
+		Workload: app, Params: s.Params, System: sc, Config: s.Config,
+	})
+	close(f.done)
+	return f.res, f.err
+}
+
+// RunUncached executes one run under the session's worker-pool bound
+// without touching the result cache. Experiments whose runs carry
+// per-run instrumentation (PerCycle samplers, AttachL1 taps) use it so
+// hooked runs still respect -j and appear in the timing summary. Zero
+// Params/Config fields default to the session's.
+func (s *Session) RunUncached(opt RunOptions) (*Result, error) {
+	if opt.Params == (workloads.Params{}) {
+		opt.Params = s.Params
+	}
+	if opt.Config.NumSMs == 0 {
+		opt.Config = s.Config
+	}
+	return s.simulate(opt)
+}
+
+// Prewarm simulates every key of the run matrix across the worker
+// pool, deduplicating against the cache and against concurrent
+// requests, and returns the first (lowest-index) error.
+func (s *Session) Prewarm(keys []RunKey) error {
+	return s.Fanout(len(keys), func(i int) error {
+		_, err := s.Run(keys[i].App, keys[i].System)
+		return err
+	})
+}
+
+// Fanout runs fn(0) … fn(n-1) concurrently and returns the
+// lowest-index error (deterministic under nondeterministic completion
+// order). fn bodies self-limit through Run/RunUncached, so Fanout
+// itself imposes no bound and nested fan-outs cannot deadlock the
+// pool.
+func (s *Session) Fanout(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Timings returns a copy of the per-simulation wall-clock records, in
+// completion order.
+func (s *Session) Timings() []RunTiming {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]RunTiming(nil), s.timings...)
+}
+
+// paperApps is the application set experiments iterate over: the
+// session's Apps restriction, or the full paper list.
+func (s *Session) paperApps() []string {
+	if s.Apps != nil {
+		return s.Apps
+	}
+	return PaperApps
+}
+
+// sensApps restricts SensApps to the session's application set.
+func (s *Session) sensApps() []string {
+	if s.Apps == nil {
+		return SensApps()
+	}
+	sens := make(map[string]bool, len(SensApps()))
+	for _, a := range SensApps() {
+		sens[a] = true
+	}
+	var out []string
+	for _, a := range s.Apps {
+		if sens[a] {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // Baseline returns the cached round-robin run of app.
@@ -83,6 +268,18 @@ func (s *Session) OracleFor(app string) (map[int]float64, error) {
 		oracle[w.GID] = float64(w.ExecTime())
 	}
 	return oracle, nil
+}
+
+// matrix builds the cross product of apps and design points as a run
+// matrix for Prewarm.
+func matrix(apps []string, systems ...core.SystemConfig) []RunKey {
+	keys := make([]RunKey, 0, len(apps)*len(systems))
+	for _, app := range apps {
+		for _, sc := range systems {
+			keys = append(keys, RunKey{App: app, System: sc})
+		}
+	}
+	return keys
 }
 
 // CriticalGIDs returns, for a finished run, the global warp id of the

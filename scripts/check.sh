@@ -1,0 +1,24 @@
+#!/bin/sh
+# Tier-1 gate: run this before every merge.
+#
+#   go vet        static checks
+#   go build      everything compiles
+#   go test       full unit + experiment smoke suite
+#   go test -race the concurrency audit of the parallel simulation
+#                 engine: harness (session scheduler, parallel
+#                 experiments) and workloads (per-instance RNG) under
+#                 the race detector. -short skips the slow sequential
+#                 experiment sweep but keeps every parallel-path test
+#                 (singleflight, prewarm, parallel-vs-sequential golden).
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+echo "== go build =="
+go build ./...
+echo "== go test =="
+go test ./...
+echo "== go test -race (harness, workloads) =="
+go test -race -short ./internal/harness/... ./internal/workloads/...
+echo "ALL CHECKS PASSED"
