@@ -25,21 +25,29 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"cawa/internal/config"
 	"cawa/internal/harness"
+	"cawa/internal/obs"
 	"cawa/internal/workloads"
 )
 
 // timingSummary is the machine-readable wall-clock report (-timing).
+// Manifest carries the session's run manifest: the full design-point
+// key and outcome of every simulation plus the run-cache hit/miss
+// counters, so two sweeps can be compared mechanically.
 type timingSummary struct {
 	Workers      int                 `json:"workers"`
 	Experiments  []experimentTiming  `json:"experiments"`
 	Runs         []harness.RunTiming `json:"runs"`
+	CacheHits    uint64              `json:"cache_hits"`
+	CacheMisses  uint64              `json:"cache_misses"`
 	SimSeconds   float64             `json:"sim_seconds"`   // summed simulation time across workers
 	TotalSeconds float64             `json:"total_seconds"` // wall-clock of the whole invocation
+	Manifest     *obs.Manifest       `json:"manifest"`
 }
 
 type experimentTiming struct {
@@ -58,8 +66,39 @@ func main() {
 		workers = flag.Int("j", 0, "max concurrent simulations (0 = all cores)")
 		asJSON  = flag.Bool("json", false, "emit tables as JSON documents")
 		timing  = flag.String("timing", "", "write a JSON timing summary to this file (\"-\" = stderr)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cawabench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cawabench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cawabench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "cawabench: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, id := range harness.ExperimentIDs() {
@@ -127,6 +166,8 @@ func main() {
 		for _, r := range summary.Runs {
 			summary.SimSeconds += r.Seconds
 		}
+		summary.CacheHits, summary.CacheMisses = session.CacheStats()
+		summary.Manifest = session.Manifest()
 		summary.TotalSeconds = time.Since(wallStart).Seconds()
 		doc, err := json.MarshalIndent(summary, "", "  ")
 		if err != nil {

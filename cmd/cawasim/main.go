@@ -7,22 +7,37 @@
 //
 // Schedulers: lrr (baseline RR), gto, 2lvl, caws (oracle), gcaws.
 // The full CAWA design point is -scheduler gcaws -cpl -cacp.
+//
+// Observability (see README "Observability"):
+//
+//	-trace-json out.json   Chrome trace-event file: per-warp spans with
+//	                       stall slices plus counter tracks (open in
+//	                       Perfetto or chrome://tracing)
+//	-obs-dir DIR           write trace.json, metrics.csv, metrics.json
+//	                       and manifest.json into DIR
+//	-sample-every N        metric sampling cadence in cycles
+//	-hotpcs N              print the N PCs with the most stall time,
+//	                       from the same event stream as the trace
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"sort"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"cawa/internal/config"
 	"cawa/internal/core"
 	"cawa/internal/harness"
+	"cawa/internal/obs"
 	"cawa/internal/sched"
 	"cawa/internal/sm"
 	"cawa/internal/stats"
-	"cawa/internal/trace"
 	"cawa/internal/workloads"
 )
 
@@ -36,9 +51,28 @@ func main() {
 		seed      = flag.Int64("seed", 1, "input generator seed")
 		sms       = flag.Int("sms", 0, "override number of SMs (default: GTX480's 15)")
 		verbose   = flag.Bool("v", false, "print per-block warp summaries")
-		hotpcs    = flag.Int("hotpcs", 0, "trace execution and print the N PCs with the most stall time")
+		hotpcs    = flag.Int("hotpcs", 0, "print the N PCs with the most stall time")
+
+		traceJSON   = flag.String("trace-json", "", "write a Chrome trace-event file (Perfetto / chrome://tracing)")
+		obsDir      = flag.String("obs-dir", "", "write observability artifacts (trace.json, metrics.csv, metrics.json, manifest.json) into this directory")
+		sampleEvery = flag.Int64("sample-every", 0, fmt.Sprintf("metric sampling interval in cycles (0 = %d when observability is on)", obs.DefaultSampleEvery))
+
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := config.GTX480()
 	if *sms > 0 {
@@ -55,33 +89,48 @@ func main() {
 		sc.Oracle = oracle
 	}
 
-	var recorders []*trace.Recorder
 	opt := harness.RunOptions{
 		Workload: *workload,
 		Params:   workloads.Params{Scale: *scale, Seed: *seed},
 		System:   sc,
 		Config:   cfg,
 	}
-	if *hotpcs > 0 {
-		// Decorate every SM's criticality provider with a recorder.
+
+	// Observability wiring. The collector decorates every SM's
+	// criticality provider with a trace recorder (one event stream for
+	// the Chrome trace and the hot-PC report); the sampler polls the
+	// metric registry on a cycle cadence for counter tracks and time
+	// series. Neither is attached unless requested, so plain runs are
+	// bit-identical to pre-observability builds.
+	wantTrace := *traceJSON != "" || *obsDir != ""
+	sysKey, err := sc.Key()
+	if err != nil {
+		sysKey = sc.Label()
+	}
+	var collector *obs.Collector
+	var sampler *obs.Sampler
+	if wantTrace || *hotpcs > 0 {
+		collector = obs.NewCollector(1 << 20)
 		needCPL := sc.CPL || sc.CACP || sc.Scheduler == "gcaws"
 		oracle := sc.Oracle
-		sc.ProviderOverride = func() sm.CriticalityProvider {
-			var in sm.CriticalityProvider
+		opt.System.ProviderOverride = collector.Wrap(func() sm.CriticalityProvider {
 			switch {
 			case oracle != nil:
-				in = core.NewOracle(oracle)
+				return core.NewOracle(oracle)
 			case needCPL:
-				in = core.NewCPL()
+				return core.NewCPL()
 			}
-			r := trace.NewRecorder(in, 1<<20)
-			recorders = append(recorders, r)
-			return r
-		}
-		opt.System = sc
+			return nil
+		})
+	}
+	if wantTrace {
+		sampler = obs.NewSampler(nil, *sampleEvery)
+		opt.PerCycle = sampler.OnCycle
 	}
 
+	start := time.Now()
 	res, err := harness.Run(opt)
+	elapsed := time.Since(start)
 	if err != nil {
 		fatal(err)
 	}
@@ -111,31 +160,107 @@ func main() {
 		}
 	}
 
+	if wantTrace {
+		if err := writeObsArtifacts(res, collector, sampler, elapsed, *traceJSON, *obsDir, cfg, opt.Params, sysKey); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *hotpcs > 0 {
-		agg := make(map[int32]trace.PCProfile)
-		for _, r := range recorders {
-			for _, p := range r.HotPCs() {
-				a := agg[p.PC]
-				a.PC, a.Op = p.PC, p.Op
-				a.Issues += p.Issues
-				a.Stall += p.Stall
-				agg[p.PC] = a
-			}
-		}
-		profiles := make([]trace.PCProfile, 0, len(agg))
-		for _, p := range agg {
-			profiles = append(profiles, p)
-		}
-		sort.Slice(profiles, func(i, j int) bool { return profiles[i].Stall > profiles[j].Stall })
-		if len(profiles) > *hotpcs {
-			profiles = profiles[:*hotpcs]
-		}
 		fmt.Printf("\nhottest PCs by accumulated stall (last kernel's retained trace):\n")
 		fmt.Println("  pc    op          issues      stall_cycles")
-		for _, p := range profiles {
+		for _, p := range collector.HotPCs(*hotpcs) {
 			fmt.Printf("  %-5d %-10s %9d  %12d\n", p.PC, p.Op, p.Issues, p.Stall)
 		}
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+}
+
+// writeObsArtifacts renders the Chrome trace and, under -obs-dir, the
+// metric time series and the run manifest.
+func writeObsArtifacts(res *harness.Result, collector *obs.Collector, sampler *obs.Sampler,
+	elapsed time.Duration, traceJSON, obsDir string, cfg config.Config, params workloads.Params, sysKey string) error {
+	events := collector.Events()
+	if total := collector.Total(); total > uint64(len(events)) {
+		fmt.Fprintf(os.Stderr, "cawasim: trace rings overwrote %d of %d events; only the most recent are exported\n",
+			total-uint64(len(events)), total)
+	}
+	ct := obs.BuildChromeTrace(obs.TraceInput{
+		Warps:  res.Agg.Warps,
+		Events: events,
+		Series: sampler.Series(),
+		Spans:  res.GPU.Spans,
+	})
+	if traceJSON != "" {
+		if err := ct.WriteFile(traceJSON); err != nil {
+			return err
+		}
+		fmt.Printf("trace          %s (open in Perfetto or chrome://tracing)\n", traceJSON)
+	}
+	if obsDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(obsDir, 0o755); err != nil {
+		return err
+	}
+	if err := ct.WriteFile(filepath.Join(obsDir, "trace.json")); err != nil {
+		return err
+	}
+	if err := writeSeries(filepath.Join(obsDir, "metrics.csv"), sampler, obs.WriteSeriesCSV); err != nil {
+		return err
+	}
+	if err := writeSeries(filepath.Join(obsDir, "metrics.json"), sampler, obs.WriteSeriesJSON); err != nil {
+		return err
+	}
+	m := &obs.Manifest{
+		Architecture: cfg.Name,
+		NumSMs:       cfg.NumSMs,
+		Scale:        params.Scale,
+		Seed:         params.Seed,
+		Workers:      1,
+		CacheMisses:  1,
+		WallSeconds:  elapsed.Seconds(),
+		Runs: []obs.RunRecord{{
+			App:       res.Workload,
+			System:    res.System,
+			SystemKey: sysKey,
+			Seconds:   elapsed.Seconds(),
+			Launches:  res.Launches,
+			Cycles:    res.Agg.Cycles,
+			Instrs:    res.Agg.Instructions,
+			IPC:       res.Agg.IPC(),
+			Warps:     len(res.Agg.Warps),
+		}},
+	}
+	if err := m.WriteFile(filepath.Join(obsDir, "manifest.json")); err != nil {
+		return err
+	}
+	fmt.Printf("observability  %s (trace.json, metrics.csv, metrics.json, manifest.json)\n", obsDir)
+	return nil
+}
+
+// writeSeries streams the sampler's series through one exporter.
+func writeSeries(path string, sampler *obs.Sampler, export func(w io.Writer, series []*obs.Series) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := export(f, sampler.Series()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -51,6 +51,18 @@ type GPU struct {
 	// PerCycle, when set, is called after every simulated cycle
 	// (sampling hooks for timeline figures). Keep it cheap.
 	PerCycle func(g *GPU, cycle int64)
+
+	// Spans records the cycle window of every completed kernel launch
+	// (observability exporters render launches as top-level trace
+	// spans). One entry per Launch call; never trimmed.
+	Spans []LaunchSpan
+}
+
+// LaunchSpan is the cycle window of one kernel launch.
+type LaunchSpan struct {
+	Kernel string
+	Start  int64
+	End    int64
 }
 
 // New builds a GPU.
@@ -169,6 +181,7 @@ func (g *GPU) Launch(k *simt.Kernel) (*stats.Launch, error) {
 		}
 	}
 
+	g.Spans = append(g.Spans, LaunchSpan{Kernel: k.Name, Start: startCycle + 1, End: g.cycle})
 	out := &stats.Launch{Kernel: k.Name, Cycles: g.cycle - startCycle}
 	for i, s := range g.sms {
 		out.Instructions += s.Instructions

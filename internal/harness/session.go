@@ -9,6 +9,7 @@ import (
 
 	"cawa/internal/config"
 	"cawa/internal/core"
+	"cawa/internal/obs"
 	"cawa/internal/stats"
 	"cawa/internal/workloads"
 )
@@ -65,7 +66,10 @@ type Session struct {
 	mu      sync.Mutex
 	cache   map[string]*flight
 	sem     chan struct{}
-	timings []RunTiming
+	records []obs.RunRecord
+	hits    uint64 // Run requests served from the cache
+	misses  uint64 // Run requests that simulated
+	started time.Time
 }
 
 // flight is one singleflight cache slot: the first requester simulates
@@ -80,10 +84,11 @@ type flight struct {
 // scaling, sized to runtime.NumCPU workers.
 func NewSession(cfg config.Config, p workloads.Params) *Session {
 	return &Session{
-		Config: cfg,
-		Params: p,
-		cache:  make(map[string]*flight),
-		sem:    make(chan struct{}, runtime.NumCPU()),
+		Config:  cfg,
+		Params:  p,
+		cache:   make(map[string]*flight),
+		sem:     make(chan struct{}, runtime.NumCPU()),
+		started: time.Now(),
 	}
 }
 
@@ -121,20 +126,36 @@ func (s *Session) acquire() (release func()) {
 	return func() { <-sem }
 }
 
-// simulate executes one run under the worker-pool bound and records its
-// wall-clock cost.
+// simulate executes one run under the worker-pool bound and records a
+// manifest entry with its wall-clock cost and outcome.
 func (s *Session) simulate(opt RunOptions) (*Result, error) {
 	release := s.acquire()
 	start := time.Now()
 	r, err := Run(opt)
 	elapsed := time.Since(start)
 	release()
-	s.mu.Lock()
-	s.timings = append(s.timings, RunTiming{
+	rec := obs.RunRecord{
 		App:     opt.Workload,
 		System:  opt.System.Label(),
 		Seconds: elapsed.Seconds(),
-	})
+	}
+	if key, kerr := opt.System.Key(); kerr == nil {
+		rec.SystemKey = key
+	} else {
+		rec.SystemKey = rec.System
+	}
+	switch {
+	case err != nil:
+		rec.Err = err.Error()
+	default:
+		rec.Launches = r.Launches
+		rec.Cycles = r.Agg.Cycles
+		rec.Instrs = r.Agg.Instructions
+		rec.IPC = r.Agg.IPC()
+		rec.Warps = len(r.Agg.Warps)
+	}
+	s.mu.Lock()
+	s.records = append(s.records, rec)
 	s.mu.Unlock()
 	return r, err
 }
@@ -152,12 +173,14 @@ func (s *Session) Run(app string, sc core.SystemConfig) (*Result, error) {
 		s.cache = make(map[string]*flight)
 	}
 	if f, ok := s.cache[key]; ok {
+		s.hits++
 		s.mu.Unlock()
 		<-f.done
 		return f.res, f.err
 	}
 	f := &flight{done: make(chan struct{})}
 	s.cache[key] = f
+	s.misses++
 	s.mu.Unlock()
 
 	f.res, f.err = s.simulate(RunOptions{
@@ -221,7 +244,38 @@ func (s *Session) Fanout(n int, fn func(i int) error) error {
 func (s *Session) Timings() []RunTiming {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]RunTiming(nil), s.timings...)
+	out := make([]RunTiming, len(s.records))
+	for i, r := range s.records {
+		out[i] = RunTiming{App: r.App, System: r.System, Seconds: r.Seconds}
+	}
+	return out
+}
+
+// CacheStats returns how many Session.Run requests were served from
+// the result cache (including singleflight waiters) versus simulated.
+func (s *Session) CacheStats() (hits, misses uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}
+
+// Manifest snapshots the session — architecture, workload scaling,
+// worker count, cache effectiveness, and every simulation executed so
+// far — as one observability document.
+func (s *Session) Manifest() *obs.Manifest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &obs.Manifest{
+		Architecture: s.Config.Name,
+		NumSMs:       s.Config.NumSMs,
+		Scale:        s.Params.Scale,
+		Seed:         s.Params.Seed,
+		Workers:      cap(s.sem),
+		CacheHits:    s.hits,
+		CacheMisses:  s.misses,
+		WallSeconds:  time.Since(s.started).Seconds(),
+		Runs:         append([]obs.RunRecord(nil), s.records...),
+	}
 }
 
 // paperApps is the application set experiments iterate over: the

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"testing"
+
+	"cawa/internal/config"
+	"cawa/internal/core"
+	"cawa/internal/workloads"
+)
+
+// TestStallAccountingInvariants runs every paper application on the
+// baseline design point and checks the accounting identities the
+// stall-breakdown figures (2c, 4) and the observability exporters rely
+// on:
+//
+//   - Every resident cycle of a live warp lands in exactly one bucket,
+//     so IssueCycles + SchedStall + MemStall + ALUStall + BarrierStall
+//     + EmptyStall == ExecTime() + 1. The +1 is the dispatch-cycle
+//     fencepost: the warp is accounted on its dispatch cycle, while
+//     ExecTime counts the distance FinishCycle - DispatchCycle. In
+//     particular no component can ever exceed the warp's residency.
+//   - The launch totals aggregated from SM counters equal the sums
+//     over the per-warp records (the two are maintained independently
+//     in the pipeline).
+func TestStallAccountingInvariants(t *testing.T) {
+	apps := PaperApps
+	if testing.Short() {
+		apps = apps[:4] // bfs, b+tree, heartwall, kmeans
+	}
+	s := NewSession(config.Small(), workloads.Params{Scale: 0.05, Seed: 3})
+	if err := s.Prewarm(matrix(apps, core.Baseline())); err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range apps {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			r, err := s.Run(app, core.Baseline())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sumInstr, sumThread int64
+			for _, w := range r.Agg.Warps {
+				res := w.ExecTime()
+				if res < 0 {
+					t.Fatalf("warp %d: negative residency %d", w.GID, res)
+				}
+				sum := w.IssueCycles + w.SchedStall + w.MemStall + w.ALUStall +
+					w.BarrierStall + w.EmptyStall
+				if sum != res+1 {
+					t.Errorf("warp %d: cycle buckets sum to %d, want residency+1 = %d (issue=%d sched=%d mem=%d alu=%d barrier=%d empty=%d)",
+						w.GID, sum, res+1, w.IssueCycles, w.SchedStall, w.MemStall,
+						w.ALUStall, w.BarrierStall, w.EmptyStall)
+				}
+				for name, c := range map[string]int64{
+					"IssueCycles": w.IssueCycles, "SchedStall": w.SchedStall,
+					"MemStall": w.MemStall, "ALUStall": w.ALUStall,
+					"BarrierStall": w.BarrierStall, "EmptyStall": w.EmptyStall,
+				} {
+					if c < 0 || c > res+1 {
+						t.Errorf("warp %d: %s = %d outside [0, %d]", w.GID, name, c, res+1)
+					}
+				}
+				sumInstr += w.Instructions
+				sumThread += w.ThreadInstrs
+			}
+			if sumInstr != r.Agg.Instructions {
+				t.Errorf("warp records carry %d instructions, launch counted %d", sumInstr, r.Agg.Instructions)
+			}
+			if sumThread != r.Agg.ThreadInstrs {
+				t.Errorf("warp records carry %d thread instructions, launch counted %d", sumThread, r.Agg.ThreadInstrs)
+			}
+		})
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteSeriesCSV emits the series in wide form: a "cycle" column
+// followed by one column per series, one row per sampling instant.
+// All series of one sampler share their sample cycles; series with
+// fewer samples leave trailing cells empty.
+func WriteSeriesCSV(w io.Writer, series []*Series) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(series)+1)
+	header = append(header, "cycle")
+	rows := 0
+	for _, s := range series {
+		header = append(header, s.Name)
+		if len(s.Samples) > rows {
+			rows = len(s.Samples)
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for i := 0; i < rows; i++ {
+		for j := range row {
+			row[j] = ""
+		}
+		for j, s := range series {
+			if i >= len(s.Samples) {
+				continue
+			}
+			if row[0] == "" {
+				row[0] = strconv.FormatInt(s.Samples[i].Cycle, 10)
+			}
+			row[j+1] = strconv.FormatFloat(s.Samples[i].Value, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSeriesJSON emits the series as one JSON document.
+func WriteSeriesJSON(w io.Writer, series []*Series) error {
+	doc := struct {
+		Series []*Series `json:"series"`
+	}{Series: series}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// writeFileWith opens path and streams fn into it.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -103,6 +103,7 @@ func (m *SM) issueFrom(u *schedUnit, now int64) {
 			return
 		}
 		if m.tryIssue(pick, now) {
+			u.issued++
 			return
 		}
 		// Structural reject: reclassify and let the policy try again.

@@ -118,6 +118,7 @@ type schedUnit struct {
 	slots  []int // slot indices owned by this scheduler
 	ready  []int // per-cycle scratch, reused
 	ctx    sched.Context
+	issued int64 // instructions this unit has issued (pick distribution)
 }
 
 // SM is one streaming multiprocessor.
@@ -285,6 +286,84 @@ func (m *SM) Slot(i int) *simt.Warp {
 	}
 	return m.slots[i].warp
 }
+
+// ObsState is a point-in-time classification of the SM's warp
+// population for the observability sampler: how many warps are
+// resident, what each was doing at the sampled cycle, and the live
+// criticality spread (max-min provider estimate) across unfinished
+// warps. Gathering it is read-only and allocation-free.
+type ObsState struct {
+	Resident     int     // occupied warp slots
+	Issued       int     // issued an instruction at the sampled cycle
+	Ready        int     // issuable but not picked (scheduler delay)
+	StallMem     int     // blocked on global memory (data or structural)
+	StallALU     int     // blocked on an in-flight compute result
+	StallBarrier int     // parked at a block barrier
+	Idle         int     // finished, holding the slot until block exit
+	CritSpread   float64 // max-min criticality across unfinished warps
+}
+
+// Active returns the warps making or awaiting progress (not yet
+// finished).
+func (o ObsState) Active() int {
+	return o.Issued + o.Ready + o.StallMem + o.StallALU + o.StallBarrier
+}
+
+// Stalled returns the warps blocked on memory, compute results, or
+// barriers.
+func (o ObsState) Stalled() int { return o.StallMem + o.StallALU + o.StallBarrier }
+
+// ObsState classifies every resident warp by its latest readiness
+// evaluation (sampling hook; see internal/obs).
+func (m *SM) ObsState() ObsState {
+	var o ObsState
+	var minC, maxC float64
+	first := true
+	for i := range m.slots {
+		s := &m.slots[i]
+		if !s.valid {
+			continue
+		}
+		o.Resident++
+		if s.warp.Done() {
+			o.Idle++
+			continue
+		}
+		switch {
+		case s.issuedCycle == m.cycle:
+			o.Issued++
+		case s.reason == reasonReady:
+			o.Ready++
+		case s.reason == reasonMemData || s.reason == reasonMemStruct:
+			o.StallMem++
+		case s.reason == reasonALU:
+			o.StallALU++
+		case s.reason == reasonBarrier:
+			o.StallBarrier++
+		default:
+			o.Ready++ // not yet evaluated this cycle
+		}
+		c := m.crit.Criticality(i)
+		if first || c < minC {
+			minC = c
+		}
+		if first || c > maxC {
+			maxC = c
+		}
+		first = false
+	}
+	if !first {
+		o.CritSpread = maxC - minC
+	}
+	return o
+}
+
+// Schedulers returns the number of scheduler units (sampling hook).
+func (m *SM) Schedulers() int { return len(m.units) }
+
+// SchedulerIssued returns the cumulative instructions issued by one
+// scheduler unit — the scheduler-pick distribution (sampling hook).
+func (m *SM) SchedulerIssued(unit int) int64 { return m.units[unit].issued }
 
 // regMask returns the scoreboard bits instruction in reads or writes.
 func regMask(in isa.Instr) uint64 {

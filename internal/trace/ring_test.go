@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"testing"
+
+	"cawa/internal/isa"
+	"cawa/internal/simt"
+)
+
+// issueAt pushes one event for the warp in slot at the given cycle.
+func issueAt(r *Recorder, slot int, pc int32, cycle int64) {
+	st := &simt.Step{PC: pc, Instr: isa.Instr{Op: isa.OpAdd}, Lanes: 32}
+	r.OnIssue(slot, st, 0, cycle)
+}
+
+// TestRecorderRingWraparound pins the bounded-ring semantics: overwrite
+// order is oldest-first, Total keeps counting past the capacity, and
+// events recorded after a slot is reused carry the new occupant's gid
+// while retained events keep the gid that was live when they were
+// recorded.
+func TestRecorderRingWraparound(t *testing.T) {
+	const capacity = 3
+	r := NewRecorder(nil, capacity)
+	r.OnWarpArrived(0, simt.NewWarp(10, 0, 0, 32, 32, 8))
+
+	// Fill the ring exactly; nothing overwritten yet.
+	for c := int64(1); c <= capacity; c++ {
+		issueAt(r, 0, int32(c), c)
+	}
+	if got := r.Events(); len(got) != capacity || got[0].Cycle != 1 || got[2].Cycle != 3 {
+		t.Fatalf("pre-wrap events wrong: %+v", got)
+	}
+
+	// Two more events overwrite cycles 1 and 2.
+	issueAt(r, 0, 4, 4)
+	issueAt(r, 0, 5, 5)
+	if r.Total() != 5 {
+		t.Fatalf("total = %d, want 5 (overwritten events still count)", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != capacity {
+		t.Fatalf("retained %d events, want %d", len(evs), capacity)
+	}
+	for i, want := range []int64{3, 4, 5} {
+		if evs[i].Cycle != want {
+			t.Fatalf("wrap order broken at %d: got cycle %d, want %d (%+v)", i, evs[i].Cycle, want, evs)
+		}
+	}
+
+	// Slot 0 is reused by a new warp: retained events keep gid 10,
+	// post-reuse events map to gid 20.
+	r.OnWarpFinished(0)
+	r.OnWarpArrived(0, simt.NewWarp(20, 1, 0, 32, 32, 8))
+	issueAt(r, 0, 6, 6)
+	evs = r.Events()
+	for i, want := range []int64{4, 5, 6} {
+		if evs[i].Cycle != want {
+			t.Fatalf("post-reuse order broken at %d: %+v", i, evs)
+		}
+	}
+	if evs[0].GID != 10 || evs[1].GID != 10 {
+		t.Fatalf("retained events lost their original gid: %+v", evs)
+	}
+	if evs[2].GID != 20 {
+		t.Fatalf("post-reuse event has gid %d, want 20", evs[2].GID)
+	}
+	if tl := r.WarpTimeline(10); len(tl) != 2 {
+		t.Fatalf("gid 10 timeline has %d events, want 2", len(tl))
+	}
+	if tl := r.WarpTimeline(20); len(tl) != 1 {
+		t.Fatalf("gid 20 timeline has %d events, want 1", len(tl))
+	}
+
+	// Keep wrapping: after capacity more events only gid-20 events
+	// survive and order is still oldest-first.
+	for c := int64(7); c < 7+capacity; c++ {
+		issueAt(r, 0, int32(c), c)
+	}
+	evs = r.Events()
+	for i := range evs {
+		if evs[i].GID != 20 {
+			t.Fatalf("stale gid survived full wrap: %+v", evs)
+		}
+		if i > 0 && evs[i].Cycle <= evs[i-1].Cycle {
+			t.Fatalf("order not monotonic after full wrap: %+v", evs)
+		}
+	}
+	if r.Total() != 9 {
+		t.Fatalf("total = %d, want 9", r.Total())
+	}
+}
