@@ -1,15 +1,25 @@
-// Command cawadis assembles and disassembles mini-ISA programs: it
-// parses an assembly file (the syntax of Program.Disasm, see
-// internal/isa), validates it, computes SIMT reconvergence points, and
-// prints the annotated disassembly plus basic-block statistics.
+// Command cawadis assembles, disassembles, and statically verifies
+// mini-ISA programs: it parses an assembly file (the syntax of
+// Program.Disasm, see internal/isa), computes SIMT reconvergence
+// points, and prints the annotated disassembly plus basic-block and
+// register-pressure statistics. With -lint it runs the full verifier
+// (internal/isa/analysis) and exits non-zero on error findings.
 //
 // Usage:
 //
-//	cawadis file.casm
-//	cawadis -           # read from stdin
+//	cawadis file.casm            # disassemble + stats
+//	cawadis -                    # read from stdin
+//	cawadis -lint file.casm ...  # verify; findings to stderr, exit 1
+//	cawadis -lint -json file...  # machine-readable reports on stdout
+//	cawadis -lint -workload all  # verify built-in workload kernels
+//
+// Parse failures are positioned as file:line; exit status is 1 for
+// findings or parse errors and 2 for usage errors.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -18,15 +28,64 @@ import (
 	"strings"
 
 	"cawa/internal/isa"
+	"cawa/internal/isa/analysis"
+	"cawa/internal/simt"
+	"cawa/internal/workloads"
 )
 
 func main() {
+	lint := flag.Bool("lint", false, "run the static verifier; exit 1 on error findings")
+	jsonOut := flag.Bool("json", false, "with -lint, emit reports as JSON on stdout")
+	workload := flag.String("workload", "", "with -lint, verify a built-in workload's kernel (or 'all')")
+	strict := flag.Bool("strict", false, "with -lint, also flag upper-bound affine escapes")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: cawadis [-lint [-json] [-strict]] <file.casm...| ->")
+		fmt.Fprintln(os.Stderr, "       cawadis -lint [-json] -workload <name|all>")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cawadis <file.casm | ->")
+
+	if *workload != "" {
+		if !*lint {
+			fmt.Fprintln(os.Stderr, "cawadis: -workload requires -lint")
+			os.Exit(2)
+		}
+		os.Exit(lintWorkloads(*workload, *jsonOut, *strict))
+	}
+	if flag.NArg() == 0 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	arg := flag.Arg(0)
+
+	status := 0
+	var reports []*analysis.Report
+	for _, arg := range flag.Args() {
+		prog, err := load(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cawadis: %v\n", err)
+			status = 1
+			continue
+		}
+		rep := analysis.Analyze(prog, analysis.Options{StrictBounds: *strict})
+		if *lint {
+			reports = append(reports, rep)
+			if report(arg, rep, *jsonOut) {
+				status = 1
+			}
+			continue
+		}
+		fmt.Print(prog.Disasm())
+		printStats(prog, rep)
+	}
+	if *lint && *jsonOut {
+		emitJSON(reports)
+	}
+	os.Exit(status)
+}
+
+// load reads one source (a path or "-" for stdin) and assembles it.
+// Parse errors come back positioned as file:line.
+func load(arg string) (*isa.Program, error) {
 	var src []byte
 	var err error
 	name := "stdin"
@@ -37,15 +96,22 @@ func main() {
 		name = strings.TrimSuffix(filepath.Base(arg), filepath.Ext(arg))
 	}
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
 	prog, err := isa.Parse(name, string(src))
 	if err != nil {
-		fatal(err)
+		var pe *isa.ParseError
+		if errors.As(err, &pe) && pe.Line > 0 {
+			return nil, fmt.Errorf("%s:%d: %v", arg, pe.Line, pe.Unwrap())
+		}
+		return nil, fmt.Errorf("%s: %v", arg, err)
 	}
-	fmt.Print(prog.Disasm())
+	return prog, nil
+}
 
-	// Control-flow summary.
+// printStats renders the control-flow, basic-block, and
+// register-pressure summary under the disassembly.
+func printStats(prog *isa.Program, rep *analysis.Report) {
 	branches, divergable, mem, bar := 0, 0, 0, 0
 	for pc := int32(0); pc < int32(prog.Len()); pc++ {
 		in := prog.At(pc)
@@ -63,6 +129,20 @@ func main() {
 	}
 	fmt.Printf("\n// %d instructions, %d branches (%d divergable), %d global memory ops, %d barriers\n",
 		prog.Len(), branches, divergable, mem, bar)
+	fmt.Printf("// %d basic blocks, %d loops, %d registers used, max %d live, stack depth <= %d\n",
+		len(rep.Blocks), rep.Loops, rep.RegsUsed, rep.MaxLive, rep.StackDepth)
+	for _, b := range rep.Blocks {
+		liveIn := 0
+		if int(b.ID) < len(rep.BlockLiveIn) {
+			liveIn = rep.BlockLiveIn[b.ID]
+		}
+		loop := ""
+		if b.LoopHead {
+			loop = " loop-head"
+		}
+		fmt.Printf("//   block %d: pc %d..%d, succs %v, live-in %d%s\n",
+			b.ID, b.Start, b.End-1, b.Succs, liveIn, loop)
+	}
 	for pc := int32(0); pc < int32(prog.Len()); pc++ {
 		in := prog.At(pc)
 		if in.Op.IsCondBranch() {
@@ -71,7 +151,67 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cawadis:", err)
-	os.Exit(1)
+// report prints one lint report in human form to stderr and returns
+// whether it contains error findings.
+func report(source string, rep *analysis.Report, jsonOut bool) bool {
+	failed := len(rep.Errors()) > 0
+	if jsonOut {
+		return failed
+	}
+	for _, f := range rep.Findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", source, f)
+	}
+	if len(rep.Findings) == 0 {
+		fmt.Printf("%s: %s: clean (%d instrs, %d blocks, %d regs, max %d live)\n",
+			source, rep.Program, rep.Instrs, len(rep.Blocks), rep.RegsUsed, rep.MaxLive)
+	}
+	return failed
+}
+
+func emitJSON(reports []*analysis.Report) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(reports); err != nil {
+		fmt.Fprintf(os.Stderr, "cawadis: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// lintWorkloads verifies the built-in workload kernels with their real
+// launch geometry — the same checks gpu.Launch applies.
+func lintWorkloads(which string, jsonOut, strict bool) int {
+	names := workloads.Names()
+	if which != "all" {
+		names = []string{which}
+	}
+	status := 0
+	var reports []*analysis.Report
+	for _, name := range names {
+		w, err := workloads.New(name, workloads.DefaultParams())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cawadis: %v\n", err)
+			return 2
+		}
+		k, ok := w.Next()
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cawadis: workload %s yields no kernel\n", name)
+			return 2
+		}
+		launch := launchOf(k, w)
+		rep := analysis.Analyze(k.Program, analysis.Options{Launch: launch, StrictBounds: strict})
+		reports = append(reports, rep)
+		if report(name+"/"+k.Name, rep, jsonOut) {
+			status = 1
+		}
+	}
+	if jsonOut {
+		emitJSON(reports)
+	}
+	return status
+}
+
+func launchOf(k *simt.Kernel, w workloads.Workload) *analysis.Launch {
+	launch := k.AnalysisLaunch()
+	launch.GlobalBytes = w.Mem().Size()
+	return launch
 }

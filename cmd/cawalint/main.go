@@ -1,0 +1,104 @@
+// Command cawalint enforces the simulator's determinism invariants
+// over its Go source (see internal/lint): no wall-clock reads or
+// global math/rand in simulation packages, no raw map iteration
+// feeding simulation state or output, and no goroutines outside
+// internal/harness.
+//
+// Usage:
+//
+//	cawalint [dirs...]   # default: ./internal
+//
+// Findings print as file:line:col: rule: message; the exit status is
+// 1 when any finding exists, 2 on usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cawa/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: cawalint [dirs...]  (default ./internal)")
+	}
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"internal"}
+	}
+
+	module, err := moduleName()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cawalint: %v\n", err)
+		os.Exit(2)
+	}
+	opts := lint.DefaultOptions()
+
+	total := 0
+	for _, root := range roots {
+		dirs, err := goDirs(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cawalint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, dir := range dirs {
+			pkgPath := module + "/" + filepath.ToSlash(filepath.Clean(dir))
+			findings, err := lint.Dir(dir, pkgPath, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cawalint: %s: %v\n", dir, err)
+				os.Exit(2)
+			}
+			for _, f := range findings {
+				fmt.Println(f)
+			}
+			total += len(findings)
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "cawalint: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+}
+
+// moduleName reads the module path from go.mod in the current
+// directory (cawalint runs from the repository root, as check.sh does).
+func moduleName() (string, error) {
+	data, err := os.ReadFile("go.mod")
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("go.mod has no module directive")
+}
+
+// goDirs returns every directory under root containing at least one
+// non-test .go file, in sorted walk order.
+func goDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if !seen[dir] {
+			seen[dir] = true
+			out = append(out, dir)
+		}
+		return nil
+	})
+	return out, err
+}

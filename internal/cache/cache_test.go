@@ -272,8 +272,8 @@ func TestBadPolicyVictimPanics(t *testing.T) {
 
 type badPolicy struct{}
 
-func (badPolicy) Name() string                            { return "bad" }
-func (badPolicy) OnFill(*Cache, int, int, Request)        {}
-func (badPolicy) OnHit(*Cache, int, int, Request)         {}
-func (badPolicy) Victim(*Cache, int, Request) int         { return -7 }
-func (badPolicy) OnEvict(*Cache, int, int, *Eviction)     {}
+func (badPolicy) Name() string                        { return "bad" }
+func (badPolicy) OnFill(*Cache, int, int, Request)    {}
+func (badPolicy) OnHit(*Cache, int, int, Request)     {}
+func (badPolicy) Victim(*Cache, int, Request) int     { return -7 }
+func (badPolicy) OnEvict(*Cache, int, int, *Eviction) {}

@@ -118,18 +118,18 @@ func GTX480() Config {
 		L1I:             CacheConfig{Sets: 4, Ways: 4, LineBytes: 128, MSHRs: 4, MSHRTargets: 4},
 		// Table 1 lists the L2 as 64 sets x 16 ways x 6 banks of 128B
 		// lines = 768KB; the tag array models all banks together.
-		L2:              CacheConfig{Sets: 64 * 6, Ways: 16, LineBytes: 128, MSHRs: 64, MSHRTargets: 8},
-		L2Banks:         6,
-		L2Latency:       120,
-		DRAMLatency:     220,
-		DRAMBandwidth:   4,
-		DRAMChannels:    6,
-		L1HitLatency:    6,
+		L2:               CacheConfig{Sets: 64 * 6, Ways: 16, LineBytes: 128, MSHRs: 64, MSHRTargets: 8},
+		L2Banks:          6,
+		L2Latency:        120,
+		DRAMLatency:      220,
+		DRAMBandwidth:    4,
+		DRAMChannels:     6,
+		L1HitLatency:     6,
 		SharedMemLatency: 6,
-		ALULatency:      4,
-		SFULatency:      16,
-		FPULatency:      6,
-		MaxCycles:       200_000_000,
+		ALULatency:       4,
+		SFULatency:       16,
+		FPULatency:       6,
+		MaxCycles:        200_000_000,
 	}
 }
 

@@ -24,10 +24,10 @@ import (
 
 // CCWS parameters.
 const (
-	ccwsVTAEntries = 16   // victim tags retained per warp
-	ccwsHitGain    = 64   // LLS increase per VTA hit
-	ccwsDecay      = 1    // LLS decrease per issued instruction
-	ccwsBaseScore  = 32   // score floor so idle warps stay schedulable
+	ccwsVTAEntries = 16 // victim tags retained per warp
+	ccwsHitGain    = 64 // LLS increase per VTA hit
+	ccwsDecay      = 1  // LLS decrease per issued instruction
+	ccwsBaseScore  = 32 // score floor so idle warps stay schedulable
 )
 
 // CCWSProvider maintains per-warp lost-locality scores. It implements
@@ -35,13 +35,13 @@ const (
 // scheduling policy consumes) and must be attached to the SM's L1D with
 // Attach so it observes evictions and misses.
 type CCWSProvider struct {
-	slots  []*ccwsWarp
-	byGID  map[int]*ccwsWarp
+	slots []*ccwsWarp
+	byGID map[int]*ccwsWarp
 }
 
 type ccwsWarp struct {
-	gid    int
-	lls    float64
+	gid     int
+	lls     float64
 	victims []int64 // FIFO of evicted line addresses
 }
 

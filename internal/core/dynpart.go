@@ -25,12 +25,12 @@ const (
 
 // dynPartState tracks per-period utility for the adaptive boundary.
 type dynPartState struct {
-	enabled  bool
-	ways     int // current critical-way count
+	enabled   bool
+	ways      int // current critical-way count
 	totalWays int
-	fills    uint64
-	hitsCrit uint64
-	hitsNon  uint64
+	fills     uint64
+	hitsCrit  uint64
+	hitsNon   uint64
 
 	// Adjustments counts boundary moves (statistics/tests).
 	Adjustments uint64

@@ -79,6 +79,7 @@ func (o *Oracle) IsCritical(slot int) bool {
 		return true
 	}
 	below := 0
+	//cawalint:ignore order-insensitive integer count over peers
 	for _, peer := range blk {
 		if peer != ow && peer.crit < ow.crit {
 			below++

@@ -8,11 +8,12 @@ import (
 
 	"cawa/internal/cache"
 	"cawa/internal/config"
+	"cawa/internal/isa/analysis"
 	"cawa/internal/memory"
 	"cawa/internal/memsys"
 	"cawa/internal/sched"
-	"cawa/internal/sm"
 	"cawa/internal/simt"
+	"cawa/internal/sm"
 	"cawa/internal/stats"
 )
 
@@ -124,6 +125,15 @@ type l1Snapshot struct {
 func (g *GPU) Launch(k *simt.Kernel) (*stats.Launch, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
+	}
+	// Re-verify with the launch context only the GPU knows: the warp
+	// size sharpens the affine %warp/%lane ranges and the memory size
+	// enables the global out-of-bounds check.
+	launch := k.AnalysisLaunch()
+	launch.WarpSize = g.cfg.WarpSize
+	launch.GlobalBytes = g.mem.Size()
+	if err := analysis.Verify(k.Program, analysis.Options{Launch: launch}); err != nil {
+		return nil, fmt.Errorf("gpu: %w", err)
 	}
 	warpsPerBlock := k.WarpsPerBlock(g.cfg.WarpSize)
 	if warpsPerBlock > g.cfg.MaxWarpsPerSM {

@@ -15,7 +15,7 @@ import (
 //
 //   - Every resident cycle of a live warp lands in exactly one bucket,
 //     so IssueCycles + SchedStall + MemStall + ALUStall + BarrierStall
-//     + EmptyStall == ExecTime() + 1. The +1 is the dispatch-cycle
+//   - EmptyStall == ExecTime() + 1. The +1 is the dispatch-cycle
 //     fencepost: the warp is accounted on its dispatch cycle, while
 //     ExecTime counts the distance FinishCycle - DispatchCycle. In
 //     particular no component can ever exceed the warp's residency.

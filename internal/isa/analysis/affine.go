@@ -1,0 +1,319 @@
+package analysis
+
+import (
+	"fmt"
+
+	"cawa/internal/isa"
+)
+
+// The bounds pass tracks, per register, values of the form
+//
+//	c0 + cTid*tid + cCtaid*ctaid + cLane*lane + cWarp*warp + cGtid*gtid
+//
+// via abstract interpretation. Kernel parameters resolve to their
+// concrete launch values (buffer base addresses), and the block-size /
+// grid-size special registers resolve to constants, so the common
+// "param base + element stride * thread index" addressing of the
+// workload kernels stays fully symbolic. Anything else (loads, division,
+// data-dependent arithmetic) widens to ⊤ and is exempt from checking.
+
+const nSreg = 7
+
+// aff is one abstract register value.
+type aff struct {
+	top bool
+	c0  int64
+	co  [nSreg]int64
+}
+
+func affConst(v int64) aff { return aff{c0: v} }
+
+func affTop() aff { return aff{top: true} }
+
+func (a aff) isConst() (int64, bool) {
+	if a.top {
+		return 0, false
+	}
+	for _, c := range a.co {
+		if c != 0 {
+			return 0, false
+		}
+	}
+	return a.c0, true
+}
+
+func (a aff) eq(b aff) bool { return a == b }
+
+func affJoin(a, b aff) aff {
+	if a.eq(b) {
+		return a
+	}
+	return affTop()
+}
+
+func affAdd(a, b aff) aff {
+	if a.top || b.top {
+		return affTop()
+	}
+	r := aff{c0: a.c0 + b.c0}
+	for i := range r.co {
+		r.co[i] = a.co[i] + b.co[i]
+	}
+	return r
+}
+
+func affNeg(a aff) aff {
+	if a.top {
+		return a
+	}
+	r := aff{c0: -a.c0}
+	for i := range r.co {
+		r.co[i] = -a.co[i]
+	}
+	return r
+}
+
+func affScale(a aff, k int64) aff {
+	if a.top {
+		return a
+	}
+	r := aff{c0: a.c0 * k}
+	for i := range r.co {
+		r.co[i] = a.co[i] * k
+	}
+	return r
+}
+
+func affMul(a, b aff) aff {
+	if ka, ok := a.isConst(); ok {
+		return affScale(b, ka)
+	}
+	if kb, ok := b.isConst(); ok {
+		return affScale(a, kb)
+	}
+	return affTop()
+}
+
+// affState is the abstract register file.
+type affState [isa.NumRegs]aff
+
+func affStateJoin(a, b affState) affState {
+	var r affState
+	for i := range r {
+		r[i] = affJoin(a[i], b[i])
+	}
+	return r
+}
+
+// affTransfer interprets one instruction.
+func affTransfer(in isa.Instr, st affState, l *Launch) affState {
+	if !in.Op.HasDst() {
+		return st
+	}
+	b := func() aff {
+		if in.BImm {
+			return affConst(in.Imm)
+		}
+		return st[in.B]
+	}
+	var v aff
+	switch in.Op {
+	case isa.OpMovI:
+		v = affConst(in.Imm)
+	case isa.OpMov:
+		v = st[in.A]
+	case isa.OpParam:
+		if int(in.Imm) < len(l.Params) {
+			v = affConst(l.Params[in.Imm])
+		} else {
+			v = affTop()
+		}
+	case isa.OpSReg:
+		switch sr := isa.SpecialReg(in.Imm); sr {
+		case isa.SRNtid:
+			v = affConst(int64(l.BlockDim))
+		case isa.SRNctaid:
+			v = affConst(int64(l.GridDim))
+		case isa.SRTid, isa.SRCtaid, isa.SRLane, isa.SRWarp, isa.SRGTid:
+			v.co[sr] = 1
+		default:
+			v = affTop()
+		}
+	case isa.OpAdd:
+		v = affAdd(st[in.A], b())
+	case isa.OpSub:
+		v = affAdd(st[in.A], affNeg(b()))
+	case isa.OpMul:
+		v = affMul(st[in.A], b())
+	case isa.OpMad:
+		v = affAdd(st[in.Dst], affMul(st[in.A], b()))
+	case isa.OpShl:
+		if k, ok := b().isConst(); ok && k >= 0 && k < 32 {
+			v = affScale(st[in.A], int64(1)<<k)
+		} else {
+			v = affTop()
+		}
+	default:
+		v = affTop()
+	}
+	st[in.Dst] = v
+	return st
+}
+
+// srRange returns the inclusive value range of a per-lane special
+// register under the launch geometry.
+func srRange(sr isa.SpecialReg, l *Launch) (lo, hi int64) {
+	warpSize := l.WarpSize
+	if warpSize <= 0 {
+		warpSize = 32
+	}
+	switch sr {
+	case isa.SRTid:
+		return 0, int64(l.BlockDim - 1)
+	case isa.SRCtaid:
+		return 0, int64(l.GridDim - 1)
+	case isa.SRLane:
+		n := warpSize
+		if l.BlockDim < n {
+			n = l.BlockDim
+		}
+		return 0, int64(n - 1)
+	case isa.SRWarp:
+		return 0, int64((l.BlockDim+warpSize-1)/warpSize - 1)
+	case isa.SRGTid:
+		return 0, int64(l.GridDim*l.BlockDim - 1)
+	}
+	return 0, 0
+}
+
+// bounds returns the inclusive [lo, hi] byte range the affine value can
+// take under the launch geometry.
+func (a aff) bounds(l *Launch) (lo, hi int64) {
+	lo, hi = a.c0, a.c0
+	for i, c := range a.co {
+		if c == 0 {
+			continue
+		}
+		rlo, rhi := srRange(isa.SpecialReg(i), l)
+		if c > 0 {
+			lo += c * rlo
+			hi += c * rhi
+		} else {
+			lo += c * rhi
+			hi += c * rlo
+		}
+	}
+	return lo, hi
+}
+
+// boundsCheck walks the program with the stable abstract state and
+// flags memory accesses whose affine address range escapes the
+// allocation. An access is an error when even its smallest reachable
+// address is out of bounds — every lane that executes it faults. With
+// StrictBounds set, ranges whose upper end escapes are errors too
+// (guarded kernels routinely round the grid up past the buffer, so
+// strict mode is opt-in).
+func boundsCheck(c *cfg, l *Launch, strict bool, rep *Report) {
+	nb := len(c.blocks)
+	in := make([]affState, nb)
+	out := make([]affState, nb)
+	solved := make([]bool, nb)
+
+	transfer := func(b *Block, st affState) affState {
+		for pc := b.Start; pc < b.End; pc++ {
+			st = affTransfer(c.p.At(pc), st, l)
+		}
+		return st
+	}
+	// Iterate to fixpoint. Blocks contribute to the meet only once they
+	// have been solved at least once; the entry block additionally meets
+	// the zero-initialized register file the SIMT core provides.
+	for iter, changed := 0, true; changed && iter < 4*nb+8; iter++ {
+		changed = false
+		for i := 0; i < nb; i++ {
+			if !c.reachable[i] {
+				continue
+			}
+			var st affState
+			have := false
+			if i == 0 {
+				st = affState{}
+				have = true
+			}
+			for _, pr := range c.blocks[i].Preds {
+				if !c.reachable[pr] || !solved[pr] {
+					continue
+				}
+				if !have {
+					st = out[pr]
+					have = true
+				} else {
+					st = affStateJoin(st, out[pr])
+				}
+			}
+			if !have {
+				continue
+			}
+			in[i] = st
+			o := transfer(&c.blocks[i], st)
+			if !solved[i] || o != out[i] {
+				solved[i] = true
+				out[i] = o
+				changed = true
+			}
+		}
+	}
+
+	check := func(pc int32, addr aff, size int64, rule Rule, space string) {
+		if addr.top || size <= 0 {
+			return
+		}
+		lo, hi := addr.bounds(l)
+		switch {
+		case lo < 0 || lo+8 > size:
+			rep.add(Finding{
+				Rule: rule, Severity: SevError, PC: pc,
+				Msg: fmt.Sprintf("%s access range [%d, %d]+8 escapes the %d-byte allocation for every executing lane", space, lo, hi, size),
+			})
+		case strict && hi+8 > size:
+			rep.add(Finding{
+				Rule: rule, Severity: SevError, PC: pc,
+				Msg: fmt.Sprintf("%s access upper bound %d+8 escapes the %d-byte allocation", space, hi, size),
+			})
+		}
+	}
+
+	sharedBytes := int64(l.SharedWords) * 8
+	for i := 0; i < nb; i++ {
+		if !c.reachable[i] {
+			continue
+		}
+		st := in[i]
+		for pc := c.blocks[i].Start; pc < c.blocks[i].End; pc++ {
+			instr := c.p.At(pc)
+			switch instr.Op {
+			case isa.OpLd, isa.OpSt:
+				addr := affAdd(st[instr.A], affConst(instr.Imm))
+				check(pc, addr, l.GlobalBytes, RuleOOBGlobal, "global")
+			case isa.OpLdS, isa.OpStS:
+				if sharedBytes == 0 {
+					rep.add(Finding{
+						Rule: RuleOOBShared, Severity: SevError, PC: pc,
+						Msg: "shared-memory access but the kernel allocates no shared memory",
+					})
+					break
+				}
+				addr := affAdd(st[instr.A], affConst(instr.Imm))
+				check(pc, addr, sharedBytes, RuleOOBShared, "shared")
+			case isa.OpParam:
+				if int(instr.Imm) >= len(l.Params) {
+					rep.add(Finding{
+						Rule: RuleParamRange, Severity: SevError, PC: pc,
+						Msg: fmt.Sprintf("param[%d] read but the launch passes only %d parameters", instr.Imm, len(l.Params)),
+					})
+				}
+			}
+			st = affTransfer(instr, st, l)
+		}
+	}
+}

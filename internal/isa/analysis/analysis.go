@@ -1,0 +1,262 @@
+// Package analysis is the static verifier for mini-ISA programs: the
+// role GPGPU-sim's PTX checker plays for the paper's infrastructure.
+// It builds a basic-block CFG with dominators and post-dominators on
+// top of isa.Program.Successors and runs dataflow passes over it:
+//
+//   - structural: branch targets in range, no fallthrough off the end,
+//     unreachable code, stored reconvergence PCs matching the immediate
+//     post-dominators
+//   - def-before-use: no register read before a definition reaches it
+//     on every path
+//   - dead stores: pure register writes whose value is never read
+//   - barrier uniformity: no barrier reachable under a possibly
+//     divergent branch before its reconvergence point (such a barrier
+//     deadlocks the masked-off lanes)
+//   - reconvergence-stack depth: divergent regions must not nest past
+//     a configurable bound
+//   - affine bounds: global/shared accesses whose address is an affine
+//     function of tid/ctaid/lane/warp/gtid and the launch parameters
+//     must stay inside their allocations
+//
+// plus a register-liveness/pressure report (registers used, maximum
+// simultaneously live, per-block live-in counts) consumed by cawadis.
+//
+// Error-severity findings fail simt.Kernel.Validate and gpu.Launch;
+// cawadis -lint surfaces everything, machine-readably with -json.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cawa/internal/isa"
+)
+
+// Severity grades a finding.
+type Severity int
+
+// Severities. Errors fail verification; warnings are advisory.
+const (
+	SevWarn Severity = iota
+	SevError
+)
+
+// String returns "warn" or "error".
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warn"
+}
+
+// MarshalJSON encodes the severity as its string form.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// Rule identifies the verifier pass that produced a finding.
+type Rule string
+
+// Verifier rules.
+const (
+	RuleBranchTarget     Rule = "branch-target"
+	RuleFallthrough      Rule = "fallthrough-off-end"
+	RuleUnreachable      Rule = "unreachable"
+	RuleReconvergence    Rule = "reconvergence"
+	RuleDefBeforeUse     Rule = "def-before-use"
+	RuleDeadStore        Rule = "dead-store"
+	RuleDivergentBarrier Rule = "divergent-barrier"
+	RuleStackDepth       Rule = "stack-depth"
+	RuleOOBGlobal        Rule = "oob-global"
+	RuleOOBShared        Rule = "oob-shared"
+	RuleParamRange       Rule = "param-range"
+)
+
+// Finding is one verifier diagnostic, anchored at a PC with the
+// disassembly of the offending instruction for context.
+type Finding struct {
+	Rule     Rule     `json:"rule"`
+	Severity Severity `json:"severity"`
+	PC       int32    `json:"pc"`
+	Msg      string   `json:"msg"`
+	Context  string   `json:"context,omitempty"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("pc %d: %s: %s: %s [%s]", f.PC, f.Severity, f.Rule, f.Msg, f.Context)
+}
+
+// Launch carries the launch geometry the bounds pass needs. GlobalBytes
+// and WarpSize may be zero when unknown (the global bounds check is
+// then skipped and the warp size defaults to 32).
+type Launch struct {
+	GridDim     int
+	BlockDim    int
+	WarpSize    int
+	SharedWords int
+	Params      []int64
+	GlobalBytes int64
+}
+
+// Options tunes Analyze.
+type Options struct {
+	// Launch enables the launch-dependent passes (affine bounds,
+	// param-range). Nil analyzes the bare program.
+	Launch *Launch
+	// MaxStackDepth bounds divergent-region nesting; 0 means the
+	// default of 32 (one level per warp lane is the hardware ceiling).
+	MaxStackDepth int
+	// StrictBounds also flags accesses whose affine upper bound
+	// escapes the allocation, not just definite (lower-bound) escapes.
+	StrictBounds bool
+}
+
+// Report is the full analysis result.
+type Report struct {
+	Program  string    `json:"program"`
+	Instrs   int       `json:"instrs"`
+	Findings []Finding `json:"findings"`
+	Blocks   []Block   `json:"blocks"`
+	// BlockLiveIn is the live register count entering each block.
+	BlockLiveIn []int `json:"blockLiveIn,omitempty"`
+	Loops       int   `json:"loops"`
+	// RegsUsed counts registers referenced anywhere; MaxLive is the
+	// peak number of simultaneously live registers.
+	RegsUsed int `json:"regsUsed"`
+	MaxLive  int `json:"maxLive"`
+	// DivergentBranches counts conditional branches that may diverge;
+	// StackDepth is the static bound on reconvergence-stack nesting.
+	DivergentBranches int `json:"divergentBranches"`
+	StackDepth        int `json:"stackDepth"`
+}
+
+func (r *Report) add(f Finding) { r.Findings = append(r.Findings, f) }
+
+// Errors returns the error-severity findings.
+func (r *Report) Errors() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Severity == SevError {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Analyze runs every verifier pass over the program and returns the
+// report. It never panics on malformed programs: structural damage is
+// reported as findings and the dependent passes are skipped.
+func Analyze(p *isa.Program, opts Options) *Report {
+	rep := &Report{Program: p.Name, Instrs: p.Len(), Findings: []Finding{}}
+	maxDepth := opts.MaxStackDepth
+	if maxDepth <= 0 {
+		maxDepth = 32
+	}
+
+	if structuralDamage(p, rep) {
+		finish(p, rep)
+		return rep
+	}
+
+	c := buildCFG(p)
+	rep.Blocks = c.blocks
+	for i := range c.blocks {
+		if c.blocks[i].LoopHead {
+			rep.Loops++
+		}
+		if !c.reachable[i] {
+			rep.add(Finding{
+				Rule: RuleUnreachable, Severity: SevError, PC: c.blocks[i].Start,
+				Msg: fmt.Sprintf("block %d (pc %d..%d) is unreachable from the entry", i, c.blocks[i].Start, c.blocks[i].End-1),
+			})
+		}
+	}
+
+	defBeforeUse(c, rep)
+	liveness(c, rep)
+	divergence(c, maxDepth, rep)
+	if opts.Launch != nil {
+		boundsCheck(c, opts.Launch, opts.StrictBounds, rep)
+	}
+
+	finish(p, rep)
+	return rep
+}
+
+// structuralDamage validates every successor edge; out-of-range branch
+// targets or execution falling off the end poison all later passes.
+func structuralDamage(p *isa.Program, rep *Report) bool {
+	n := int32(p.Len())
+	for pc := int32(0); pc < n; pc++ {
+		in := p.At(pc)
+		if in.Op.IsBranch() {
+			if t := in.Target(); t < 0 || t >= n {
+				rep.add(Finding{
+					Rule: RuleBranchTarget, Severity: SevError, PC: pc,
+					Msg: fmt.Sprintf("branch targets out-of-range pc %d", t),
+				})
+			}
+		}
+		// Fallthrough past the last instruction.
+		if pc == n-1 && in.Op != isa.OpExit && in.Op != isa.OpBra {
+			rep.add(Finding{
+				Rule: RuleFallthrough, Severity: SevError, PC: pc,
+				Msg: "execution can fall through past the last instruction",
+			})
+		}
+	}
+	return len(rep.Findings) > 0
+}
+
+// finish attaches disassembly context and sorts findings into a
+// deterministic order.
+func finish(p *isa.Program, rep *Report) {
+	for i := range rep.Findings {
+		f := &rep.Findings[i]
+		if f.Context == "" && f.PC >= 0 && int(f.PC) < p.Len() {
+			f.Context = p.At(f.PC).String()
+		}
+	}
+	sort.SliceStable(rep.Findings, func(i, j int) bool {
+		a, b := rep.Findings[i], rep.Findings[j]
+		if a.PC != b.PC {
+			return a.PC < b.PC
+		}
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// VerifyError aggregates the error findings that failed verification.
+type VerifyError struct {
+	Program  string
+	Findings []Finding
+}
+
+func (e *VerifyError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %q failed verification (%d errors)", e.Program, len(e.Findings))
+	for i, f := range e.Findings {
+		if i == 4 && len(e.Findings) > 5 {
+			fmt.Fprintf(&b, "; and %d more", len(e.Findings)-i)
+			break
+		}
+		fmt.Fprintf(&b, "; %s", f)
+	}
+	return b.String()
+}
+
+// Verify runs Analyze and fails fast on error-severity findings.
+// Warnings never fail verification.
+func Verify(p *isa.Program, opts Options) error {
+	rep := Analyze(p, opts)
+	if errs := rep.Errors(); len(errs) > 0 {
+		return &VerifyError{Program: p.Name, Findings: errs}
+	}
+	return nil
+}

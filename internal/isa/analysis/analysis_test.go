@@ -1,0 +1,409 @@
+package analysis_test
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"cawa/internal/isa"
+	"cawa/internal/isa/analysis"
+)
+
+func mustParse(t *testing.T, name, src string) *isa.Program {
+	t.Helper()
+	p, err := isa.Parse(name, src)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return p
+}
+
+func findings(rep *analysis.Report, rule analysis.Rule) []analysis.Finding {
+	var out []analysis.Finding
+	for _, f := range rep.Findings {
+		if f.Rule == rule {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func wantRule(t *testing.T, rep *analysis.Report, rule analysis.Rule, n int) {
+	t.Helper()
+	if got := findings(rep, rule); len(got) != n {
+		t.Errorf("want %d %s findings, got %d: %v", n, rule, len(got), rep.Findings)
+	}
+}
+
+func TestDefBeforeUse(t *testing.T) {
+	p := mustParse(t, "dbu", `
+		add r1, r2, r3
+		exit
+	`)
+	rep := analysis.Analyze(p, analysis.Options{})
+	wantRule(t, rep, analysis.RuleDefBeforeUse, 2) // r2 and r3
+	// r1 is also a dead store: written, never read.
+	wantRule(t, rep, analysis.RuleDeadStore, 1)
+	if err := analysis.Verify(p, analysis.Options{}); err == nil {
+		t.Fatal("Verify should fail on def-before-use")
+	}
+}
+
+func TestDefBeforeUseGuardedPathsClean(t *testing.T) {
+	// r2 is defined on both sides of the branch before the use: clean.
+	p := mustParse(t, "guarded", `
+		sreg r0, %tid
+		cbraz r0, @else
+		movi r2, 1
+		bra @join
+	else:
+		movi r2, 2
+	join:
+		st.global [r2+0], r2
+		exit
+	`)
+	rep := analysis.Analyze(p, analysis.Options{})
+	wantRule(t, rep, analysis.RuleDefBeforeUse, 0)
+}
+
+func TestDefBeforeUseOneArmMissing(t *testing.T) {
+	// r2 defined on only one path to the use.
+	p := mustParse(t, "onearm", `
+		sreg r0, %tid
+		cbraz r0, @join
+		movi r2, 1
+	join:
+		st.global [r2+0], r2
+		exit
+	`)
+	rep := analysis.Analyze(p, analysis.Options{})
+	if len(findings(rep, analysis.RuleDefBeforeUse)) == 0 {
+		t.Fatalf("want def-before-use for r2, got %v", rep.Findings)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	p := mustParse(t, "unreach", `
+		bra @end
+		nop
+	end:
+		exit
+	`)
+	rep := analysis.Analyze(p, analysis.Options{})
+	wantRule(t, rep, analysis.RuleUnreachable, 1)
+}
+
+func TestFallthroughOffEnd(t *testing.T) {
+	p := isa.NewProgramUnchecked("fall", []isa.Instr{
+		{Op: isa.OpMovI, Dst: isa.R1, Imm: 3},
+	})
+	rep := analysis.Analyze(p, analysis.Options{})
+	wantRule(t, rep, analysis.RuleFallthrough, 1)
+}
+
+func TestBranchTargetOutOfRange(t *testing.T) {
+	p := isa.NewProgramUnchecked("badtarget", []isa.Instr{
+		{Op: isa.OpBra, Imm: 7},
+		{Op: isa.OpExit},
+	})
+	rep := analysis.Analyze(p, analysis.Options{})
+	wantRule(t, rep, analysis.RuleBranchTarget, 1)
+}
+
+func TestDivergentBarrier(t *testing.T) {
+	p := mustParse(t, "divbar", `
+		sreg r0, %tid
+		cbraz r0, @skip
+		bar.sync
+	skip:
+		exit
+	`)
+	rep := analysis.Analyze(p, analysis.Options{})
+	wantRule(t, rep, analysis.RuleDivergentBarrier, 1)
+}
+
+func TestUniformBarrierClean(t *testing.T) {
+	// The branch condition only depends on an immediate: every lane
+	// agrees, so the barrier inside the "divergent" region is safe.
+	p := mustParse(t, "unibar", `
+		movi r1, 4
+		cbraz r1, @skip
+		bar.sync
+	skip:
+		exit
+	`)
+	rep := analysis.Analyze(p, analysis.Options{})
+	wantRule(t, rep, analysis.RuleDivergentBarrier, 0)
+}
+
+func TestBarrierAtReconvergenceClean(t *testing.T) {
+	// The classic tree-reduction shape: the barrier IS the
+	// reconvergence point of the divergent branch, which is legal.
+	p := mustParse(t, "barrpc", `
+		sreg r0, %tid
+		cbraz r0, @join
+		movi r1, 1
+	join:
+		bar.sync
+		exit
+	`)
+	rep := analysis.Analyze(p, analysis.Options{})
+	wantRule(t, rep, analysis.RuleDivergentBarrier, 0)
+}
+
+func TestControlDependentTaint(t *testing.T) {
+	// r2 starts uniform but is redefined under divergent control, so
+	// the second branch is divergent and its barrier is flagged.
+	p := mustParse(t, "taint", `
+		sreg r0, %tid
+		movi r2, 0
+		cbraz r0, @join
+		movi r2, 1
+	join:
+		cbraz r2, @skip
+		bar.sync
+	skip:
+		exit
+	`)
+	rep := analysis.Analyze(p, analysis.Options{})
+	wantRule(t, rep, analysis.RuleDivergentBarrier, 1)
+}
+
+func TestReconvergenceMismatch(t *testing.T) {
+	p := mustParse(t, "reconv", `
+		sreg r0, %tid
+		cbraz r0, @skip
+		nop
+	skip:
+		exit
+	`)
+	instrs := make([]isa.Instr, p.Len())
+	for pc := range instrs {
+		instrs[pc] = p.At(int32(pc))
+	}
+	instrs[1].Rpc = 2 // true immediate post-dominator is 3
+	damaged := isa.NewProgramUnchecked("reconv", instrs)
+	rep := analysis.Analyze(damaged, analysis.Options{})
+	wantRule(t, rep, analysis.RuleReconvergence, 1)
+}
+
+func TestStackDepthBound(t *testing.T) {
+	p := mustParse(t, "deep", `
+		sreg r0, %tid
+		cbraz r0, @out
+		sreg r1, %lane
+		cbraz r1, @out
+		nop
+	out:
+		exit
+	`)
+	rep := analysis.Analyze(p, analysis.Options{MaxStackDepth: 1})
+	wantRule(t, rep, analysis.RuleStackDepth, 1)
+	if rep.StackDepth != 2 {
+		t.Errorf("StackDepth = %d, want 2", rep.StackDepth)
+	}
+	if rep.DivergentBranches != 2 {
+		t.Errorf("DivergentBranches = %d, want 2", rep.DivergentBranches)
+	}
+	clean := analysis.Analyze(p, analysis.Options{})
+	wantRule(t, clean, analysis.RuleStackDepth, 0)
+}
+
+func TestOOBShared(t *testing.T) {
+	p := mustParse(t, "oobsh", `
+		sreg r0, %tid
+		mul r1, r0, 8
+		st.shared [r1+16384], r0
+		exit
+	`)
+	launch := &analysis.Launch{GridDim: 1, BlockDim: 64, SharedWords: 64}
+	rep := analysis.Analyze(p, analysis.Options{Launch: launch})
+	wantRule(t, rep, analysis.RuleOOBShared, 1)
+}
+
+func TestOOBSharedStrictUpperBound(t *testing.T) {
+	// tid*8 for tid in [0,64) needs 512 bytes; only 32 words = 256
+	// bytes are allocated. The lower bound (0) is fine, so only strict
+	// mode flags it.
+	p := mustParse(t, "oobstrict", `
+		sreg r0, %tid
+		mul r1, r0, 8
+		st.shared [r1+0], r0
+		exit
+	`)
+	launch := &analysis.Launch{GridDim: 1, BlockDim: 64, SharedWords: 32}
+	rep := analysis.Analyze(p, analysis.Options{Launch: launch})
+	wantRule(t, rep, analysis.RuleOOBShared, 0)
+	strict := analysis.Analyze(p, analysis.Options{Launch: launch, StrictBounds: true})
+	wantRule(t, strict, analysis.RuleOOBShared, 1)
+}
+
+func TestSharedAccessWithoutAllocation(t *testing.T) {
+	p := mustParse(t, "nosh", `
+		sreg r0, %tid
+		st.shared [r0+0], r0
+		exit
+	`)
+	launch := &analysis.Launch{GridDim: 1, BlockDim: 32}
+	rep := analysis.Analyze(p, analysis.Options{Launch: launch})
+	wantRule(t, rep, analysis.RuleOOBShared, 1)
+}
+
+func TestOOBGlobal(t *testing.T) {
+	p := mustParse(t, "oobg", `
+		param r1, param[0]
+		st.global [r1+65536], r1
+		exit
+	`)
+	launch := &analysis.Launch{GridDim: 1, BlockDim: 32, Params: []int64{1024}, GlobalBytes: 4096}
+	rep := analysis.Analyze(p, analysis.Options{Launch: launch})
+	wantRule(t, rep, analysis.RuleOOBGlobal, 1)
+
+	// Without a known memory size the check is skipped.
+	nosize := analysis.Analyze(p, analysis.Options{Launch: &analysis.Launch{GridDim: 1, BlockDim: 32, Params: []int64{1024}}})
+	wantRule(t, nosize, analysis.RuleOOBGlobal, 0)
+}
+
+func TestOOBGlobalNegative(t *testing.T) {
+	p := mustParse(t, "oobneg", `
+		param r1, param[0]
+		ld.global r2, [r1-65536]
+		st.global [r1+0], r2
+		exit
+	`)
+	launch := &analysis.Launch{GridDim: 1, BlockDim: 32, Params: []int64{1024}, GlobalBytes: 1 << 20}
+	rep := analysis.Analyze(p, analysis.Options{Launch: launch})
+	wantRule(t, rep, analysis.RuleOOBGlobal, 1)
+}
+
+func TestParamRange(t *testing.T) {
+	p := mustParse(t, "param", `
+		param r1, param[3]
+		st.global [r1+0], r1
+		exit
+	`)
+	launch := &analysis.Launch{GridDim: 1, BlockDim: 32, Params: []int64{4}}
+	rep := analysis.Analyze(p, analysis.Options{Launch: launch})
+	wantRule(t, rep, analysis.RuleParamRange, 1)
+}
+
+func TestDeadStoreWarnsButVerifies(t *testing.T) {
+	p := mustParse(t, "dead", `
+		movi r1, 5
+		exit
+	`)
+	rep := analysis.Analyze(p, analysis.Options{})
+	wantRule(t, rep, analysis.RuleDeadStore, 1)
+	if got := rep.Findings[0].Severity; got != analysis.SevWarn {
+		t.Errorf("dead store severity = %v, want warn", got)
+	}
+	if err := analysis.Verify(p, analysis.Options{}); err != nil {
+		t.Errorf("warnings must not fail Verify: %v", err)
+	}
+}
+
+func TestDeadLoadNotFlagged(t *testing.T) {
+	// A load whose result is unused still has cache side effects the
+	// timing model cares about; it must not count as a dead store.
+	p := mustParse(t, "deadld", `
+		param r1, param[0]
+		ld.global r2, [r1+0]
+		exit
+	`)
+	rep := analysis.Analyze(p, analysis.Options{})
+	wantRule(t, rep, analysis.RuleDeadStore, 0)
+}
+
+func TestAccumulatorLoopClean(t *testing.T) {
+	// Loop-carried accumulator: defined before the loop, read and
+	// written inside, read after. Neither dead nor undefined.
+	p := mustParse(t, "acc", `
+		movi r1, 0
+		movi r2, 10
+		sreg r3, %tid
+	loop:
+		cbraz r2, @done
+		add r1, r1, r3
+		sub r2, r2, 1
+		bra @loop
+	done:
+		param r4, param[0]
+		st.global [r4+0], r1
+		exit
+	`)
+	rep := analysis.Analyze(p, analysis.Options{})
+	if len(rep.Findings) != 0 {
+		t.Fatalf("expected clean report, got %v", rep.Findings)
+	}
+	if rep.Loops != 1 {
+		t.Errorf("Loops = %d, want 1", rep.Loops)
+	}
+}
+
+func TestBlockStructure(t *testing.T) {
+	p := mustParse(t, "blocks", `
+		sreg r0, %tid
+		cbraz r0, @skip
+		nop
+	skip:
+		exit
+	`)
+	rep := analysis.Analyze(p, analysis.Options{})
+	if len(rep.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3 (%+v)", len(rep.Blocks), rep.Blocks)
+	}
+	// Entry dominates everything; both later blocks have it on their
+	// dominator path.
+	if rep.Blocks[0].Idom != -1 {
+		t.Errorf("entry Idom = %d, want -1", rep.Blocks[0].Idom)
+	}
+	if rep.Blocks[1].Idom != 0 || rep.Blocks[2].Idom != 0 {
+		t.Errorf("Idoms = %d, %d, want 0, 0", rep.Blocks[1].Idom, rep.Blocks[2].Idom)
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	p := mustParse(t, "json", `
+		sreg r0, %tid
+		cbraz r0, @skip
+		bar.sync
+	skip:
+		exit
+	`)
+	rep := analysis.Analyze(p, analysis.Options{})
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	for _, want := range []string{`"rule":"divergent-barrier"`, `"severity":"error"`, `"program":"json"`, `"blocks"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON report missing %s:\n%s", want, s)
+		}
+	}
+	var back analysis.Report
+	if err := json.Unmarshal(raw, &back); err == nil {
+		if back.Program != "json" || len(back.Findings) != len(rep.Findings) {
+			t.Errorf("round-trip mismatch: %+v", back)
+		}
+	}
+}
+
+func TestVerifyErrorMessage(t *testing.T) {
+	p := mustParse(t, "msg", `
+		add r1, r2, r3
+		exit
+	`)
+	err := analysis.Verify(p, analysis.Options{})
+	var verr *analysis.VerifyError
+	if !errors.As(err, &verr) {
+		t.Fatalf("want *VerifyError, got %T %v", err, err)
+	}
+	if len(verr.Findings) != 2 {
+		t.Errorf("findings = %d, want 2", len(verr.Findings))
+	}
+	if !strings.Contains(err.Error(), "def-before-use") {
+		t.Errorf("message should name the rule: %v", err)
+	}
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cawa/internal/isa"
+)
+
+// regMask is a bit set over the 64 general-purpose registers.
+type regMask uint64
+
+func (m regMask) has(r isa.Reg) bool { return m&(1<<r) != 0 }
+
+// readMask returns the registers an instruction reads.
+func readMask(in isa.Instr) regMask {
+	var m regMask
+	if in.Op.ReadsA() {
+		m |= 1 << in.A
+	}
+	if in.Op.ReadsB() && !in.BImm {
+		m |= 1 << in.B
+	}
+	if in.Op.ReadsDst() {
+		m |= 1 << in.Dst
+	}
+	return m
+}
+
+// writeMask returns the register an instruction defines, as a mask.
+func writeMask(in isa.Instr) regMask {
+	if in.Op.HasDst() {
+		return 1 << in.Dst
+	}
+	return 0
+}
+
+// eachReg calls f for every register in the mask, lowest first.
+func eachReg(m regMask, f func(isa.Reg)) {
+	for m != 0 {
+		r := isa.Reg(bits.TrailingZeros64(uint64(m)))
+		f(r)
+		m &= m - 1
+	}
+}
+
+// defBeforeUse runs a forward must-defined dataflow (meet = intersection
+// over predecessors) and reports every read of a register that is not
+// definitely assigned on all paths from the entry. The simulator zeroes
+// register files, so such reads execute — but they almost always mark a
+// dropped initialization, the defect class GPGPU-sim's PTX checker
+// guards against.
+func defBeforeUse(c *cfg, rep *Report) {
+	nb := len(c.blocks)
+	in := make([]regMask, nb)
+	out := make([]regMask, nb)
+	const full = ^regMask(0)
+	for i := range out {
+		if i != 0 {
+			in[i] = full
+			out[i] = full
+		}
+	}
+	transfer := func(b *Block, defined regMask) regMask {
+		for pc := b.Start; pc < b.End; pc++ {
+			defined |= writeMask(c.p.At(pc))
+		}
+		return defined
+	}
+	out[0] = transfer(&c.blocks[0], 0)
+	for changed := true; changed; {
+		changed = false
+		for i := 1; i < nb; i++ {
+			if !c.reachable[i] {
+				continue
+			}
+			m := full
+			for _, pr := range c.blocks[i].Preds {
+				if c.reachable[pr] {
+					m &= out[pr]
+				}
+			}
+			in[i] = m
+			if o := transfer(&c.blocks[i], m); o != out[i] {
+				out[i] = o
+				changed = true
+			}
+		}
+	}
+
+	for i := 0; i < nb; i++ {
+		if !c.reachable[i] {
+			continue
+		}
+		defined := in[i]
+		for pc := c.blocks[i].Start; pc < c.blocks[i].End; pc++ {
+			instr := c.p.At(pc)
+			eachReg(readMask(instr)&^defined, func(r isa.Reg) {
+				rep.add(Finding{
+					Rule: RuleDefBeforeUse, Severity: SevError, PC: pc,
+					Msg: fmt.Sprintf("r%d read before any definition reaches this point", r),
+				})
+			})
+			defined |= writeMask(instr)
+		}
+	}
+}
+
+// liveness runs a backward liveness dataflow, reports dead stores
+// (pure register writes whose value can never be read), and fills the
+// pressure section of the report: registers referenced, the maximum
+// number of simultaneously live registers, and per-block live-in counts.
+func liveness(c *cfg, rep *Report) {
+	nb := len(c.blocks)
+	liveIn := make([]regMask, nb)
+	liveOut := make([]regMask, nb)
+
+	transfer := func(b *Block, live regMask) regMask {
+		for pc := b.End - 1; pc >= b.Start; pc-- {
+			instr := c.p.At(pc)
+			live &^= writeMask(instr)
+			live |= readMask(instr)
+		}
+		return live
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := nb - 1; i >= 0; i-- {
+			if !c.reachable[i] {
+				continue
+			}
+			var o regMask
+			for _, s := range c.blocks[i].Succs {
+				o |= liveIn[s]
+			}
+			liveOut[i] = o
+			if li := transfer(&c.blocks[i], o); li != liveIn[i] {
+				liveIn[i] = li
+				changed = true
+			}
+		}
+	}
+
+	var used regMask
+	maxLive := 0
+	rep.BlockLiveIn = make([]int, nb)
+	for i := 0; i < nb; i++ {
+		if !c.reachable[i] {
+			continue
+		}
+		rep.BlockLiveIn[i] = bits.OnesCount64(uint64(liveIn[i]))
+		live := liveOut[i]
+		for pc := c.blocks[i].End - 1; pc >= c.blocks[i].Start; pc-- {
+			instr := c.p.At(pc)
+			used |= readMask(instr) | writeMask(instr)
+			if w := writeMask(instr); w != 0 && live&w == 0 && !instr.Op.IsLoad() {
+				rep.add(Finding{
+					Rule: RuleDeadStore, Severity: SevWarn, PC: pc,
+					Msg: fmt.Sprintf("r%d is written but never read afterwards", instr.Dst),
+				})
+			}
+			live &^= writeMask(instr)
+			live |= readMask(instr)
+			if n := bits.OnesCount64(uint64(live)); n > maxLive {
+				maxLive = n
+			}
+		}
+	}
+	rep.RegsUsed = bits.OnesCount64(uint64(used))
+	rep.MaxLive = maxLive
+}

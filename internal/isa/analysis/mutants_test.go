@@ -1,0 +1,244 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"cawa/internal/isa"
+	"cawa/internal/isa/analysis"
+	"cawa/internal/simt"
+)
+
+// The mutant suite guards against a vacuously-green verifier: it
+// deterministically corrupts every workload kernel (drop a definition,
+// make a guard unconditional, retarget a branch past a barrier's
+// reconvergence point, widen a store) and asserts the verifier flags
+// each injected defect. Mutant selection is purely structural — no
+// randomness — so failures reproduce exactly.
+
+func instrsOf(p *isa.Program) []isa.Instr {
+	out := make([]isa.Instr, p.Len())
+	for pc := range out {
+		out[pc] = p.At(int32(pc))
+	}
+	return out
+}
+
+func analyzeMutant(k *simt.Kernel, instrs []isa.Instr) *analysis.Report {
+	mutant := isa.NewProgramUnchecked(k.Program.Name+"+mutant", instrs)
+	return analysis.Analyze(mutant, analysis.Options{Launch: launchOf(k)})
+}
+
+func hasRule(rep *analysis.Report, rule analysis.Rule) bool {
+	for _, f := range rep.Findings {
+		if f.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// dropDefSite picks the first instruction defining a register that is
+// written exactly once in the whole program and read somewhere after
+// it; removing that definition must surface as def-before-use.
+func dropDefSite(p *isa.Program) int {
+	defCount := map[isa.Reg]int{}
+	readAnywhere := map[isa.Reg]bool{}
+	for pc := 0; pc < p.Len(); pc++ {
+		in := p.At(int32(pc))
+		if in.Op.HasDst() {
+			defCount[in.Dst]++
+		}
+	}
+	for pc := 0; pc < p.Len(); pc++ {
+		in := p.At(int32(pc))
+		if in.Op.ReadsA() {
+			readAnywhere[in.A] = true
+		}
+		if in.Op.ReadsB() && !in.BImm {
+			readAnywhere[in.B] = true
+		}
+		if in.Op.ReadsDst() {
+			readAnywhere[in.Dst] = true
+		}
+	}
+	for pc := 0; pc < p.Len(); pc++ {
+		in := p.At(int32(pc))
+		if in.Op.HasDst() && defCount[in.Dst] == 1 && readAnywhere[in.Dst] && !in.Op.ReadsDst() {
+			return pc
+		}
+	}
+	return -1
+}
+
+func TestMutantDroppedDef(t *testing.T) {
+	for name, k := range workloadKernels(t) {
+		pc := dropDefSite(k.Program)
+		if pc < 0 {
+			t.Errorf("%s: no drop-def mutation site", name)
+			continue
+		}
+		instrs := instrsOf(k.Program)
+		instrs[pc] = isa.Instr{Op: isa.OpNop}
+		rep := analyzeMutant(k, instrs)
+		if !hasRule(rep, analysis.RuleDefBeforeUse) {
+			t.Errorf("%s: dropping def at pc %d not flagged as def-before-use: %v",
+				name, pc, rep.Findings)
+		}
+	}
+}
+
+// TestMutantUnconditionalGuard rewrites conditional branches as
+// unconditional ones. When the original fallthrough block is reachable
+// only through that edge (per the CFG report), the verifier must flag
+// the orphaned block as unreachable.
+func TestMutantUnconditionalGuard(t *testing.T) {
+	coveredKernels := 0
+	for name, k := range workloadKernels(t) {
+		base := analysis.Analyze(k.Program, analysis.Options{Launch: launchOf(k)})
+		injected := false
+		for pc := 0; pc < k.Program.Len() && !injected; pc++ {
+			in := k.Program.At(int32(pc))
+			if !in.Op.IsCondBranch() || in.Target() == int32(pc+1) {
+				continue
+			}
+			// Find the fallthrough block; only mutate when this branch
+			// is its sole entry, which guarantees orphaning it.
+			fall := blockStartingAt(base.Blocks, int32(pc+1))
+			branchBlock := blockContaining(base.Blocks, int32(pc))
+			if fall == nil || branchBlock == nil {
+				continue
+			}
+			if len(fall.Preds) != 1 || fall.Preds[0] != branchBlock.ID {
+				continue
+			}
+			instrs := instrsOf(k.Program)
+			instrs[pc] = isa.Instr{Op: isa.OpBra, Imm: in.Imm}
+			rep := analyzeMutant(k, instrs)
+			if !hasRule(rep, analysis.RuleUnreachable) {
+				t.Errorf("%s: unconditional guard at pc %d not flagged as unreachable: %v",
+					name, pc, rep.Findings)
+			}
+			injected = true
+		}
+		if injected {
+			coveredKernels++
+		}
+	}
+	if coveredKernels < 8 {
+		t.Errorf("unconditional-guard mutants covered only %d kernels", coveredKernels)
+	}
+}
+
+func blockStartingAt(blocks []analysis.Block, pc int32) *analysis.Block {
+	for i := range blocks {
+		if blocks[i].Start == pc {
+			return &blocks[i]
+		}
+	}
+	return nil
+}
+
+func blockContaining(blocks []analysis.Block, pc int32) *analysis.Block {
+	for i := range blocks {
+		if blocks[i].Start <= pc && pc < blocks[i].End {
+			return &blocks[i]
+		}
+	}
+	return nil
+}
+
+// TestMutantBranchPastBarrier retargets a conditional branch that
+// reconverges exactly at a barrier to one instruction past it, pushing
+// the barrier inside the divergent region.
+func TestMutantBranchPastBarrier(t *testing.T) {
+	injected := 0
+	for name, k := range workloadKernels(t) {
+		p := k.Program
+		for pc := 0; pc < p.Len(); pc++ {
+			in := p.At(int32(pc))
+			if !in.Op.IsCondBranch() {
+				continue
+			}
+			tgt := in.Target()
+			if int(tgt) >= p.Len() || p.At(tgt).Op != isa.OpBar || int(tgt)+1 >= p.Len() {
+				continue
+			}
+			instrs := instrsOf(p)
+			instrs[pc].Imm = int64(tgt + 1)
+			rep := analyzeMutant(k, instrs)
+			if !hasRule(rep, analysis.RuleDivergentBarrier) {
+				t.Errorf("%s: branch at pc %d retargeted past barrier at pc %d not flagged: %v",
+					name, pc, tgt, rep.Findings)
+			}
+			injected++
+		}
+	}
+	if injected == 0 {
+		t.Error("no branch-past-barrier mutation site found (expected at least backprop)")
+	}
+}
+
+// TestMutantWidenedStore adds a huge offset to stores whose address the
+// affine pass can bound; each such widened store must be flagged
+// out-of-bounds. Stores with data-dependent addresses are exempt (the
+// pass is deliberately conservative), so coverage is also asserted.
+func TestMutantWidenedStore(t *testing.T) {
+	flagged := 0
+	for name, k := range workloadKernels(t) {
+		p := k.Program
+		launch := launchOf(k)
+		launch.GlobalBytes = 1 << 30 // generous bound; the widening jumps far past it
+		kernelFlagged := false
+		for pc := 0; pc < p.Len(); pc++ {
+			in := p.At(int32(pc))
+			if !in.Op.IsStore() {
+				continue
+			}
+			instrs := instrsOf(p)
+			instrs[pc].Imm += 1 << 40
+			mutant := isa.NewProgramUnchecked(p.Name+"+widen", instrs)
+			rep := analysis.Analyze(mutant, analysis.Options{Launch: launch})
+			want := analysis.RuleOOBGlobal
+			if in.Op == isa.OpStS {
+				want = analysis.RuleOOBShared
+			}
+			if hasRule(rep, want) {
+				kernelFlagged = true
+			}
+		}
+		if kernelFlagged {
+			flagged++
+		} else {
+			t.Logf("%s: no affine store site (data-dependent addressing)", name)
+		}
+	}
+	if flagged < 6 {
+		t.Errorf("widened-store mutants flagged in only %d kernels, want >= 6", flagged)
+	}
+}
+
+// TestMutantStaleReconvergence flips a stored reconvergence PC and
+// asserts the consistency check catches it.
+func TestMutantStaleReconvergence(t *testing.T) {
+	injected := 0
+	for name, k := range workloadKernels(t) {
+		p := k.Program
+		for pc := 0; pc < p.Len(); pc++ {
+			in := p.At(int32(pc))
+			if !in.Op.IsCondBranch() {
+				continue
+			}
+			instrs := instrsOf(p)
+			instrs[pc].Rpc++
+			rep := analyzeMutant(k, instrs)
+			if !hasRule(rep, analysis.RuleReconvergence) {
+				t.Errorf("%s: stale rpc at pc %d not flagged: %v", name, pc, rep.Findings)
+			}
+			injected++
+			break
+		}
+	}
+	if injected < 10 {
+		t.Errorf("stale-rpc mutants injected in only %d kernels", injected)
+	}
+}

@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"fmt"
+
+	"cawa/internal/isa"
+)
+
+// divergence runs the warp-uniformity analysis and everything built on
+// it: the set of possibly-divergent branches, the barrier-uniformity
+// check, reconvergence-PC verification, and the static bound on SIMT
+// reconvergence-stack depth.
+//
+// A register is warp-uniform when every thread of a warp is guaranteed
+// to hold the same value in it. Sources of non-uniformity are the
+// per-lane special registers (tid, lane, gtid), any memory load
+// (conservatively), and any definition executed under divergent control
+// flow (threads that skip the definition keep a different value). A
+// conditional branch on a non-uniform register may diverge; its
+// divergent region is every PC reachable from the branch before the
+// reconvergence point. The two are mutually dependent, so the analysis
+// iterates to a fixpoint: the divergent-branch set only grows, so it
+// terminates.
+func divergence(c *cfg, maxDepth int, rep *Report) {
+	p := c.p
+	n := c.n
+
+	// Verify stored reconvergence PCs against the freshly computed
+	// immediate post-dominators before trusting them.
+	for pc := 0; pc < n; pc++ {
+		in := p.At(int32(pc))
+		if !in.Op.IsCondBranch() {
+			continue
+		}
+		if in.Rpc != c.ipdom[pc] {
+			rep.add(Finding{
+				Rule: RuleReconvergence, Severity: SevError, PC: int32(pc),
+				Msg: fmt.Sprintf("stored reconvergence PC %d differs from immediate post-dominator %d", in.Rpc, c.ipdom[pc]),
+			})
+		}
+	}
+
+	divergent := make([]bool, n)
+	var inAnyRegion []bool
+	for {
+		// Union of all divergent regions under the current estimate.
+		inAnyRegion = make([]bool, n)
+		for pc := 0; pc < n; pc++ {
+			if !divergent[pc] {
+				continue
+			}
+			reg := c.region(int32(pc), c.ipdom[pc])
+			for i, ok := range reg {
+				if ok {
+					inAnyRegion[i] = true
+				}
+			}
+		}
+
+		nonUniform := uniformDataflow(c, inAnyRegion)
+
+		grew := false
+		for i := range c.blocks {
+			if !c.reachable[i] {
+				continue
+			}
+			nu := nonUniform[i]
+			for pc := c.blocks[i].Start; pc < c.blocks[i].End; pc++ {
+				instr := p.At(pc)
+				if instr.Op.IsCondBranch() && !divergent[pc] && nu.has(instr.A) {
+					divergent[pc] = true
+					grew = true
+				}
+				nu = uniformTransfer(instr, nu, inAnyRegion[pc])
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+
+	// Barrier-uniformity: a barrier strictly inside a divergent region
+	// deadlocks the masked-off lanes (they wait at the reconvergence
+	// point while active lanes wait at the barrier).
+	depth := make([]int, n)
+	for pc := 0; pc < n; pc++ {
+		if !divergent[pc] {
+			continue
+		}
+		rep.DivergentBranches++
+		reg := c.region(int32(pc), c.ipdom[pc])
+		for i, ok := range reg {
+			if !ok {
+				continue
+			}
+			depth[i]++
+			if p.At(int32(i)).Op == isa.OpBar {
+				rep.add(Finding{
+					Rule: RuleDivergentBarrier, Severity: SevError, PC: int32(i),
+					Msg: fmt.Sprintf("barrier reachable under divergent branch at pc %d (reconverges at %d)", pc, c.ipdom[pc]),
+				})
+			}
+		}
+	}
+	for _, d := range depth {
+		if d > rep.StackDepth {
+			rep.StackDepth = d
+		}
+	}
+	if rep.StackDepth > maxDepth {
+		rep.add(Finding{
+			Rule: RuleStackDepth, Severity: SevError, PC: 0,
+			Msg: fmt.Sprintf("divergent regions nest %d deep, exceeding the reconvergence-stack bound %d", rep.StackDepth, maxDepth),
+		})
+	}
+}
+
+// uniformDataflow computes, per reachable block, the registers that may
+// be non-uniform at block entry (forward may-analysis, meet = union).
+func uniformDataflow(c *cfg, inRegion []bool) []regMask {
+	nb := len(c.blocks)
+	in := make([]regMask, nb)
+	out := make([]regMask, nb)
+
+	transfer := func(b *Block, nu regMask) regMask {
+		for pc := b.Start; pc < b.End; pc++ {
+			nu = uniformTransfer(c.p.At(pc), nu, inRegion[pc])
+		}
+		return nu
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < nb; i++ {
+			if !c.reachable[i] {
+				continue
+			}
+			var m regMask
+			for _, pr := range c.blocks[i].Preds {
+				m |= out[pr]
+			}
+			in[i] = m
+			if o := transfer(&c.blocks[i], m); o != out[i] {
+				out[i] = o
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+// uniformTransfer applies one instruction to the non-uniform register
+// mask. inRegion marks the instruction as control-dependent on a
+// divergent branch, which taints its definition.
+func uniformTransfer(in isa.Instr, nu regMask, inRegion bool) regMask {
+	if !in.Op.HasDst() {
+		return nu
+	}
+	tainted := inRegion || in.Op.IsLoad() || readMask(in)&nu != 0
+	if in.Op == isa.OpSReg {
+		switch isa.SpecialReg(in.Imm) {
+		case isa.SRTid, isa.SRLane, isa.SRGTid:
+			tainted = true
+		}
+	}
+	if tainted {
+		return nu | 1<<in.Dst
+	}
+	return nu &^ (1 << in.Dst)
+}

@@ -1,0 +1,59 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"cawa/internal/isa/analysis"
+	"cawa/internal/simt"
+	"cawa/internal/workloads"
+)
+
+// workloadKernels drains every registered workload's launch sequence
+// and returns one representative kernel per distinct program.
+func workloadKernels(t *testing.T) map[string]*simt.Kernel {
+	t.Helper()
+	out := make(map[string]*simt.Kernel)
+	for _, name := range workloads.Names() {
+		w, err := workloads.New(name, workloads.DefaultParams())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Take the first kernel only: iterative workloads inspect memory
+		// between launches, which requires actually running them, and
+		// every distinct program appears in the first iteration.
+		k, ok := w.Next()
+		if !ok {
+			t.Fatalf("%s: no kernel", name)
+		}
+		out[name+"/"+k.Name] = k
+	}
+	return out
+}
+
+func launchOf(k *simt.Kernel) *analysis.Launch {
+	return &analysis.Launch{
+		GridDim:     k.GridDim,
+		BlockDim:    k.BlockDim,
+		SharedWords: k.SharedWords,
+		Params:      k.Params,
+	}
+}
+
+// TestWorkloadsVerifyClean asserts the twelve workload kernels produce
+// zero findings of any severity — the acceptance gate for the verifier
+// staying useful rather than vacuous.
+func TestWorkloadsVerifyClean(t *testing.T) {
+	kernels := workloadKernels(t)
+	if len(kernels) < 12 {
+		t.Fatalf("expected at least 12 workload kernels, got %d", len(kernels))
+	}
+	for name, k := range kernels {
+		rep := analysis.Analyze(k.Program, analysis.Options{Launch: launchOf(k)})
+		for _, f := range rep.Findings {
+			t.Errorf("%s: %s", name, f)
+		}
+		if rep.RegsUsed == 0 || rep.MaxLive == 0 || len(rep.Blocks) == 0 {
+			t.Errorf("%s: implausible pressure report: %+v", name, rep)
+		}
+	}
+}

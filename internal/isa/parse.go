@@ -25,6 +25,23 @@ import (
 // immediate; `movf rD, <float>` stores a float immediate. Reconvergence
 // PCs are recomputed, so `(rpc=...)` annotations from Disasm are
 // ignored.
+// ParseError is a parse or assembly failure positioned at a source
+// line. Line is 1-based; 0 means the error is structural (e.g. an
+// undefined label) and has no single originating line.
+type ParseError struct {
+	Line int
+	Err  error
+}
+
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("line %d: %v", e.Line, e.Err)
+	}
+	return e.Err.Error()
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
 func Parse(name, src string) (*Program, error) {
 	b := NewBuilder(name)
 	for lineNo, raw := range strings.Split(src, "\n") {
@@ -47,6 +64,9 @@ func Parse(name, src string) (*Program, error) {
 			if isNumber(lbl) {
 				continue // bare PC marker
 			}
+			if _, dup := b.labels[lbl]; dup {
+				return nil, &ParseError{Line: lineNo + 1, Err: fmt.Errorf("duplicate label %q", lbl)}
+			}
 			b.Label(lbl)
 			continue
 		}
@@ -57,10 +77,14 @@ func Parse(name, src string) (*Program, error) {
 			continue
 		}
 		if err := parseInstr(b, line); err != nil {
-			return nil, fmt.Errorf("isa: line %d: %w", lineNo+1, err)
+			return nil, &ParseError{Line: lineNo + 1, Err: err}
 		}
 	}
-	return b.Build()
+	p, err := b.Build()
+	if err != nil {
+		return nil, &ParseError{Err: err}
+	}
+	return p, nil
 }
 
 // MustParse is Parse but panics on error (static kernels in tests).
@@ -98,14 +122,12 @@ func parseOperand(tok string) (operand, error) {
 		tok = tok[1:]
 	}
 	switch {
-	case strings.HasPrefix(tok, "r"):
+	case strings.HasPrefix(tok, "r") && len(tok) > 1 && allDigits(tok[1:]):
 		n, err := strconv.Atoi(tok[1:])
-		if err == nil {
-			if n < 0 || n >= NumRegs {
-				return operand{}, fmt.Errorf("register %q out of range", tok)
-			}
-			return operand{kind: 'r', reg: Reg(n), neg: neg}, nil
+		if err != nil || n < 0 || n >= NumRegs {
+			return operand{}, fmt.Errorf("register %q out of range (r0..r%d)", tok, NumRegs-1)
 		}
+		return operand{kind: 'r', reg: Reg(n), neg: neg}, nil
 	case strings.HasPrefix(tok, "%"):
 		return operand{kind: 's', str: tok[1:]}, nil
 	case strings.HasPrefix(tok, "param["):
@@ -133,13 +155,26 @@ func parseOperand(tok string) (operand, error) {
 		}
 		return operand{kind: 'm', reg: bop.reg, imm: o}, nil
 	}
-	if v, err := strconv.ParseInt(tok, 0, 64); err == nil {
+	v, err := strconv.ParseInt(tok, 0, 64)
+	if err == nil {
 		return operand{kind: 'i', imm: v}, nil
+	}
+	if ne, ok := err.(*strconv.NumError); ok && ne.Err == strconv.ErrRange {
+		return operand{}, fmt.Errorf("immediate %q overflows int64", tok)
 	}
 	if f, err := strconv.ParseFloat(tok, 64); err == nil {
 		return operand{kind: 'f', f: f}, nil
 	}
 	return operand{}, fmt.Errorf("unrecognized operand %q", tok)
+}
+
+func allDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return s != ""
 }
 
 func splitOperands(s string) ([]operand, error) {
@@ -241,6 +276,13 @@ func parseInstr(b *Builder, line string) error {
 		return nil
 	}
 
+	wantKind := func(i int, kind byte, what string) error {
+		if ops[i].kind != kind {
+			return fmt.Errorf("%s: operand %d must be %s", mnemonic, i+1, what)
+		}
+		return nil
+	}
+
 	switch mnemonic {
 	case "nop":
 		b.Nop()
@@ -248,9 +290,18 @@ func parseInstr(b *Builder, line string) error {
 		if err := need(2); err != nil {
 			return err
 		}
+		if err := wantKind(0, 'r', "a register"); err != nil {
+			return err
+		}
+		if err := wantKind(1, 'i', "an integer immediate"); err != nil {
+			return err
+		}
 		b.MovI(ops[0].reg, ops[1].imm)
 	case "movf":
 		if err := need(2); err != nil {
+			return err
+		}
+		if err := wantKind(0, 'r', "a register"); err != nil {
 			return err
 		}
 		switch ops[1].kind {
@@ -265,6 +316,12 @@ func parseInstr(b *Builder, line string) error {
 		if err := need(2); err != nil {
 			return err
 		}
+		if err := wantKind(0, 'r', "a register"); err != nil {
+			return err
+		}
+		if err := wantKind(1, 's', "a %special register"); err != nil {
+			return err
+		}
 		sr, ok := sregByName[ops[1].str]
 		if !ok {
 			return fmt.Errorf("unknown special register %%%s", ops[1].str)
@@ -274,13 +331,25 @@ func parseInstr(b *Builder, line string) error {
 		if err := need(2); err != nil {
 			return err
 		}
+		if err := wantKind(0, 'r', "a register"); err != nil {
+			return err
+		}
+		if ops[1].kind != 'p' && ops[1].kind != 'i' {
+			return fmt.Errorf("param: operand 2 must be param[N] or an index")
+		}
+		if ops[1].imm < 0 {
+			return fmt.Errorf("param: negative parameter index %d", ops[1].imm)
+		}
 		b.Param(ops[0].reg, int(ops[1].imm))
 	case "ld.global", "ld":
 		if err := need(2); err != nil {
 			return err
 		}
-		if ops[1].kind != 'm' {
-			return fmt.Errorf("ld.global: second operand must be [reg+off]")
+		if err := wantKind(0, 'r', "a register"); err != nil {
+			return err
+		}
+		if err := wantKind(1, 'm', "[reg+off]"); err != nil {
+			return err
 		}
 		b.Ld(ops[0].reg, ops[1].reg, ops[1].imm)
 	case "st.global", "st":
@@ -295,19 +364,37 @@ func parseInstr(b *Builder, line string) error {
 		if err := need(2); err != nil {
 			return err
 		}
+		if err := wantKind(0, 'r', "a register"); err != nil {
+			return err
+		}
+		if err := wantKind(1, 'm', "[reg+off]"); err != nil {
+			return err
+		}
 		b.LdS(ops[0].reg, ops[1].reg, ops[1].imm)
 	case "st.shared":
 		if err := need(2); err != nil {
 			return err
+		}
+		if ops[0].kind != 'm' || ops[1].kind != 'r' {
+			return fmt.Errorf("st.shared: want [reg+off], reg")
 		}
 		b.StS(ops[0].reg, ops[0].imm, ops[1].reg)
 	case "bra":
 		if err := need(1); err != nil {
 			return err
 		}
+		if err := wantKind(0, 'l', "@label or @pc"); err != nil {
+			return err
+		}
 		b.Bra(branchLabel(b, ops[0]))
 	case "cbra":
 		if err := need(2); err != nil {
+			return err
+		}
+		if err := wantKind(0, 'r', "a register"); err != nil {
+			return err
+		}
+		if err := wantKind(1, 'l', "@label or @pc"); err != nil {
 			return err
 		}
 		if ops[0].neg {
@@ -317,6 +404,12 @@ func parseInstr(b *Builder, line string) error {
 		}
 	case "cbraz":
 		if err := need(2); err != nil {
+			return err
+		}
+		if err := wantKind(0, 'r', "a register"); err != nil {
+			return err
+		}
+		if err := wantKind(1, 'l', "@label or @pc"); err != nil {
 			return err
 		}
 		b.CBraZ(ops[0].reg, branchLabel(b, ops[1]))

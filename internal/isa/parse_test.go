@@ -1,6 +1,7 @@
 package isa
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -126,6 +127,58 @@ func TestParseErrors(t *testing.T) {
 		if _, err := Parse(name, src); err == nil {
 			t.Errorf("%s: expected parse error", name)
 		}
+	}
+}
+
+// TestParseErrorPaths pins down the diagnostic each malformed input
+// produces, including the 1-based line number carried by ParseError.
+func TestParseErrorPaths(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		wantLine int
+		wantMsg  string
+	}{
+		{"bad opcode", "nop\nfrobnicate r1, r2\nexit", 2, `unknown mnemonic "frobnicate"`},
+		{"duplicate label", "top:\n    nop\ntop:\n    exit", 3, `duplicate label "top"`},
+		{"immediate overflow", "movi r1, 99999999999999999999\nexit", 1, "overflows int64"},
+		{"register out of range", "movi r64, 1\nexit", 1, `register "r64" out of range (r0..r63)`},
+		{"huge register", "mov r1, r100000\nexit", 1, "out of range"},
+		{"movi needs immediate", "movi r1, r2\nexit", 1, "operand 2 must be an integer immediate"},
+		{"movi needs register dst", "movi 3, 4\nexit", 1, "operand 1 must be a register"},
+		{"sreg needs special", "sreg r1, r2\nexit", 1, "operand 2 must be a %special register"},
+		{"unknown sreg", "sreg r1, %bogus\nexit", 1, "unknown special register %bogus"},
+		{"param negative index", "param r1, -3\nexit", 1, "negative parameter index"},
+		{"param bad operand", "param r1, [r2+0]\nexit", 1, "param[N] or an index"},
+		{"ld needs address", "ld.global r1, r2\nexit", 1, "operand 2 must be [reg+off]"},
+		{"st flipped operands", "st.global r1, [r2+0]\nexit", 1, "want [reg+off], reg"},
+		{"bad memory base", "ld.global r1, [7+0]\nexit", 1, "bad memory base"},
+		{"bad memory offset", "ld.global r1, [r2+zebra]\nexit", 1, "bad memory offset"},
+		{"bra needs label", "bra r1\nexit", 1, "operand 1 must be @label or @pc"},
+		{"cbra needs register", "cbra @x, @x\nx:\nexit", 1, "operand 1 must be a register"},
+		{"operand count", "add r1, r2\nexit", 1, "add expects 3 operands, got 2"},
+		{"undefined label", "bra @nowhere\nexit", 0, `undefined label "nowhere"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.name, tc.src)
+			if err == nil {
+				t.Fatal("expected parse error")
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %T is not *ParseError: %v", err, err)
+			}
+			if pe.Line != tc.wantLine {
+				t.Errorf("line = %d, want %d (%v)", pe.Line, tc.wantLine, err)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("error %q does not mention %q", err, tc.wantMsg)
+			}
+			if pe.Unwrap() == nil {
+				t.Error("ParseError must wrap the underlying cause")
+			}
+		})
 	}
 }
 

@@ -1,0 +1,35 @@
+package isa
+
+import "fmt"
+
+// NewProgram assembles a Program directly from decoded instructions,
+// validating branch targets and recomputing reconvergence PCs. It is the
+// constructor used by tooling that manipulates instruction slices
+// (mutation testing, optimizers); hand-written kernels should prefer
+// Builder or Parse, which also resolve labels.
+//
+// The input slice is copied; stale Rpc annotations on conditional
+// branches are overwritten.
+func NewProgram(name string, instrs []Instr) (*Program, error) {
+	if len(instrs) == 0 {
+		return nil, fmt.Errorf("isa: program %q is empty", name)
+	}
+	cp := make([]Instr, len(instrs))
+	copy(cp, instrs)
+	p := &Program{Name: name, Instrs: cp, labels: map[string]int32{}}
+	if err := computeReconvergence(p); err != nil {
+		return nil, fmt.Errorf("isa: program %q: %w", name, err)
+	}
+	return p, nil
+}
+
+// NewProgramUnchecked wraps instructions into a Program without any
+// validation or reconvergence recomputation: branch targets may be out
+// of range and Rpc annotations stale. It exists so the static verifier
+// (internal/isa/analysis) and its mutation tests can represent damaged
+// programs; the simulator must never execute one.
+func NewProgramUnchecked(name string, instrs []Instr) *Program {
+	cp := make([]Instr, len(instrs))
+	copy(cp, instrs)
+	return &Program{Name: name, Instrs: cp, labels: map[string]int32{}}
+}

@@ -1,0 +1,401 @@
+// Package lint statically enforces the simulator's determinism
+// invariants over its own Go source. The simulation core must produce
+// bit-identical results for identical configurations — that is what
+// makes the paper's A/B scheduler comparisons meaningful — so the
+// linter bans the constructs that silently break replayability:
+//
+//   - wall-clock: time.Now/Since/Until/Sleep/Tick/After/AfterFunc/
+//     NewTicker/NewTimer in simulation packages (simulation time is the
+//     cycle counter, never the host clock)
+//   - global-rand: math/rand's global-source functions (rand.Intn,
+//     rand.Seed, ...) in simulation packages; rand.New(rand.NewSource(
+//     seed)) with an explicit seed is the allowed form
+//   - map-range: ranging over a map in simulation packages, whose
+//     iteration order is deliberately randomized by the runtime. The
+//     collect-then-sort idiom (a body of plain appends followed by a
+//     sort.* call in the same block) is recognized and allowed, and
+//     `//cawalint:ignore <reason>` suppresses a finding explicitly.
+//   - goroutine: `go` statements anywhere outside internal/harness —
+//     concurrency lives in the harness scheduler, never in the model.
+//
+// The engine is stdlib-only (go/ast, go/parser, go/types). Cross-
+// package types resolve against stub packages, so map detection is
+// best-effort for expressions whose type lives in another package;
+// every map ranged over in the simulation core today is package-local.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Rules reported by the linter.
+const (
+	RuleWallClock  = "wall-clock"
+	RuleGlobalRand = "global-rand"
+	RuleMapRange   = "map-range"
+	RuleGoroutine  = "goroutine"
+)
+
+// Finding is one determinism violation.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// Options scopes the rules to import paths.
+type Options struct {
+	// SimPaths are import-path prefixes where the wall-clock,
+	// global-rand, and map-range rules apply.
+	SimPaths []string
+	// GoroutineAllowed are import-path prefixes where `go` statements
+	// are permitted.
+	GoroutineAllowed []string
+}
+
+// DefaultOptions matches this repository's layout: determinism rules
+// over the simulation core, goroutines confined to the harness.
+func DefaultOptions() Options {
+	return Options{
+		SimPaths: []string{
+			"cawa/internal/sm", "cawa/internal/gpu", "cawa/internal/sched",
+			"cawa/internal/core", "cawa/internal/cache", "cawa/internal/memsys",
+			"cawa/internal/stats",
+		},
+		GoroutineAllowed: []string{"cawa/internal/harness"},
+	}
+}
+
+func hasPrefix(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// bannedTime are the time-package functions that read or wait on the
+// host clock. Durations and constants remain fine.
+var bannedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// allowedRand are the math/rand names that do NOT touch the global
+// source: explicit-source constructors and the exported types
+// themselves. Everything else on the package does.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewChaCha8": true, "NewPCG": true,
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true,
+	"ChaCha8": true, "PCG": true,
+}
+
+// Dir lints every non-test .go file in dir as the package with import
+// path pkgPath.
+func Dir(dir, pkgPath string, opts Options) ([]Finding, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	return Files(fset, pkgPath, files, opts), nil
+}
+
+// Files lints already-parsed files (parsed with parser.ParseComments)
+// belonging to the package with import path pkgPath.
+func Files(fset *token.FileSet, pkgPath string, files []*ast.File, opts Options) []Finding {
+	info := typeInfo(fset, pkgPath, files)
+	var out []Finding
+	for _, f := range files {
+		covered, bare := ignoreLines(fset, f)
+		fl := &fileLinter{
+			fset:    fset,
+			pkgPath: pkgPath,
+			opts:    opts,
+			info:    info,
+			imports: importNames(f),
+			ignores: covered,
+		}
+		for _, line := range bare {
+			fl.findings = append(fl.findings, Finding{
+				Pos:  token.Position{Filename: fset.Position(f.Pos()).Filename, Line: line},
+				Rule: "ignore-directive",
+				Msg:  "cawalint:ignore directive needs a reason",
+			})
+		}
+		fl.file(f)
+		out = append(out, fl.findings...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// typeInfo type-checks the files against stub imports so that
+// package-local map types resolve. Type errors are expected (stubs
+// export nothing) and ignored; the partial Info is still useful.
+func typeInfo(fset *token.FileSet, pkgPath string, files []*ast.File) *types.Info {
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Importer:         stubImporter{cache: map[string]*types.Package{}},
+		Error:            func(error) {},
+		IgnoreFuncBodies: false,
+	}
+	conf.Check(pkgPath, fset, files, info) //nolint:errcheck // best-effort
+	return info
+}
+
+// stubImporter satisfies imports with empty, complete packages. It
+// falls back to the compiler's export data when available so stdlib
+// types sharpen the analysis, but never fails.
+type stubImporter struct{ cache map[string]*types.Package }
+
+func (s stubImporter) Import(path string) (*types.Package, error) {
+	if p, ok := s.cache[path]; ok {
+		return p, nil
+	}
+	if p, err := importer.Default().Import(path); err == nil {
+		s.cache[path] = p
+		return p, nil
+	}
+	base := path
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		base = path[i+1:]
+	}
+	p := types.NewPackage(path, base)
+	p.MarkComplete()
+	s.cache[path] = p
+	return p, nil
+}
+
+// importNames maps the local identifier of each import to its path.
+func importNames(f *ast.File) map[string]string {
+	out := map[string]string{}
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		out[name] = path
+	}
+	return out
+}
+
+// ignoreLines collects the lines covered by a `//cawalint:ignore
+// <reason>` directive (the directive's own line and the next, so both
+// trailing and standalone placements work). Directives without a
+// reason are returned separately so they can be reported.
+func ignoreLines(fset *token.FileSet, f *ast.File) (covered map[int]bool, bare []int) {
+	covered = map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "//cawalint:ignore")
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			if strings.TrimSpace(rest) == "" {
+				bare = append(bare, line)
+				continue
+			}
+			covered[line] = true
+			covered[line+1] = true
+		}
+	}
+	return covered, bare
+}
+
+type fileLinter struct {
+	fset     *token.FileSet
+	pkgPath  string
+	opts     Options
+	info     *types.Info
+	imports  map[string]string
+	ignores  map[int]bool
+	findings []Finding
+}
+
+func (l *fileLinter) add(pos token.Pos, rule, msg string) {
+	p := l.fset.Position(pos)
+	if l.ignores[p.Line] {
+		return
+	}
+	l.findings = append(l.findings, Finding{Pos: p, Rule: rule, Msg: msg})
+}
+
+func (l *fileLinter) file(f *ast.File) {
+	sim := hasPrefix(l.pkgPath, l.opts.SimPaths)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if !hasPrefix(l.pkgPath, l.opts.GoroutineAllowed) {
+				l.add(n.Pos(), RuleGoroutine,
+					"goroutine creation outside internal/harness breaks deterministic replay")
+			}
+		case *ast.SelectorExpr:
+			if sim {
+				l.selector(n)
+			}
+		case *ast.BlockStmt:
+			if sim {
+				l.stmtList(n.List)
+			}
+		case *ast.CaseClause:
+			if sim {
+				l.stmtList(n.Body)
+			}
+		case *ast.CommClause:
+			if sim {
+				l.stmtList(n.Body)
+			}
+		}
+		return true
+	})
+}
+
+// selector flags wall-clock and global-rand references. The receiver
+// must resolve to the imported package, not a shadowing local.
+func (l *fileLinter) selector(sel *ast.SelectorExpr) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	path, imported := l.imports[id.Name]
+	if !imported {
+		return
+	}
+	if obj, ok := l.info.Uses[id]; ok {
+		if _, isPkg := obj.(*types.PkgName); !isPkg {
+			return // shadowed by a local
+		}
+	}
+	switch path {
+	case "time":
+		if bannedTime[sel.Sel.Name] {
+			l.add(sel.Pos(), RuleWallClock,
+				fmt.Sprintf("time.%s reads the host clock; simulation time is the cycle counter", sel.Sel.Name))
+		}
+	case "math/rand", "math/rand/v2":
+		if !allowedRand[sel.Sel.Name] {
+			l.add(sel.Pos(), RuleGlobalRand,
+				fmt.Sprintf("rand.%s uses the global source; seed an explicit rand.New(rand.NewSource(seed))", sel.Sel.Name))
+		}
+	}
+}
+
+// stmtList scans one statement list for map ranges so the
+// collect-then-sort exemption can see the following siblings.
+func (l *fileLinter) stmtList(list []ast.Stmt) {
+	for i, stmt := range list {
+		if lbl, ok := stmt.(*ast.LabeledStmt); ok {
+			stmt = lbl.Stmt
+		}
+		rng, ok := stmt.(*ast.RangeStmt)
+		if !ok || !l.isMap(rng.X) {
+			continue
+		}
+		if appendOnlyBody(rng.Body) && sortFollows(list[i+1:]) {
+			continue // collect-then-sort: order laundered before use
+		}
+		l.add(rng.Pos(), RuleMapRange,
+			"map iteration order is randomized; collect keys and sort, or annotate //cawalint:ignore <reason>")
+	}
+}
+
+func (l *fileLinter) isMap(expr ast.Expr) bool {
+	tv, ok := l.info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// appendOnlyBody reports whether every statement in the range body is
+// a plain `x = append(x, ...)` — the collecting half of the idiom.
+func appendOnlyBody(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	for _, stmt := range body.List {
+		asg, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != 1 {
+			return false
+		}
+		call, ok := asg.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return false
+		}
+	}
+	return true
+}
+
+// sortFollows reports whether a later sibling statement calls into the
+// sort package — the ordering half of the idiom.
+func sortFollows(rest []ast.Stmt) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == "sort" {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

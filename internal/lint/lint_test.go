@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// lintSrc runs the engine over one synthetic file belonging to pkgPath.
+func lintSrc(t *testing.T, pkgPath, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Files(fset, pkgPath, []*ast.File{f}, DefaultOptions())
+}
+
+func rulesOf(fs []Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.Rule)
+	}
+	return out
+}
+
+func wantOnly(t *testing.T, fs []Finding, rule string, n int) {
+	t.Helper()
+	if len(fs) != n {
+		t.Fatalf("got %d findings %v, want %d x %s", len(fs), rulesOf(fs), n, rule)
+	}
+	for _, f := range fs {
+		if f.Rule != rule {
+			t.Fatalf("got rule %s (%s), want %s", f.Rule, f.Msg, rule)
+		}
+	}
+}
+
+const simPkg = "cawa/internal/sm"
+
+func TestWallClockFlagged(t *testing.T) {
+	fs := lintSrc(t, simPkg, `package sm
+import "time"
+func f() int64 { return time.Now().UnixNano() }
+func g() { time.Sleep(time.Millisecond) }
+`)
+	wantOnly(t, fs, RuleWallClock, 2)
+	if fs[0].Pos.Line != 3 || fs[1].Pos.Line != 4 {
+		t.Errorf("positions %v, want lines 3 and 4", fs)
+	}
+}
+
+func TestWallClockDurationsAllowed(t *testing.T) {
+	fs := lintSrc(t, simPkg, `package sm
+import "time"
+func f(d time.Duration) time.Duration { return d + time.Millisecond }
+`)
+	if len(fs) != 0 {
+		t.Fatalf("durations flagged: %v", fs)
+	}
+}
+
+func TestWallClockOutsideSimScopeAllowed(t *testing.T) {
+	fs := lintSrc(t, "cawa/internal/harness", `package harness
+import "time"
+func f() { _ = time.Now() }
+`)
+	if len(fs) != 0 {
+		t.Fatalf("harness wall-clock flagged: %v", fs)
+	}
+}
+
+func TestGlobalRandFlagged(t *testing.T) {
+	fs := lintSrc(t, simPkg, `package sm
+import "math/rand"
+func f() int { rand.Seed(1); return rand.Intn(10) }
+`)
+	wantOnly(t, fs, RuleGlobalRand, 2)
+}
+
+func TestSeededRandAllowed(t *testing.T) {
+	fs := lintSrc(t, simPkg, `package sm
+import "math/rand"
+func f(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+`)
+	if len(fs) != 0 {
+		t.Fatalf("seeded rand flagged: %v", fs)
+	}
+}
+
+func TestShadowedImportNotFlagged(t *testing.T) {
+	fs := lintSrc(t, simPkg, `package sm
+import "time"
+type clock struct{}
+func (clock) Now() int64 { return 0 }
+func f() int64 {
+	var time clock
+	return time.Now()
+}
+var _ = time.Duration(0)
+`)
+	if len(fs) != 0 {
+		t.Fatalf("shadowed receiver flagged: %v", fs)
+	}
+}
+
+func TestMapRangeFlagged(t *testing.T) {
+	fs := lintSrc(t, simPkg, `package sm
+func f(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`)
+	wantOnly(t, fs, RuleMapRange, 1)
+	if fs[0].Pos.Line != 4 {
+		t.Errorf("position %v, want line 4", fs[0].Pos)
+	}
+}
+
+func TestSliceRangeAllowed(t *testing.T) {
+	fs := lintSrc(t, simPkg, `package sm
+func f(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("slice range flagged: %v", fs)
+	}
+}
+
+func TestCollectThenSortAllowed(t *testing.T) {
+	fs := lintSrc(t, simPkg, `package sm
+import "sort"
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("collect-then-sort flagged: %v", fs)
+	}
+}
+
+func TestCollectWithoutSortFlagged(t *testing.T) {
+	fs := lintSrc(t, simPkg, `package sm
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`)
+	wantOnly(t, fs, RuleMapRange, 1)
+}
+
+func TestIgnoreDirective(t *testing.T) {
+	fs := lintSrc(t, simPkg, `package sm
+func f(m map[int]int) {
+	//cawalint:ignore order-insensitive sum
+	for _, v := range m {
+		_ = v
+	}
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("annotated range flagged: %v", fs)
+	}
+}
+
+func TestBareIgnoreDirectiveFlagged(t *testing.T) {
+	fs := lintSrc(t, simPkg, `package sm
+func f(m map[int]int) {
+	//cawalint:ignore
+	for _, v := range m {
+		_ = v
+	}
+}
+`)
+	if len(fs) != 2 {
+		t.Fatalf("got %v, want ignore-directive + map-range", rulesOf(fs))
+	}
+	var sawBare bool
+	for _, f := range fs {
+		if f.Rule == "ignore-directive" {
+			sawBare = true
+			if !strings.Contains(f.Msg, "needs a reason") {
+				t.Errorf("msg %q", f.Msg)
+			}
+		}
+	}
+	if !sawBare {
+		t.Fatalf("bare directive not reported: %v", fs)
+	}
+}
+
+func TestGoroutineFlaggedEverywhere(t *testing.T) {
+	src := `package x
+func f() { go func() {}() }
+`
+	for _, pkg := range []string{simPkg, "cawa/internal/workloads", "cawa/internal/isa"} {
+		fs := lintSrc(t, pkg, src)
+		wantOnly(t, fs, RuleGoroutine, 1)
+	}
+}
+
+func TestGoroutineAllowedInHarness(t *testing.T) {
+	fs := lintSrc(t, "cawa/internal/harness", `package harness
+func f() { go func() {}() }
+`)
+	if len(fs) != 0 {
+		t.Fatalf("harness goroutine flagged: %v", fs)
+	}
+}
+
+// TestRepoIsClean runs the production configuration over the real
+// simulation packages — the linter must hold on the code it guards.
+func TestRepoIsClean(t *testing.T) {
+	dirs := map[string]string{
+		"../sm": "cawa/internal/sm", "../gpu": "cawa/internal/gpu",
+		"../sched": "cawa/internal/sched", "../core": "cawa/internal/core",
+		"../cache": "cawa/internal/cache", "../memsys": "cawa/internal/memsys",
+		"../stats": "cawa/internal/stats", "../workloads": "cawa/internal/workloads",
+	}
+	for dir, pkg := range dirs {
+		fs, err := Dir(dir, pkg, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, f := range fs {
+			t.Errorf("%s: %s", pkg, f)
+		}
+	}
+}

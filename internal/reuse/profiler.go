@@ -28,12 +28,12 @@ type Profiler struct {
 	smallLines int64
 	largeLines int64
 
-	perSet  []*DistanceTracker
-	global  *DistanceTracker
-	ByWarp  map[int]*Histogram
-	ByPC    map[int32]*PCStat
-	All     Histogram
-	Crit    Histogram // accesses from predicted-critical warps
+	perSet []*DistanceTracker
+	global *DistanceTracker
+	ByWarp map[int]*Histogram
+	ByPC   map[int32]*PCStat
+	All    Histogram
+	Crit   Histogram // accesses from predicted-critical warps
 }
 
 // NewProfiler builds a profiler. sets and lineBytes describe the

@@ -120,7 +120,7 @@ func TestFracBeyond(t *testing.T) {
 	if got < 0.45 || got > 0.55 {
 		t.Fatalf("FracBeyond(4) = %v, want ~0.5", got)
 	}
-	if h.FracBeyond(1 << 30) != 0 {
+	if h.FracBeyond(1<<30) != 0 {
 		t.Fatal("nothing should be beyond a huge cache")
 	}
 	var empty Histogram

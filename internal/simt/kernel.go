@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"cawa/internal/isa"
+	"cawa/internal/isa/analysis"
 	"cawa/internal/memory"
 )
 
@@ -34,7 +35,10 @@ type Kernel struct {
 	RegsPerThread int
 }
 
-// Validate reports whether the launch geometry is usable.
+// Validate reports whether the launch geometry is usable and runs the
+// static verifier over the program: def-before-use, unreachable code,
+// divergent barriers, reconvergence consistency, and launch-dependent
+// affine bounds all fail the launch before a single cycle simulates.
 func (k *Kernel) Validate() error {
 	switch {
 	case k.Program == nil:
@@ -46,7 +50,22 @@ func (k *Kernel) Validate() error {
 	case k.SharedWords < 0:
 		return fmt.Errorf("simt: kernel %s: negative shared memory", k.Name)
 	}
+	if err := analysis.Verify(k.Program, analysis.Options{Launch: k.AnalysisLaunch()}); err != nil {
+		return fmt.Errorf("simt: kernel %s: %w", k.Name, err)
+	}
 	return nil
+}
+
+// AnalysisLaunch translates the kernel's geometry into the verifier's
+// launch description. GlobalBytes is unknown at this layer (the GPU
+// fills it in at Launch time, where the memory size is known).
+func (k *Kernel) AnalysisLaunch() *analysis.Launch {
+	return &analysis.Launch{
+		GridDim:     k.GridDim,
+		BlockDim:    k.BlockDim,
+		SharedWords: k.SharedWords,
+		Params:      k.Params,
+	}
 }
 
 // TotalThreads returns GridDim*BlockDim.

@@ -94,7 +94,7 @@ func TestIntMinMaxAbsLogic(t *testing.T) {
 		{func(b *isa.Builder) { b.MovI(isa.R1, 0xF0); b.AndI(isa.R15, isa.R1, 0x3C) }, 0x30},
 		{func(b *isa.Builder) { b.MovI(isa.R1, 0xF0); b.OrI(isa.R15, isa.R1, 0x0F) }, 0xFF},
 		{func(b *isa.Builder) { b.MovI(isa.R1, 0xFF); b.XorI(isa.R15, isa.R1, 0x0F) }, 0xF0},
-		{func(b *isa.Builder) { b.MovI(isa.R1, math.MinInt64 + 1); b.Abs(isa.R15, isa.R1) }, math.MaxInt64},
+		{func(b *isa.Builder) { b.MovI(isa.R1, math.MinInt64+1); b.Abs(isa.R15, isa.R1) }, math.MaxInt64},
 	}
 	for i, c := range cases {
 		if got := evalOne(t, c.build); got != c.want {

@@ -39,18 +39,18 @@ func TestUniformArithmetic(t *testing.T) {
 	b := isa.NewBuilder("alu")
 	b.MovI(isa.R1, 20)
 	b.MovI(isa.R2, 3)
-	b.Add(isa.R3, isa.R1, isa.R2)  // 23
-	b.Sub(isa.R4, isa.R1, isa.R2)  // 17
-	b.Mul(isa.R5, isa.R1, isa.R2)  // 60
-	b.Div(isa.R6, isa.R1, isa.R2)  // 6
-	b.Rem(isa.R7, isa.R1, isa.R2)  // 2
+	b.Add(isa.R3, isa.R1, isa.R2) // 23
+	b.Sub(isa.R4, isa.R1, isa.R2) // 17
+	b.Mul(isa.R5, isa.R1, isa.R2) // 60
+	b.Div(isa.R6, isa.R1, isa.R2) // 6
+	b.Rem(isa.R7, isa.R1, isa.R2) // 2
 	b.MovI(isa.R8, 0)
 	b.Div(isa.R9, isa.R1, isa.R8)  // div by zero -> 0
 	b.Rem(isa.R10, isa.R1, isa.R8) // rem by zero -> 0
 	b.Min(isa.R11, isa.R1, isa.R2)
 	b.Max(isa.R12, isa.R1, isa.R2)
-	b.ShlI(isa.R13, isa.R2, 4)    // 48
-	b.ShrI(isa.R14, isa.R1, 2)    // 5
+	b.ShlI(isa.R13, isa.R2, 4) // 48
+	b.ShrI(isa.R14, isa.R1, 2) // 5
 	b.MovI(isa.R15, -9)
 	b.Abs(isa.R16, isa.R15) // 9
 	b.SetLT(isa.R17, isa.R2, isa.R1)

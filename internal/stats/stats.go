@@ -26,12 +26,12 @@ type WarpRecord struct {
 
 	// Cycle breakdown while resident (sums to residency minus issue
 	// cycles).
-	IssueCycles   int64 // cycles this warp issued an instruction
-	SchedStall    int64 // ready but not selected by the scheduler
-	MemStall      int64 // blocked on global memory (data or structural)
-	ALUStall      int64 // blocked on an in-flight compute result
-	BarrierStall  int64 // parked at a block barrier
-	EmptyStall    int64 // other (e.g. finished lanes awaiting block end)
+	IssueCycles       int64 // cycles this warp issued an instruction
+	SchedStall        int64 // ready but not selected by the scheduler
+	MemStall          int64 // blocked on global memory (data or structural)
+	ALUStall          int64 // blocked on an in-flight compute result
+	BarrierStall      int64 // parked at a block barrier
+	EmptyStall        int64 // other (e.g. finished lanes awaiting block end)
 	DivergentBranches int64
 }
 
@@ -116,6 +116,24 @@ func (l *Launch) BlockGroup() map[int][]WarpRecord {
 	return g
 }
 
+// blockGroupsOrdered returns BlockGroup's values in ascending
+// block-id order. Float reductions (sums, means) over the groups must
+// use this instead of ranging the map: iteration order would otherwise
+// change the rounding and break run-to-run determinism.
+func (l *Launch) blockGroupsOrdered() [][]WarpRecord {
+	g := l.BlockGroup()
+	ids := make([]int, 0, len(g))
+	for id := range g {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([][]WarpRecord, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, g[id])
+	}
+	return out
+}
+
 // BlockDisparity returns the execution-time disparity of one block's
 // warps: (slowest - fastest) / slowest. Blocks with fewer than two warps
 // have zero disparity.
@@ -144,7 +162,7 @@ func BlockDisparity(warps []WarpRecord) float64 {
 // at least minWarps warps.
 func (l *Launch) MaxDisparity(minWarps int) float64 {
 	best := 0.0
-	for _, ws := range l.BlockGroup() {
+	for _, ws := range l.blockGroupsOrdered() {
 		if len(ws) < minWarps {
 			continue
 		}
@@ -158,7 +176,7 @@ func (l *Launch) MaxDisparity(minWarps int) float64 {
 // MeanDisparity returns the average per-block disparity.
 func (l *Launch) MeanDisparity(minWarps int) float64 {
 	sum, n := 0.0, 0
-	for _, ws := range l.BlockGroup() {
+	for _, ws := range l.blockGroupsOrdered() {
 		if len(ws) < minWarps {
 			continue
 		}

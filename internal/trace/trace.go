@@ -18,7 +18,7 @@ import (
 // Event is one issued warp instruction.
 type Event struct {
 	Cycle int64
-	GID   int   // global warp id
+	GID   int // global warp id
 	PC    int32
 	Op    isa.Op
 	Lanes int

@@ -26,11 +26,11 @@ type backprop struct {
 	nIn, nHid int
 	blockDim  int
 
-	in      []float64
-	weights []float64 // w[i*nHid + j]
+	in            []float64
+	weights       []float64 // w[i*nHid + j]
 	inA, wA, outA int64
-	kern    *simt.Kernel
-	done    bool
+	kern          *simt.Kernel
+	done          bool
 }
 
 func newBackprop(p Params) *backprop {

@@ -160,7 +160,7 @@ func bfsKernel1() *isa.Builder {
 	b.CBra(isa.R2, "exit")
 	ldElem(b, isa.R16, isa.R13, isa.R8, isa.R5) // id = edges[i]
 	ldElem(b, isa.R17, isa.R14, isa.R16, isa.R5)
-	b.CBra(isa.R17, "skip") // already visited: non-child node
+	b.CBra(isa.R17, "skip")                      // already visited: non-child node
 	stElem(b, isa.R12, isa.R16, isa.R11, isa.R5) // cost[id] = cost[tid]+1
 	stElem(b, isa.R15, isa.R16, isa.R18, isa.R5) // updating[id] = 1
 	b.Label("skip")

@@ -22,8 +22,8 @@ const btreeOrder = 8
 //	[2 .. 2+ORDER)           keys
 //	[2+ORDER .. 3+2*ORDER)   children (byte addresses) or values in leaves
 const (
-	btreeKeysOff  = 2 * 8 // byte offset of keys
-	btreeChildOff = (2 + btreeOrder) * 8
+	btreeKeysOff   = 2 * 8 // byte offset of keys
+	btreeChildOff  = (2 + btreeOrder) * 8
 	btreeNodeWords = 2 + btreeOrder + btreeOrder + 1
 )
 
@@ -57,7 +57,7 @@ func newBTree(p Params) *btree {
 
 	keySet := make(map[int64]bool, nKeys)
 	for len(keySet) < nKeys {
-		keySet[int64(rng.Intn(nKeys * 8))] = true
+		keySet[int64(rng.Intn(nKeys*8))] = true
 	}
 	keys := make([]int64, 0, nKeys)
 	for k := range keySet {
@@ -177,7 +177,7 @@ func btreeKernel() *isa.Builder {
 	b.SReg(isa.R0, isa.SRGTid)
 	b.Param(isa.R1, 3) // nQueries
 	guardRange(b, isa.R0, isa.R1, isa.R2)
-	b.Param(isa.R3, 1) // queries
+	b.Param(isa.R3, 1)                        // queries
 	ldElem(b, isa.R4, isa.R3, isa.R0, isa.R5) // key
 	b.Param(isa.R5, 2)                        // node = root
 	b.Label("walk")

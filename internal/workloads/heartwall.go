@@ -29,17 +29,17 @@ type heartwall struct {
 	tmplW      int
 	radius     int
 
-	img     []float64
-	tmpl    []float64
-	ptsX    []int64
-	ptsY    []int64
-	imgA    int64
-	tmplA   int64
-	pxA     int64
-	pyA     int64
-	outA    int64
-	kern    *simt.Kernel
-	done    bool
+	img   []float64
+	tmpl  []float64
+	ptsX  []int64
+	ptsY  []int64
+	imgA  int64
+	tmplA int64
+	pxA   int64
+	pyA   int64
+	outA  int64
+	kern  *simt.Kernel
+	done  bool
 }
 
 func newHeartwall(p Params) *heartwall {

@@ -83,10 +83,10 @@ func kmeansKernel() *isa.Builder {
 	b.SReg(isa.R0, isa.SRGTid)
 	b.Param(isa.R1, 3) // n
 	guardRange(b, isa.R0, isa.R1, isa.R2)
-	b.Param(isa.R3, 0) // X (feature-major)
-	b.Param(isa.R4, 1) // C
-	b.Param(isa.R5, 4) // f
-	b.Param(isa.R6, 5) // k
+	b.Param(isa.R3, 0)    // X (feature-major)
+	b.Param(isa.R4, 1)    // C
+	b.Param(isa.R5, 4)    // f
+	b.Param(isa.R6, 5)    // k
 	b.MovF(isa.R8, 1e300) // best distance
 	b.MovI(isa.R9, -1)    // best cluster
 	b.MovI(isa.R10, 0)    // cluster index

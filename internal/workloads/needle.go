@@ -65,7 +65,7 @@ func needleKernel(n int, fA, refA, penalty int64, d, lo, count int) *simt.Kernel
 	b.SReg(isa.R0, isa.SRGTid)
 	b.Param(isa.R1, 0) // count
 	guardRange(b, isa.R0, isa.R1, isa.R2)
-	b.Param(isa.R3, 1) // lo
+	b.Param(isa.R3, 1)            // lo
 	b.Add(isa.R4, isa.R0, isa.R3) // i
 	b.Param(isa.R5, 2)            // d
 	b.Sub(isa.R6, isa.R5, isa.R4) // j
@@ -75,11 +75,11 @@ func needleKernel(n int, fA, refA, penalty int64, d, lo, count int) *simt.Kernel
 	b.Param(isa.R8, 3) // F base
 	// addresses: diag = k-(n+1)-1, up = k-(n+1), left = k-1
 	b.MulI(isa.R9, isa.R7, 8)
-	b.Add(isa.R9, isa.R9, isa.R8)              // &F[k]
-	b.Ld(isa.R10, isa.R9, int64(-(n+2))*8)     // F[i-1][j-1]
-	b.Ld(isa.R11, isa.R9, int64(-(n+1))*8)     // F[i-1][j]
-	b.Ld(isa.R12, isa.R9, -8)                  // F[i][j-1]
-	b.Param(isa.R13, 4)                        // ref base
+	b.Add(isa.R9, isa.R9, isa.R8)          // &F[k]
+	b.Ld(isa.R10, isa.R9, int64(-(n+2))*8) // F[i-1][j-1]
+	b.Ld(isa.R11, isa.R9, int64(-(n+1))*8) // F[i-1][j]
+	b.Ld(isa.R12, isa.R9, -8)              // F[i][j-1]
+	b.Param(isa.R13, 4)                    // ref base
 	b.MulI(isa.R14, isa.R7, 8)
 	b.Add(isa.R14, isa.R14, isa.R13)
 	b.Ld(isa.R15, isa.R14, 0) // ref[k]

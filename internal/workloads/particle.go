@@ -25,11 +25,11 @@ type particle struct {
 	base
 	n, nObs int
 
-	pos  []float64
-	obs  []float64
+	pos                        []float64
+	obs                        []float64
 	posA, obsA, wA, cdfA, outA int64
-	k1, k2 *simt.Kernel
-	stage  int
+	k1, k2                     *simt.Kernel
+	stage                      int
 }
 
 func newParticle(p Params) *particle {

@@ -58,7 +58,7 @@ func pathfinderKernel(cols int, wallA, srcA, dstA int64, row int) *simt.Kernel {
 	b.SReg(isa.R0, isa.SRGTid)
 	b.Param(isa.R1, 0) // cols
 	guardRange(b, isa.R0, isa.R1, isa.R2)
-	b.Param(isa.R3, 1) // src
+	b.Param(isa.R3, 1)                        // src
 	ldElem(b, isa.R4, isa.R3, isa.R0, isa.R2) // src[c]
 	// left neighbour (clamped)
 	b.SetEQI(isa.R2, isa.R0, 0)

@@ -22,15 +22,15 @@ func init() {
 // Paper input: 502x458. Default here: 160x160.
 type srad struct {
 	base
-	rows, cols int
-	q0sqr      float64
-	img        []float64
-	jA         int64
-	cA         int64
+	rows, cols         int
+	q0sqr              float64
+	img                []float64
+	jA                 int64
+	cA                 int64
 	dnA, dsA, dwA, deA int64
 	inA, isA, jwA, jeA int64
-	kern       *simt.Kernel
-	done       bool
+	kern               *simt.Kernel
+	done               bool
 }
 
 func newSrad(p Params) *srad {
@@ -101,8 +101,8 @@ func sradKernel(cols int) *isa.Builder {
 	b.Param(isa.R5, 8)
 	ldElem(b, isa.R8, isa.R5, isa.R4, isa.R2) // jW
 	b.Param(isa.R5, 9)
-	ldElem(b, isa.R9, isa.R5, isa.R4, isa.R2) // jE
-	b.Param(isa.R10, 0) // J base
+	ldElem(b, isa.R9, isa.R5, isa.R4, isa.R2)   // jE
+	b.Param(isa.R10, 0)                         // J base
 	ldElem(b, isa.R11, isa.R10, isa.R0, isa.R2) // Jc
 	// dN = J[iN*cols + j] - Jc, etc.
 	b.MulI(isa.R12, isa.R6, int64(cols))

@@ -34,7 +34,7 @@ type streamcluster struct {
 	centers [][]float64 // per round: k*dim, point-major
 
 	xA, wA, cA, assignA, costA int64
-	kern                        *simt.Kernel
+	kern                       *simt.Kernel
 }
 
 func newStreamcluster(p Params, name string, sensitive bool, n, dim, k int) *streamcluster {
@@ -90,15 +90,15 @@ func streamclusterKernel() *isa.Builder {
 	b.SReg(isa.R0, isa.SRGTid)
 	b.Param(isa.R1, 5) // n
 	guardRange(b, isa.R0, isa.R1, isa.R2)
-	b.Param(isa.R3, 0) // X (feature-major)
-	b.Param(isa.R4, 1) // centers
-	b.Param(isa.R5, 6) // dim
-	b.Param(isa.R6, 7) // k
-	b.Param(isa.R7, 2) // weights
-	ldElem(b, isa.R8, isa.R7, isa.R0, isa.R2) // weight
-	b.Param(isa.R9, 4)                        // cost
-	ldElem(b, isa.R10, isa.R9, isa.R0, isa.R2) // best cost so far
-	b.Param(isa.R11, 3)                        // assign
+	b.Param(isa.R3, 0)                          // X (feature-major)
+	b.Param(isa.R4, 1)                          // centers
+	b.Param(isa.R5, 6)                          // dim
+	b.Param(isa.R6, 7)                          // k
+	b.Param(isa.R7, 2)                          // weights
+	ldElem(b, isa.R8, isa.R7, isa.R0, isa.R2)   // weight
+	b.Param(isa.R9, 4)                          // cost
+	ldElem(b, isa.R10, isa.R9, isa.R0, isa.R2)  // best cost so far
+	b.Param(isa.R11, 3)                         // assign
 	ldElem(b, isa.R12, isa.R11, isa.R0, isa.R2) // best center so far
 	b.MovI(isa.R13, 0)                          // c
 	b.Label("cloop")

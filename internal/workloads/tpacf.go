@@ -25,12 +25,12 @@ const tpacfBins = 8
 // Paper input: 487x100 points. Default here: 1024 points, 8 bins.
 type tpacf struct {
 	base
-	n     int
-	pts   []float64 // x,y,z triples
-	edges []float64 // descending cos thresholds, len bins-1
+	n                   int
+	pts                 []float64 // x,y,z triples
+	edges               []float64 // descending cos thresholds, len bins-1
 	ptsA, edgesA, histA int64
-	kern  *simt.Kernel
-	done  bool
+	kern                *simt.Kernel
+	done                bool
 }
 
 func newTPACF(p Params) *tpacf {

@@ -133,9 +133,9 @@ type base struct {
 	mem       *memory.Memory
 }
 
-func (b *base) Name() string         { return b.name }
-func (b *base) Sensitive() bool      { return b.sensitive }
-func (b *base) Mem() *memory.Memory  { return b.mem }
+func (b *base) Name() string        { return b.name }
+func (b *base) Sensitive() bool     { return b.sensitive }
+func (b *base) Mem() *memory.Memory { return b.mem }
 
 // Assembly helpers shared by the kernels.
 

@@ -1,7 +1,12 @@
 #!/bin/sh
 # Tier-1 gate: run this before every merge.
 #
+#   gofmt -l      every file is gofmt-clean
 #   go vet        static checks
+#   cawalint      determinism lint over the simulator source
+#                 (no wall clock / global rand / raw map iteration in
+#                 simulation packages, goroutines only in the harness)
+#   cawadis -lint the twelve workload kernels verify clean
 #   go build      everything compiles
 #   go test       full unit + experiment smoke suite
 #   go test -race the concurrency audit of the parallel simulation
@@ -13,8 +18,19 @@
 set -e
 cd "$(dirname "$0")/.."
 
+echo "== gofmt =="
+unformatted=$(gofmt -l cmd internal examples)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 echo "== go vet =="
 go vet ./...
+echo "== cawalint =="
+go run ./cmd/cawalint ./internal
+echo "== cawadis -lint (workload kernels) =="
+go run ./cmd/cawadis -lint -workload all
 echo "== go build =="
 go build ./...
 echo "== go test =="
