@@ -66,6 +66,7 @@ func main() {
 		workers = flag.Int("j", 0, "max concurrent simulations (0 = all cores)")
 		asJSON  = flag.Bool("json", false, "emit tables as JSON documents")
 		timing  = flag.String("timing", "", "write a JSON timing summary to this file (\"-\" = stderr)")
+		fastfwd = flag.Bool("fastforward", true, "event-driven idle-cycle fast-forwarding (results are byte-identical either way)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -130,6 +131,7 @@ func main() {
 		*workers = runtime.NumCPU()
 	}
 	session := harness.NewSession(cfg, workloads.Params{Scale: *scale, Seed: *seed}).SetWorkers(*workers)
+	session.DisableFastForward = !*fastfwd
 
 	wallStart := time.Now()
 	// Pool the declared run matrices of every requested experiment so

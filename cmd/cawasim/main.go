@@ -52,6 +52,7 @@ func main() {
 		sms       = flag.Int("sms", 0, "override number of SMs (default: GTX480's 15)")
 		verbose   = flag.Bool("v", false, "print per-block warp summaries")
 		hotpcs    = flag.Int("hotpcs", 0, "print the N PCs with the most stall time")
+		fastfwd   = flag.Bool("fastforward", true, "event-driven idle-cycle fast-forwarding (results are byte-identical either way)")
 
 		traceJSON   = flag.String("trace-json", "", "write a Chrome trace-event file (Perfetto / chrome://tracing)")
 		obsDir      = flag.String("obs-dir", "", "write observability artifacts (trace.json, metrics.csv, metrics.json, manifest.json) into this directory")
@@ -90,10 +91,11 @@ func main() {
 	}
 
 	opt := harness.RunOptions{
-		Workload: *workload,
-		Params:   workloads.Params{Scale: *scale, Seed: *seed},
-		System:   sc,
-		Config:   cfg,
+		Workload:           *workload,
+		Params:             workloads.Params{Scale: *scale, Seed: *seed},
+		System:             sc,
+		Config:             cfg,
+		DisableFastForward: !*fastfwd,
 	}
 
 	// Observability wiring. The collector decorates every SM's
@@ -126,6 +128,9 @@ func main() {
 	if wantTrace {
 		sampler = obs.NewSampler(nil, *sampleEvery)
 		opt.PerCycle = sampler.OnCycle
+		// The wake hint keeps fast-forwarding effective with sampling on:
+		// skips clamp to the sampler's cadence instead of being disabled.
+		opt.PerCycleWake = sampler.NextWake
 	}
 
 	start := time.Now()

@@ -76,11 +76,12 @@ func DefaultCACPConfig() CACPConfig {
 // CACP implements cache.Policy and cache.WayChooser; one instance
 // serves one SM's L1D.
 type CACP struct {
-	cfg   CACPConfig
-	ccbp  [sigEntries]uint8
-	ship  [sigEntries]uint8
-	dyn   dynPartState
-	fills uint64 // bimodal-insertion counter
+	cfg    CACPConfig
+	ccbp   [sigEntries]uint8
+	ship   [sigEntries]uint8
+	dyn    dynPartState
+	fills  uint64 // bimodal-insertion counter
+	wayBuf []int  // scratch for waysOf (valid until the next call)
 
 	// Stats.
 	PredCritical    uint64 // fills steered to the critical partition
@@ -167,10 +168,11 @@ func (c *CACP) waysOf(cacheWays int, critical bool) []int {
 	} else {
 		lo, hi = k, cacheWays
 	}
-	out := make([]int, 0, hi-lo)
+	out := c.wayBuf[:0]
 	for w := lo; w < hi; w++ {
 		out = append(out, w)
 	}
+	c.wayBuf = out
 	return out
 }
 

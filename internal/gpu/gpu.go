@@ -50,8 +50,25 @@ type GPU struct {
 	rr        int // round-robin SM pointer for block dispatch
 
 	// PerCycle, when set, is called after every simulated cycle
-	// (sampling hooks for timeline figures). Keep it cheap.
+	// (sampling hooks for timeline figures). Keep it cheap. Setting
+	// PerCycle disables idle-cycle fast-forwarding unless PerCycleWake
+	// also tells the engine when the hook next needs to observe the
+	// GPU, because an arbitrary hook may act on any cycle.
 	PerCycle func(g *GPU, cycle int64)
+
+	// PerCycleWake, when set alongside PerCycle, returns the next cycle
+	// (> now) at which the PerCycle hook must run. The fast-forward
+	// engine clamps every skip to that cycle, so a cadenced sampler
+	// fires at exactly the cycles it fires at under the tick-every-cycle
+	// engine. Returning a value <= now forces ticking.
+	PerCycleWake func(now int64) int64
+
+	// DisableFastForward forces the tick-every-cycle engine. The
+	// event-driven engine (the default) produces byte-identical results
+	// — it only skips cycles in which no scheduler has an issuable warp
+	// and credits the stall accounting in bulk — so this switch exists
+	// for the equivalence tests and for debugging.
+	DisableFastForward bool
 
 	// Spans records the cycle window of every completed kernel launch
 	// (observability exporters render launches as top-level trace
@@ -179,8 +196,15 @@ func (g *GPU) Launch(k *simt.Kernel) (*stats.Launch, error) {
 		g.cycle++
 		g.sys.Cycle(g.cycle)
 		g.dispatch(k, &nextBlock, total, warpsPerBlock)
+		// wake is the conservative next cycle at which any SM can act
+		// on its own; sm.NoWake when every SM is idle or fully blocked
+		// on memory. Any SM with a ready warp returns g.cycle, pinning
+		// the engine to tick-every-cycle behavior for this cycle.
+		wake := sm.NoWake
 		for _, s := range g.sms {
-			s.Cycle(g.cycle)
+			if w := s.Cycle(g.cycle); w < wake {
+				wake = w
+			}
 		}
 		if g.PerCycle != nil {
 			g.PerCycle(g, g.cycle)
@@ -188,6 +212,9 @@ func (g *GPU) Launch(k *simt.Kernel) (*stats.Launch, error) {
 		if g.cfg.MaxCycles > 0 && g.cycle-startCycle > g.cfg.MaxCycles {
 			return nil, fmt.Errorf("gpu: kernel %s exceeded %d cycles (%d/%d blocks retired)",
 				k.Name, g.cfg.MaxCycles, retired, total)
+		}
+		if wake > g.cycle && !g.DisableFastForward {
+			g.fastForward(wake, startCycle)
 		}
 	}
 
@@ -213,6 +240,95 @@ func (g *GPU) Launch(k *simt.Kernel) (*stats.Launch, error) {
 	out.L2Accesses = l2.Accesses - startL2Acc
 	out.L2Misses = l2.Misses - startL2Miss
 	return out, nil
+}
+
+// fastForward advances the cycle counter across a span in which no SM
+// can act: every scheduler's ready set is empty until smWake at the
+// earliest, so no policy state can change and dispatch is a no-op
+// (block capacity only frees when an SM issues). Dead cycles are
+// accumulated and credited to the warps' stall buckets in bulk
+// (AccountSkipped), keeping the per-warp accounting identities
+// byte-identical to the tick-every-cycle engine.
+//
+// Memory-system events landing inside the span are processed at their
+// exact cycles, just as the ticking engine would: the engine jumps to
+// each event time, drains the event heap there, and keeps skipping
+// unless the drain delivered an L1 fill — the only event kind that can
+// change an SM scoreboard. On a fill the SMs run a real cycle at that
+// time (the unblocked warp may issue immediately), exactly mirroring
+// the ticking engine's sys.Cycle-before-sm.Cycle order.
+//
+// The skip horizon is clamped to the PerCycle hook's next observation
+// point and to the MaxCycles guard, so cadenced samplers fire at their
+// exact cycles and the runaway abort triggers at the identical cycle.
+func (g *GPU) fastForward(smWake, startCycle int64) {
+	limit := sm.NoWake
+	if g.cfg.MaxCycles > 0 {
+		limit = startCycle + g.cfg.MaxCycles + 1
+	}
+	// Dead cycles accumulate in pending and are credited lazily: the
+	// stall classification recorded by the last real SM cycle holds for
+	// the whole run of dead cycles, so one bulk AccountSkipped call
+	// equals per-cycle accounting.
+	pending := int64(0)
+	flush := func() {
+		if pending > 0 {
+			for _, s := range g.sms {
+				s.AccountSkipped(pending)
+			}
+			pending = 0
+		}
+	}
+	for {
+		horizon := smWake
+		if limit < horizon {
+			horizon = limit
+		}
+		if g.PerCycle != nil {
+			if g.PerCycleWake == nil {
+				flush()
+				return // the hook may act on any cycle: never skip
+			}
+			if t := g.PerCycleWake(g.cycle); t < horizon {
+				horizon = t
+			}
+		}
+		if horizon <= g.cycle+1 {
+			flush()
+			return
+		}
+		t := g.sys.NextEventTime()
+		if t < 0 || t >= horizon {
+			// No memory event before the horizon: skip straight to it.
+			// The main loop ticks the horizon cycle normally.
+			pending += horizon - g.cycle - 1
+			g.cycle = horizon - 1
+			flush()
+			return
+		}
+		// Jump to the event cycle and drain the memory system there.
+		pending += t - g.cycle - 1
+		g.cycle = t
+		fills := g.sys.FillsDelivered
+		g.sys.Cycle(t)
+		if g.sys.FillsDelivered == fills {
+			// Internal memory traffic only (L2/DRAM pipeline): no SM
+			// state changed, cycle t is dead for the SMs too.
+			pending++
+			continue
+		}
+		// A fill unblocked at least one load: run a real SM cycle at t.
+		flush()
+		smWake = sm.NoWake
+		for _, s := range g.sms {
+			if w := s.Cycle(t); w < smWake {
+				smWake = w
+			}
+		}
+		if smWake <= t {
+			return // a warp issued (or could have): resume ticking
+		}
+	}
 }
 
 // dispatch hands out blocks breadth-first across SMs with capacity.

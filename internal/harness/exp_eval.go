@@ -134,6 +134,12 @@ func newCPLSampler(every int64) *cplSampler {
 	return &cplSampler{every: every, samples: make(map[int]*samplePair)}
 }
 
+// nextWake clamps fast-forward skips to the sampling cadence
+// (RunOptions.PerCycleWake): the hook only acts on multiples of every.
+func (cs *cplSampler) nextWake(now int64) int64 {
+	return now + cs.every - now%cs.every
+}
+
 func (cs *cplSampler) hook(g *gpu.GPU, cycle int64) {
 	if cycle%cs.every != 0 {
 		return
@@ -175,9 +181,10 @@ func fig11(s *Session) (*Table, error) {
 		app := apps[i]
 		sampler := newCPLSampler(50)
 		r, err := s.RunUncached(RunOptions{
-			Workload: app,
-			System:   core.SystemConfig{Scheduler: "gcaws", CPL: true},
-			PerCycle: sampler.hook,
+			Workload:     app,
+			System:       core.SystemConfig{Scheduler: "gcaws", CPL: true},
+			PerCycle:     sampler.hook,
+			PerCycleWake: sampler.nextWake,
 		})
 		if err != nil {
 			return err
@@ -230,6 +237,11 @@ type rankPoint struct {
 	peers int
 }
 
+// nextWake clamps fast-forward skips to the sampling cadence.
+func (rs *rankSampler) nextWake(now int64) int64 {
+	return now + rs.every - now%rs.every
+}
+
 func (rs *rankSampler) hook(g *gpu.GPU, cycle int64) {
 	if cycle%rs.every != 0 {
 		return
@@ -271,9 +283,10 @@ func fig12(s *Session) (*Table, error) {
 	err = s.Fanout(len(schedulers), func(i int) error {
 		rs := &rankSampler{target: target, every: 10}
 		_, err := s.RunUncached(RunOptions{
-			Workload: "bfs",
-			System:   core.SystemConfig{Scheduler: schedulers[i], CPL: true},
-			PerCycle: rs.hook,
+			Workload:     "bfs",
+			System:       core.SystemConfig{Scheduler: schedulers[i], CPL: true},
+			PerCycle:     rs.hook,
+			PerCycleWake: rs.nextWake,
 		})
 		traces[i] = rs.points
 		return err

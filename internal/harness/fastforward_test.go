@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"cawa/internal/config"
+	"cawa/internal/core"
+	"cawa/internal/workloads"
+)
+
+// TestFastForwardEquivalence proves the event-driven cycle engine is a
+// pure wall-clock optimization: for every paper application on the
+// baseline, GTO and full-CAWA design points, a fast-forwarded run and a
+// tick-every-cycle run produce byte-identical results — same cycle
+// counts, same launch spans, same aggregate counters, and the same
+// per-warp record for every warp, including the stall-cycle buckets
+// that bulk accounting fills during skipped spans. Session caching
+// relies on this (the run cache is deliberately not keyed on
+// DisableFastForward).
+func TestFastForwardEquivalence(t *testing.T) {
+	apps := PaperApps
+	systems := []struct {
+		name string
+		sc   core.SystemConfig
+	}{
+		{"lrr", core.Baseline()},
+		{"gto", core.SystemConfig{Scheduler: "gto"}},
+		{"cawa", core.CAWA()},
+	}
+	if testing.Short() {
+		apps = apps[:4] // bfs, b+tree, heartwall, kmeans
+	}
+
+	params := workloads.Params{Scale: 0.05, Seed: 3}
+	fast := NewSession(config.Small(), params)
+	slow := NewSession(config.Small(), params)
+	slow.DisableFastForward = true
+
+	var keys []RunKey
+	for _, sys := range systems {
+		keys = append(keys, matrix(apps, sys.sc)...)
+	}
+	if err := fast.Prewarm(keys); err != nil {
+		t.Fatal(err)
+	}
+	if err := slow.Prewarm(keys); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, sys := range systems {
+		for _, app := range apps {
+			app, sys := app, sys
+			t.Run(sys.name+"/"+app, func(t *testing.T) {
+				fr, err := fast.Run(app, sys.sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sr, err := slow.Run(app, sys.sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fr.Launches != sr.Launches {
+					t.Errorf("launches: fast-forward %d, ticked %d", fr.Launches, sr.Launches)
+				}
+				if !reflect.DeepEqual(fr.GPU.Spans, sr.GPU.Spans) {
+					t.Errorf("launch spans diverge:\nfast-forward %+v\nticked       %+v", fr.GPU.Spans, sr.GPU.Spans)
+				}
+				fa, sa := fr.Agg, sr.Agg
+				// Compare the scalar aggregate first for a readable diff,
+				// then every warp record (the sensitive part: bulk stall
+				// accounting must land each skipped cycle in the same
+				// bucket the ticked engine would have chosen).
+				fw, sw := fa.Warps, sa.Warps
+				fa.Warps, sa.Warps = nil, nil
+				if !reflect.DeepEqual(fa, sa) {
+					t.Errorf("aggregate counters diverge:\nfast-forward %+v\nticked       %+v", fa, sa)
+				}
+				if len(fw) != len(sw) {
+					t.Fatalf("warp record count: fast-forward %d, ticked %d", len(fw), len(sw))
+				}
+				for i := range fw {
+					if fw[i] != sw[i] {
+						t.Errorf("warp %d diverges:\nfast-forward %+v\nticked       %+v", fw[i].GID, fw[i], sw[i])
+					}
+				}
+			})
+		}
+	}
+}

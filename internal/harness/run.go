@@ -27,8 +27,18 @@ type RunOptions struct {
 	// AttachL1, when set, is called for every SM's L1D before the run
 	// (profiler taps).
 	AttachL1 func(smID int, l1 *memsys.L1D)
-	// PerCycle, when set, samples the GPU every cycle.
+	// PerCycle, when set, samples the GPU every cycle. Setting it
+	// disables idle-cycle fast-forwarding unless PerCycleWake is also
+	// provided (see gpu.GPU.PerCycle).
 	PerCycle func(g *gpu.GPU, cycle int64)
+	// PerCycleWake, when set alongside PerCycle, tells the event-driven
+	// cycle engine the next cycle the hook must observe (for cadenced
+	// samplers: obs.Sampler.NextWake).
+	PerCycleWake func(now int64) int64
+	// DisableFastForward forces the tick-every-cycle engine. Results
+	// are byte-identical either way; the switch exists for equivalence
+	// tests and debugging (see gpu.GPU.DisableFastForward).
+	DisableFastForward bool
 	// SkipVerify skips the functional check against the Go reference.
 	SkipVerify bool
 }
@@ -82,6 +92,8 @@ func Run(opt RunOptions) (*Result, error) {
 		}
 	}
 	g.PerCycle = opt.PerCycle
+	g.PerCycleWake = opt.PerCycleWake
+	g.DisableFastForward = opt.DisableFastForward
 
 	res := &Result{Workload: opt.Workload, System: opt.System.Label(), GPU: g}
 	res.Agg.Kernel = opt.Workload

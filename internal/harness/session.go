@@ -62,6 +62,11 @@ type Session struct {
 	// iterate over (default: PaperApps). Reduced-scale tests use it to
 	// run a figure on a subset of benchmarks.
 	Apps []string
+	// DisableFastForward forces every run the session launches onto the
+	// tick-every-cycle engine. The event-driven engine produces
+	// byte-identical results (proven by TestFastForwardEquivalence), so
+	// the result cache is deliberately not keyed on this switch.
+	DisableFastForward bool
 
 	mu      sync.Mutex
 	cache   map[string]*flight
@@ -185,6 +190,7 @@ func (s *Session) Run(app string, sc core.SystemConfig) (*Result, error) {
 
 	f.res, f.err = s.simulate(RunOptions{
 		Workload: app, Params: s.Params, System: sc, Config: s.Config,
+		DisableFastForward: s.DisableFastForward,
 	})
 	close(f.done)
 	return f.res, f.err
@@ -201,6 +207,9 @@ func (s *Session) RunUncached(opt RunOptions) (*Result, error) {
 	}
 	if opt.Config.NumSMs == 0 {
 		opt.Config = s.Config
+	}
+	if s.DisableFastForward {
+		opt.DisableFastForward = true
 	}
 	return s.simulate(opt)
 }

@@ -309,6 +309,7 @@ func (b *Builder) Build() (*Program, error) {
 	if err := computeReconvergence(p); err != nil {
 		return nil, fmt.Errorf("isa: program %q: %w", b.name, err)
 	}
+	p.precompute()
 	return p, nil
 }
 

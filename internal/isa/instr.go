@@ -89,6 +89,7 @@ type Program struct {
 	Name   string
 	Instrs []Instr
 	labels map[string]int32
+	meta   []InstrMeta // precomputed issue metadata, index-parallel with Instrs
 }
 
 // Len returns the number of instructions.

@@ -20,6 +20,7 @@ func NewProgram(name string, instrs []Instr) (*Program, error) {
 	if err := computeReconvergence(p); err != nil {
 		return nil, fmt.Errorf("isa: program %q: %w", name, err)
 	}
+	p.precompute()
 	return p, nil
 }
 
@@ -31,5 +32,7 @@ func NewProgram(name string, instrs []Instr) (*Program, error) {
 func NewProgramUnchecked(name string, instrs []Instr) *Program {
 	cp := make([]Instr, len(instrs))
 	copy(cp, instrs)
-	return &Program{Name: name, Instrs: cp, labels: map[string]int32{}}
+	p := &Program{Name: name, Instrs: cp, labels: map[string]int32{}}
+	p.precompute()
+	return p
 }

@@ -9,7 +9,6 @@
 package memsys
 
 import (
-	"container/heap"
 	"fmt"
 
 	"cawa/internal/cache"
@@ -64,18 +63,68 @@ type event struct {
 	req  cache.Request
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (time, seq).
+// container/heap would box every event into an interface value on Push
+// and Pop — one allocation per memory-system event — so the sift
+// operations are written out here and the backing array is recycled.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		c := l
+		if r := l + 1; r < n && h.less(r, l) {
+			c = r
+		}
+		if !h.less(c, i) {
+			return
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+// popMin removes and returns the earliest event. The caller must have
+// checked the heap is non-empty.
+func (h *eventHeap) popMin() event {
+	old := *h
+	e := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = event{} // drop the stale L1D pointer
+	*h = old[:n]
+	if n > 0 {
+		old[:n].down(0)
+	}
+	return e
+}
 
 type mshrEntry struct {
 	req    cache.Request
@@ -107,6 +156,12 @@ type System struct {
 	L2Writes   uint64
 	DRAMReads  uint64
 	DRAMWrites uint64
+
+	// FillsDelivered counts L1 fills that completed an outstanding miss
+	// (stale fills excluded). The event-driven cycle engine compares it
+	// across a Cycle call to learn whether any SM scoreboard may have
+	// changed — every other event kind is internal to the memory system.
+	FillsDelivered uint64
 }
 
 // New builds the shared memory system for the given configuration.
@@ -130,13 +185,13 @@ func (s *System) L2() *cache.Cache { return s.l2 }
 
 func (s *System) schedule(t int64, kind eventKind, addr int64, l1 *L1D, req cache.Request) {
 	s.seq++
-	heap.Push(&s.events, event{time: t, seq: s.seq, kind: kind, addr: addr, l1: l1, req: req})
+	s.events.push(event{time: t, seq: s.seq, kind: kind, addr: addr, l1: l1, req: req})
 }
 
 // Cycle processes all memory-system events due at or before now.
 func (s *System) Cycle(now int64) {
 	for len(s.events) > 0 && s.events[0].time <= now {
-		e := heap.Pop(&s.events).(event)
+		e := s.events.popMin()
 		switch e.kind {
 		case evL2Arrive:
 			s.l2Arrive(e)
@@ -244,6 +299,7 @@ type L1D struct {
 	sys    *System
 	cache  *cache.Cache
 	mshr   map[int64]*mshrEntry
+	free   []*mshrEntry // retired MSHR entries, recycled with their token arrays
 	fill   FillHandler
 	cfgref config.CacheConfig
 
@@ -324,7 +380,17 @@ func (l *L1D) AccessLoad(req cache.Request, token int64, now int64) Outcome {
 	l.LoadAccesses++
 	l.WarpAccesses[int32(req.Warp)]++
 	l.LoadMisses++
-	l.mshr[line] = &mshrEntry{req: req, tokens: []int64{token}}
+	var entry *mshrEntry
+	if n := len(l.free); n > 0 {
+		entry = l.free[n-1]
+		l.free = l.free[:n-1]
+		entry.req = req
+		entry.tokens = append(entry.tokens[:0], token)
+	} else {
+		entry = &mshrEntry{req: req, tokens: make([]int64, 1, 8)}
+		entry.tokens[0] = token
+	}
+	l.mshr[line] = entry
 	l.sys.schedule(now+l.sys.icntLat, evL2Arrive, line, l, req)
 	if l.AccessListener != nil {
 		l.AccessListener(req, false)
@@ -364,6 +430,7 @@ func (l *L1D) handleFill(lineAddr int64, now int64) {
 		return // stale fill (e.g. store forwarding); nothing waits on it
 	}
 	delete(l.mshr, lineAddr)
+	l.sys.FillsDelivered++
 	ev := l.cache.Fill(entry.req)
 	if ev.Valid && ev.Dirty {
 		// Write the dirty victim back to L2 (bandwidth only).
@@ -373,6 +440,7 @@ func (l *L1D) handleFill(lineAddr int64, now int64) {
 	if l.fill != nil {
 		l.fill(lineAddr, entry.tokens)
 	}
+	l.free = append(l.free, entry) // fill handlers do not retain tokens
 }
 
 // CanAccept reports whether a load touching the given (deduplicated)

@@ -58,13 +58,26 @@ type Step struct {
 // returns its Step record. The caller must ensure the warp is not done
 // and not waiting at a barrier.
 func Exec(w *Warp, prog *isa.Program, ctx *ExecContext) Step {
+	var st Step
+	ExecInto(w, prog, ctx, &st)
+	return st
+}
+
+// ExecInto executes the next instruction of the warp functionally,
+// overwriting *out with its Step record. The previous occupant's
+// Accesses backing array is reused, so a caller that recycles one Step
+// across issues executes allocation-free in the steady state. The
+// caller must ensure the warp is not done and not waiting at a barrier.
+func ExecInto(w *Warp, prog *isa.Program, ctx *ExecContext, out *Step) {
 	w.popReconverged()
 	e := w.top()
 	pc := e.PC
 	mask := e.Mask
 	in := prog.At(pc)
 
-	st := Step{PC: pc, Instr: in, Mask: mask, Lanes: bits.OnesCount64(mask), Kind: StepCompute}
+	st := out
+	*st = Step{PC: pc, Instr: in, Mask: mask, Lanes: bits.OnesCount64(mask), Kind: StepCompute,
+		Accesses: st.Accesses[:0]}
 
 	switch in.Op {
 	case isa.OpBra:
@@ -110,7 +123,6 @@ func Exec(w *Warp, prog *isa.Program, ctx *ExecContext) Step {
 	case isa.OpLd, isa.OpSt:
 		st.Kind = StepMem
 		st.IsLoad = in.Op == isa.OpLd
-		st.Accesses = make([]MemAccess, 0, st.Lanes)
 		for lane := 0; lane < w.Size; lane++ {
 			if mask&(1<<uint(lane)) == 0 {
 				continue
@@ -128,7 +140,6 @@ func Exec(w *Warp, prog *isa.Program, ctx *ExecContext) Step {
 	case isa.OpLdS, isa.OpStS:
 		st.Kind = StepSMem
 		st.IsLoad = in.Op == isa.OpLdS
-		st.Accesses = make([]MemAccess, 0, st.Lanes)
 		for lane := 0; lane < w.Size; lane++ {
 			if mask&(1<<uint(lane)) == 0 {
 				continue
@@ -163,7 +174,6 @@ func Exec(w *Warp, prog *isa.Program, ctx *ExecContext) Step {
 	} else {
 		st.NextPC = w.PC()
 	}
-	return st
 }
 
 // execALU computes one lane's result for a non-memory, non-control

@@ -2,6 +2,7 @@ package sm
 
 import (
 	"fmt"
+	"math"
 
 	"cawa/internal/cache"
 	"cawa/internal/isa"
@@ -9,19 +10,101 @@ import (
 	"cawa/internal/simt"
 )
 
+// NoWake is the Cycle return value meaning "this SM will never act
+// again without external input" (a memory fill or a block dispatch).
+const NoWake int64 = math.MaxInt64
+
 // Cycle advances the SM by one cycle. The GPU calls memsys.Cycle first,
 // so load fills for this cycle have already been delivered.
-func (m *SM) Cycle(now int64) {
+//
+// The return value is a conservative wakeup cycle for the event-driven
+// fast-forward in gpu.Launch: the earliest future cycle at which this
+// SM's state can change on its own (a writeback retiring, the fetch or
+// load-store path freeing). A return of now means the SM had at least
+// one issuable warp this cycle — its schedulers must run every cycle,
+// so no cycles may be skipped. NoWake means the SM is idle or blocked
+// entirely on external events. Skipping to the minimum returned wake
+// (clamped by the memory system's next event) and crediting the
+// skipped span in bulk (AccountSkipped) is byte-identical to ticking
+// every cycle, because a cycle in which no scheduler has a ready warp
+// mutates nothing except the stall counters.
+func (m *SM) Cycle(now int64) int64 {
 	m.cycle = now
 	m.retireWritebacks(now)
+	anyReady := false
 	for u := range m.units {
-		m.issueFrom(&m.units[u], now)
+		if m.issueFrom(&m.units[u], now) {
+			anyReady = true
+		}
 	}
 	m.accountStalls(now)
+	if anyReady {
+		return now
+	}
+	return m.nextWake(now)
+}
+
+// nextWake returns the earliest future cycle at which the SM's own
+// state changes: a compute writeback retiring, the instruction-fetch
+// path unblocking, or the load-store unit freeing. Barrier releases
+// and load completions need no timer — the former requires an issue
+// (so some warp must be ready first) and the latter rides a memsys
+// event, which the GPU folds into the skip horizon separately.
+func (m *SM) nextWake(now int64) int64 {
+	wake := NoWake
+	if m.icBusy > now {
+		wake = m.icBusy
+	}
+	if m.lsuBusyUntil > now && m.lsuBusyUntil < wake {
+		wake = m.lsuBusyUntil
+	}
+	if m.wbNext < wake {
+		wake = m.wbNext
+	}
+	return wake
+}
+
+// AccountSkipped credits span cycles of stall time to every resident
+// live warp, reproducing in one call what accountStalls would have
+// recorded over span consecutive cycles in which no scheduler had a
+// ready warp. Each warp's classification is the one computed by the
+// last readiness evaluation; it cannot change during the skipped span
+// because nothing issues, fills, or retires in it (the GPU clamps the
+// span to the next writeback, fetch/LSU release, and memory event).
+// No other SM state needs touching: readiness probes the I-cache only
+// after the operand checks pass, and a warp whose operands clear or
+// whose fetch path opens ends the span, so a ticking engine performs
+// zero I-cache probes across these cycles too.
+func (m *SM) AccountSkipped(span int64) {
+	if span <= 0 {
+		return
+	}
+	for i := range m.slots {
+		s := &m.slots[i]
+		if !s.valid || s.done {
+			continue
+		}
+		switch s.reason {
+		case reasonBarrier:
+			s.rec.BarrierStall += span
+		case reasonMemData, reasonMemStruct:
+			s.rec.MemStall += span
+		case reasonALU:
+			s.rec.ALUStall += span
+		default:
+			s.rec.EmptyStall += span
+		}
+	}
 }
 
 // retireWritebacks clears scoreboard bits whose compute results are due.
+// m.wbNext caches a lower bound on the earliest pending writeback, so
+// cycles with nothing due skip the slot scan with one compare.
 func (m *SM) retireWritebacks(now int64) {
+	if m.wbNext > now {
+		return
+	}
+	next := NoWake
 	for i := range m.slots {
 		s := &m.slots[i]
 		if !s.valid || len(s.wb) == 0 {
@@ -33,9 +116,22 @@ func (m *SM) retireWritebacks(now int64) {
 				s.busyALU &^= 1 << e.reg
 			} else {
 				kept = append(kept, e)
+				if e.time < next {
+					next = e.time
+				}
 			}
 		}
 		s.wb = kept
+	}
+	m.wbNext = next
+}
+
+// pushWB schedules a register writeback and keeps the earliest-pending
+// cache current.
+func (m *SM) pushWB(s *slot, t int64, reg isa.Reg) {
+	s.wb = append(s.wb, wbEvent{time: t, reg: reg})
+	if t < m.wbNext {
+		m.wbNext = t
 	}
 }
 
@@ -43,53 +139,59 @@ func (m *SM) retireWritebacks(now int64) {
 // stall classification. MSHR capacity is not checked here (it is
 // checked once at issue time); a rejected issue demotes the slot to a
 // structural memory stall for the cycle.
+//
+// The instruction fetch is checked last, after the operand and LSU
+// hazards: an operand-blocked warp performs no I-cache probe. This
+// ordering is what lets the fast-forward engine skip stalled spans
+// without touching the I-cache — any warp that would probe during the
+// span either becomes ready (ending the span) or takes an I-miss,
+// which sets icBusy and therefore bounds the span at its own cycle.
 func (m *SM) readiness(i int, now int64) bool {
 	s := &m.slots[i]
 	s.reason = reasonNone
-	if !s.valid || s.warp.Done() {
+	if !s.valid || s.done {
 		return false
 	}
 	if s.warp.AtBarrier {
 		s.reason = reasonBarrier
 		return false
 	}
-	pc := s.warp.PC()
-	if !m.fetch(pc, now) {
-		s.reason = reasonMemStruct
-		return false
-	}
-	in := m.prog.At(pc)
-	need := regMask(in)
-	if need&s.busyMem != 0 {
+	md := &m.meta[s.pc]
+	if md.RegMask&s.busyMem != 0 {
 		s.reason = reasonMemData
 		return false
 	}
-	if need&s.busyALU != 0 {
+	if md.RegMask&s.busyALU != 0 {
 		s.reason = reasonALU
 		return false
 	}
-	switch in.Op.Class() {
-	case isa.ClassMem, isa.ClassSMem:
-		if m.lsuBusyUntil > now {
-			s.reason = reasonMemStruct
-			return false
-		}
+	if md.LSUGated && m.lsuBusyUntil > now {
+		s.reason = reasonMemStruct
+		return false
+	}
+	if !m.fetch(s.pc, now) {
+		s.reason = reasonMemStruct
+		return false
 	}
 	s.reason = reasonReady
 	s.readyCycle = now
 	return true
 }
 
-// issueFrom lets one scheduler unit pick and issue a warp. A pick whose
+// issueFrom lets one scheduler unit pick and issue a warp, returning
+// whether any of its warps was issuable this cycle. A pick whose
 // memory access cannot be accepted (MSHR full) is removed from the
 // ready set and the policy re-selects, bounding retries by the ready
 // count.
-func (m *SM) issueFrom(u *schedUnit, now int64) {
+func (m *SM) issueFrom(u *schedUnit, now int64) bool {
 	u.ready = u.ready[:0]
 	for _, i := range u.slots {
 		if m.readiness(i, now) {
 			u.ready = append(u.ready, i)
 		}
+	}
+	if len(u.ready) == 0 {
+		return false
 	}
 	// Bound MSHR-reject retries: once the miss path is saturated,
 	// further loads this cycle will almost surely reject too, and
@@ -100,11 +202,11 @@ func (m *SM) issueFrom(u *schedUnit, now int64) {
 		u.ctx.Ready = u.ready
 		pick := u.policy.Select(&u.ctx)
 		if pick < 0 {
-			return
+			return true
 		}
 		if m.tryIssue(pick, now) {
 			u.issued++
-			return
+			return true
 		}
 		// Structural reject: reclassify and let the policy try again.
 		s := &m.slots[pick]
@@ -112,16 +214,27 @@ func (m *SM) issueFrom(u *schedUnit, now int64) {
 		s.readyCycle = -1
 		u.ready = removeSlot(u.ready, pick)
 	}
+	return true
 }
 
+// removeSlot deletes v from the ready list, which readiness builds in
+// ascending slot order: binary-search the position and close the gap,
+// rather than filtering the whole list per rejected pick.
 func removeSlot(xs []int, v int) []int {
-	out := xs[:0]
-	for _, x := range xs {
-		if x != v {
-			out = append(out, x)
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return out
+	if lo == len(xs) || xs[lo] != v {
+		return xs
+	}
+	copy(xs[lo:], xs[lo+1:])
+	return xs[:len(xs)-1]
 }
 
 // tryIssue executes one instruction from the warp in slot i, unless its
@@ -131,9 +244,9 @@ func (m *SM) tryIssue(i int, now int64) bool {
 	w := s.warp
 	blk := s.block
 
-	pc := w.PC()
+	pc := s.pc
 	in := m.prog.At(pc)
-	if in.Op == isa.OpLd {
+	if m.meta[pc].GlobalLoad {
 		if s.peekPC == pc && s.peekInstr == s.rec.Instructions && len(s.peekBuf) > 0 {
 			m.lineBuf = append(m.lineBuf[:0], s.peekBuf...)
 		} else {
@@ -151,7 +264,8 @@ func (m *SM) tryIssue(i int, now int64) bool {
 	if stall < 0 {
 		stall = 0
 	}
-	st := simt.Exec(w, m.prog, &blk.ctx)
+	st := &m.step
+	simt.ExecInto(w, m.prog, &blk.ctx, st)
 	s.lastIssue = now
 	s.issuedCycle = now
 	s.rec.IssueCycles++
@@ -162,20 +276,20 @@ func (m *SM) tryIssue(i int, now int64) bool {
 	if st.Divergent {
 		s.rec.DivergentBranches++
 	}
-	m.crit.OnIssue(i, &st, stall, now)
+	m.crit.OnIssue(i, st, stall, now)
 
 	switch st.Kind {
 	case simt.StepCompute:
 		if st.Instr.Op.HasDst() {
 			s.busyALU |= 1 << st.Instr.Dst
-			s.wb = append(s.wb, wbEvent{time: now + m.classLatency(st.Instr.Op.Class()), reg: st.Instr.Dst})
+			m.pushWB(s, now+m.classLat[m.meta[pc].Class], st.Instr.Dst)
 		}
 
 	case simt.StepSMem:
-		m.issueShared(s, &st, now)
+		m.issueShared(s, st, now)
 
 	case simt.StepMem:
-		m.issueGlobal(i, s, &st, now)
+		m.issueGlobal(i, s, st, now)
 
 	case simt.StepBarrier:
 		blk.atBarrier++
@@ -185,6 +299,11 @@ func (m *SM) tryIssue(i int, now int64) bool {
 		if w.Done() {
 			m.finishWarp(i, now)
 		}
+	}
+	if w.Done() {
+		s.done = true
+	} else {
+		s.pc = w.PC()
 	}
 	return true
 }
@@ -211,7 +330,7 @@ func (m *SM) issueShared(s *slot, st *simt.Step, now int64) {
 	m.lsuBusyUntil = now + int64(degree)
 	if st.IsLoad {
 		s.busyALU |= 1 << st.Instr.Dst
-		s.wb = append(s.wb, wbEvent{time: now + int64(m.cfg.SharedMemLatency) + int64(degree) - 1, reg: st.Instr.Dst})
+		m.pushWB(s, now+int64(m.cfg.SharedMemLatency)+int64(degree)-1, st.Instr.Dst)
 	}
 }
 
@@ -267,9 +386,8 @@ func (m *SM) issueGlobal(slotIdx int, s *slot, st *simt.Step, now int64) {
 
 	critical := m.crit.IsCritical(slotIdx)
 	if st.IsLoad {
-		m.nextToken++
-		tok := m.nextToken
-		remaining := 0
+		tok := makeToken(slotIdx, s.gen, st.Instr.Dst)
+		remaining := int32(0)
 		for _, la := range m.lineBuf {
 			req := cache.Request{Addr: la, PC: st.PC, Warp: s.warp.GID, Critical: critical}
 			switch m.l1d.AccessLoad(req, tok, now) {
@@ -282,10 +400,10 @@ func (m *SM) issueGlobal(slotIdx int, s *slot, st *simt.Step, now int64) {
 		}
 		if remaining == 0 {
 			s.busyALU |= 1 << st.Instr.Dst
-			s.wb = append(s.wb, wbEvent{time: now + int64(m.cfg.L1HitLatency), reg: st.Instr.Dst})
+			m.pushWB(s, now+int64(m.cfg.L1HitLatency), st.Instr.Dst)
 		} else {
 			s.busyMem |= 1 << st.Instr.Dst
-			m.tokens[tok] = &loadToken{slot: slotIdx, gen: s.gen, reg: st.Instr.Dst, remaining: remaining}
+			s.loadRem[st.Instr.Dst] = remaining
 		}
 		return
 	}
@@ -295,21 +413,20 @@ func (m *SM) issueGlobal(slotIdx int, s *slot, st *simt.Step, now int64) {
 	}
 }
 
-// handleFill receives completed L1 miss lines and unblocks loads.
+// handleFill receives completed L1 miss lines and unblocks loads. A
+// token whose slot generation no longer matches belongs to a warp that
+// exited (or a block that retired) with the load still in flight; its
+// fill is dropped, as the old occupant's scoreboard died with it.
 func (m *SM) handleFill(_ int64, tokens []int64) {
 	for _, t := range tokens {
-		lt, ok := m.tokens[t]
-		if !ok {
+		slotIdx, gen, reg := splitToken(t)
+		s := &m.slots[slotIdx]
+		if !s.valid || s.gen != gen || s.loadRem[reg] == 0 {
 			continue
 		}
-		lt.remaining--
-		if lt.remaining > 0 {
-			continue
-		}
-		delete(m.tokens, t)
-		s := &m.slots[lt.slot]
-		if s.valid && s.gen == lt.gen {
-			s.busyMem &^= 1 << lt.reg
+		s.loadRem[reg]--
+		if s.loadRem[reg] == 0 {
+			s.busyMem &^= 1 << reg
 		}
 	}
 }
@@ -337,6 +454,7 @@ func (m *SM) maybeReleaseBarrier(blk *blockState) {
 // until the critical warp arrives (Section 2.2).
 func (m *SM) finishWarp(i int, now int64) {
 	s := &m.slots[i]
+	s.done = true
 	s.rec.FinishCycle = now
 	m.Finished = append(m.Finished, s.rec)
 	blk := s.block
@@ -364,7 +482,7 @@ func (m *SM) retireBlock(blk *blockState, now int64) {
 		s.warp = nil
 		s.block = nil
 		s.busyALU, s.busyMem = 0, 0
-		s.wb = nil
+		s.wb = s.wb[:0] // keep the backing array for the next occupant
 	}
 	m.residentBlocks--
 	m.sharedInUse -= len(blk.shared) * 8
@@ -382,7 +500,7 @@ func (m *SM) retireBlock(blk *blockState, now int64) {
 func (m *SM) accountStalls(now int64) {
 	for i := range m.slots {
 		s := &m.slots[i]
-		if !s.valid || s.issuedCycle == now || s.warp.Done() {
+		if !s.valid || s.issuedCycle == now || s.done {
 			continue
 		}
 		switch {

@@ -82,7 +82,9 @@ func (m *SM) DispatchBlock(blockID, gidBase int, now int64) {
 			warp:      w,
 			block:     blk,
 			age:       m.ageSeq,
-			lastIssue: now - 1,
+			wb:        s.wb[:0],      // recycle the previous occupant's
+			peekBuf:   s.peekBuf[:0], // backing arrays (steady-state
+			lastIssue: now - 1,       // allocation-free dispatch)
 			rec: stats.WarpRecord{
 				GID:           w.GID,
 				SM:            m.ID,

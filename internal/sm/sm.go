@@ -82,9 +82,20 @@ type slot struct {
 	busyALU uint64 // registers awaiting compute writeback
 	busyMem uint64 // registers awaiting load data
 	wb      []wbEvent
+	// loadRem counts, per destination register, the line fills still
+	// outstanding for the load that set the register's busyMem bit. The
+	// scoreboard guarantees at most one in-flight load per register.
+	loadRem [isa.NumRegs]int32
 
 	lastIssue int64 // cycle of the previous issue (or dispatch)
 	rec       stats.WarpRecord
+
+	// pc and done mirror warp.PC() and warp.Done(): both can only
+	// change when the warp issues, so caching them here keeps the
+	// per-cycle readiness scan free of pointer chases into the warp's
+	// reconvergence stack.
+	pc   int32
+	done bool
 
 	reason      stallReason // last readiness classification
 	readyCycle  int64       // cycle readiness last evaluated true
@@ -106,11 +117,23 @@ type blockState struct {
 	slots     []int
 }
 
-type loadToken struct {
-	slot      int
-	gen       int64
-	reg       isa.Reg
-	remaining int
+// Load tokens identify an in-flight load without any allocation: the
+// destination register, owning slot, and the slot's occupancy
+// generation (guarding stale fills) are packed into one int64.
+const (
+	tokenRegBits  = 6 // isa.NumRegs == 64
+	tokenSlotBits = 8 // MaxWarpsPerSM fits well below 256
+	tokenGenShift = tokenRegBits + tokenSlotBits
+)
+
+func makeToken(slot int, gen int64, reg isa.Reg) int64 {
+	return gen<<tokenGenShift | int64(slot)<<tokenRegBits | int64(reg)
+}
+
+func splitToken(t int64) (slot int, gen int64, reg isa.Reg) {
+	return int(t>>tokenRegBits) & (1<<tokenSlotBits - 1),
+		t >> tokenGenShift,
+		isa.Reg(t & (1<<tokenRegBits - 1))
 }
 
 type schedUnit struct {
@@ -135,13 +158,18 @@ type SM struct {
 	slots  []slot
 	kernel *simt.Kernel
 	prog   *isa.Program
+	meta   []isa.InstrMeta // prog's predecoded issue metadata (SetKernel)
+
+	// classLat maps a functional-unit class to its writeback latency,
+	// precomputed from the configuration (indexed by isa.Class).
+	classLat [isa.ClassCtrl + 1]int64
 
 	cycle        int64
 	lsuBusyUntil int64
-	tokens       map[int64]*loadToken
-	nextToken    int64
+	wbNext       int64 // earliest pending writeback time (NoWake if none)
 	ageSeq       int64
-	lineBuf      []int64 // scratch for memory-coalescing peeks
+	lineBuf      []int64   // scratch for memory-coalescing peeks
+	step         simt.Step // scratch for ExecInto (reused every issue)
 
 	residentBlocks int
 	sharedInUse    int
@@ -192,7 +220,17 @@ func New(opt Options) *SM {
 		mem:    opt.Memory,
 		crit:   opt.Criticality,
 		slots:  make([]slot, opt.Config.MaxWarpsPerSM),
-		tokens: make(map[int64]*loadToken),
+		wbNext: NoWake,
+	}
+	for c := range m.classLat {
+		switch isa.Class(c) {
+		case isa.ClassFPU:
+			m.classLat[c] = int64(opt.Config.FPULatency)
+		case isa.ClassSFU:
+			m.classLat[c] = int64(opt.Config.SFULatency)
+		default:
+			m.classLat[c] = int64(opt.Config.ALULatency)
+		}
 	}
 	m.l1d = opt.MemSys.NewL1D(opt.L1Policy, m.handleFill)
 	m.l1i = cache.New(opt.Config.L1I, cache.LRU{})
@@ -211,6 +249,9 @@ func New(opt Options) *SM {
 	for s := range m.slots {
 		u := s % len(m.units)
 		m.units[u].slots = append(m.units[u].slots, s)
+	}
+	for i := range m.units {
+		m.units[i].ready = make([]int, 0, len(m.units[i].slots))
 	}
 	return m
 }
@@ -262,6 +303,7 @@ func (m *SM) SetKernel(k *simt.Kernel) {
 	}
 	m.kernel = k
 	m.prog = k.Program
+	m.meta = k.Program.Meta()
 }
 
 // Idle reports whether no warps are resident.
@@ -365,29 +407,5 @@ func (m *SM) Schedulers() int { return len(m.units) }
 // scheduler unit — the scheduler-pick distribution (sampling hook).
 func (m *SM) SchedulerIssued(unit int) int64 { return m.units[unit].issued }
 
-// regMask returns the scoreboard bits instruction in reads or writes.
-func regMask(in isa.Instr) uint64 {
-	var mask uint64
-	if in.Op.HasDst() || in.Op.ReadsDst() {
-		mask |= 1 << in.Dst
-	}
-	if in.Op.ReadsA() {
-		mask |= 1 << in.A
-	}
-	if in.Op.ReadsB() && !in.BImm {
-		mask |= 1 << in.B
-	}
-	return mask
-}
-
 // classLatency maps a functional-unit class to its latency.
-func (m *SM) classLatency(c isa.Class) int64 {
-	switch c {
-	case isa.ClassFPU:
-		return int64(m.cfg.FPULatency)
-	case isa.ClassSFU:
-		return int64(m.cfg.SFULatency)
-	default:
-		return int64(m.cfg.ALULatency)
-	}
-}
+func (m *SM) classLatency(c isa.Class) int64 { return m.classLat[c] }

@@ -1,0 +1,49 @@
+#!/bin/sh
+# Benchmark snapshot: run the headline throughput benchmarks and write a
+# machine-readable JSON report for regression tracking.
+#
+#   scripts/bench.sh [outfile] [bench-regexp]
+#
+# Defaults: outfile BENCH_<date>.json in the repo root; the benchmark
+# set covers raw simulator throughput, the parallel sweep path, and the
+# two heaviest experiment regenerations (fig9, fig13). BENCHTIME
+# overrides -benchtime (default 1s; CI smoke uses 1x).
+#
+# Each benchmark line becomes one JSON object: iterations plus every
+# reported metric, with units mangled to identifier form (ns/op ->
+# ns_op, sim_cycles/s -> sim_cycles_s, B/op -> B_op, allocs/op ->
+# allocs_op).
+set -e
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_$(date +%F).json}
+pattern=${2:-'BenchmarkSimulatorThroughput|BenchmarkParallelSweep|BenchmarkFig9Performance|BenchmarkFig13SchedulerBreakdown'}
+benchtime=${BENCHTIME:-1s}
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench ($benchtime) =="
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . | tee "$raw"
+
+awk -v date="$(date +%F)" -v gover="$(go env GOVERSION)" -v benchtime="$benchtime" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", date, gover, benchtime
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    printf "%s    {\"name\": \"%s\", \"iterations\": %s", sep, name, $2
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[^A-Za-z0-9_]/, "_", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+    sep = ",\n"
+}
+END { printf "\n  ]\n}\n" }
+' "$raw" > "$out"
+
+echo "wrote $out"
