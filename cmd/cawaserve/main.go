@@ -1,0 +1,99 @@
+// Command cawaserve exposes the CAWA simulator as a long-running HTTP
+// service: submit (application, design point) jobs, poll for results,
+// scrape /metrics, and reuse previous campaigns through the persistent
+// disk cache. SIGINT/SIGTERM drains gracefully — admission stops,
+// in-flight simulations finish (or are cancelled at the drain
+// deadline), then the process exits.
+//
+// Usage:
+//
+//	cawaserve -addr :8080 -cache-dir /var/cache/cawa -scale 0.25
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cawa/internal/config"
+	"cawa/internal/harness"
+	"cawa/internal/serve"
+	"cawa/internal/workloads"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent simulations (default: NumCPU)")
+	queue := flag.Int("queue", 64, "admission queue depth")
+	timeout := flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	seed := flag.Int64("seed", workloads.DefaultParams().Seed, "workload seed")
+	sms := flag.Int("sms", 0, "override simulated SM count (0 = architecture default)")
+	small := flag.Bool("small", false, "use the reduced Small architecture instead of GTX480")
+	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory (empty = memory only)")
+	drainWait := flag.Duration("drain", 2*time.Minute, "graceful-drain deadline on SIGTERM")
+	flag.Parse()
+
+	cfg := config.GTX480()
+	if *small {
+		cfg = config.Small()
+	}
+	if *sms > 0 {
+		cfg.NumSMs = *sms
+	}
+	params := workloads.Params{Scale: *scale, Seed: *seed}
+
+	sess := harness.NewSession(cfg, params)
+	if *workers > 0 {
+		sess.SetWorkers(*workers)
+	}
+	if *cacheDir != "" {
+		disk, err := harness.OpenDiskCache(*cacheDir)
+		if err != nil {
+			log.Fatalf("cawaserve: open disk cache: %v", err)
+		}
+		sess.Disk = disk
+		log.Printf("cawaserve: disk cache %s (%d entries)", *cacheDir, disk.Len())
+	}
+
+	srv := serve.New(serve.Config{
+		Session:        sess,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	errs := make(chan error, 1)
+	go func() { errs <- httpSrv.ListenAndServe() }()
+	log.Printf("cawaserve: serving %s on %s (workers=%d queue=%d scale=%g seed=%d)",
+		cfg.Name, *addr, sess.Workers(), *queue, params.Scale, params.Seed)
+
+	select {
+	case sig := <-sigs:
+		log.Printf("cawaserve: %v — draining (deadline %s)", sig, *drainWait)
+	case err := <-errs:
+		log.Fatalf("cawaserve: listen: %v", err)
+	}
+
+	// Stop admission first so the health check flips and load balancers
+	// route away, then close the listener, then drain the workers.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("cawaserve: http shutdown: %v", err)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("cawaserve: drain cut short: %v", err)
+		os.Exit(1)
+	}
+	fmt.Println("cawaserve: drained cleanly")
+}

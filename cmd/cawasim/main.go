@@ -205,7 +205,7 @@ func writeObsArtifacts(res *harness.Result, collector *obs.Collector, sampler *o
 		Warps:  res.Agg.Warps,
 		Events: events,
 		Series: sampler.Series(),
-		Spans:  res.GPU.Spans,
+		Spans:  res.Spans,
 	})
 	if traceJSON != "" {
 		if err := ct.WriteFile(traceJSON); err != nil {

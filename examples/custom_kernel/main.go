@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -92,7 +93,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	launch, err := g.Launch(kernel)
+	launch, err := g.Launch(context.Background(), kernel)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 
 	"cawa/internal/cache"
@@ -137,11 +138,32 @@ type l1Snapshot struct {
 	loadAcc, storeAcc, loadMiss, storeMiss uint64
 }
 
+// cancelCheckMask bounds how stale a cancellation can go unnoticed on
+// the ticking path: ctx.Err is polled every cancelCheckMask+1 simulated
+// cycles (and at every fast-forward event boundary), so a cancelled
+// launch returns within that many real cycles of work.
+const cancelCheckMask = 1<<12 - 1
+
 // Launch runs one kernel to completion and returns its statistics.
 // Caches stay warm across launches; the cycle counter keeps advancing.
-func (g *GPU) Launch(k *simt.Kernel) (*stats.Launch, error) {
+//
+// Launch honors ctx: cancellation or deadline expiry aborts the run
+// with ctx's error (wrapped), checked every few thousand cycles on the
+// ticking path and at every event boundary of the fast-forward engine,
+// so a dead client never pins a worker for the rest of a long kernel.
+// A cancelled launch leaves the GPU in an undefined mid-kernel state;
+// callers must discard it (the harness builds a fresh GPU per run).
+func (g *GPU) Launch(ctx context.Context, k *simt.Kernel) (*stats.Launch, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
+	}
+	// Fail a dead context up front: the in-loop poll only fires every
+	// cancelCheckMask+1 cycles, so a short kernel could otherwise run to
+	// completion under an already-cancelled context.
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("gpu: kernel %s aborted at cycle %d: %w", k.Name, g.cycle, err)
+		}
 	}
 	// Re-verify with the launch context only the GPU knows: the warp
 	// size sharpens the affine %warp/%lane ranges and the memory size
@@ -194,6 +216,11 @@ func (g *GPU) Launch(k *simt.Kernel) (*stats.Launch, error) {
 	total := k.GridDim
 	for retired < total {
 		g.cycle++
+		if g.cycle&cancelCheckMask == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("gpu: kernel %s aborted at cycle %d: %w", k.Name, g.cycle, err)
+			}
+		}
 		g.sys.Cycle(g.cycle)
 		g.dispatch(k, &nextBlock, total, warpsPerBlock)
 		// wake is the conservative next cycle at which any SM can act
@@ -214,7 +241,9 @@ func (g *GPU) Launch(k *simt.Kernel) (*stats.Launch, error) {
 				k.Name, g.cfg.MaxCycles, retired, total)
 		}
 		if wake > g.cycle && !g.DisableFastForward {
-			g.fastForward(wake, startCycle)
+			if err := g.fastForward(ctx, wake, startCycle); err != nil {
+				return nil, fmt.Errorf("gpu: kernel %s aborted at cycle %d: %w", k.Name, g.cycle, err)
+			}
 		}
 	}
 
@@ -261,7 +290,12 @@ func (g *GPU) Launch(k *simt.Kernel) (*stats.Launch, error) {
 // The skip horizon is clamped to the PerCycle hook's next observation
 // point and to the MaxCycles guard, so cadenced samplers fire at their
 // exact cycles and the runaway abort triggers at the identical cycle.
-func (g *GPU) fastForward(smWake, startCycle int64) {
+//
+// Cancellation is polled once per loop iteration — i.e. at every
+// memory-system event boundary and before every skip — so even a span
+// that jumps millions of dead cycles in O(1) observes a dead ctx
+// within one event's worth of work.
+func (g *GPU) fastForward(ctx context.Context, smWake, startCycle int64) error {
 	limit := sm.NoWake
 	if g.cfg.MaxCycles > 0 {
 		limit = startCycle + g.cfg.MaxCycles + 1
@@ -280,6 +314,12 @@ func (g *GPU) fastForward(smWake, startCycle int64) {
 		}
 	}
 	for {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				flush()
+				return err
+			}
+		}
 		horizon := smWake
 		if limit < horizon {
 			horizon = limit
@@ -287,7 +327,7 @@ func (g *GPU) fastForward(smWake, startCycle int64) {
 		if g.PerCycle != nil {
 			if g.PerCycleWake == nil {
 				flush()
-				return // the hook may act on any cycle: never skip
+				return nil // the hook may act on any cycle: never skip
 			}
 			if t := g.PerCycleWake(g.cycle); t < horizon {
 				horizon = t
@@ -295,7 +335,7 @@ func (g *GPU) fastForward(smWake, startCycle int64) {
 		}
 		if horizon <= g.cycle+1 {
 			flush()
-			return
+			return nil
 		}
 		t := g.sys.NextEventTime()
 		if t < 0 || t >= horizon {
@@ -304,7 +344,7 @@ func (g *GPU) fastForward(smWake, startCycle int64) {
 			pending += horizon - g.cycle - 1
 			g.cycle = horizon - 1
 			flush()
-			return
+			return nil
 		}
 		// Jump to the event cycle and drain the memory system there.
 		pending += t - g.cycle - 1
@@ -326,7 +366,7 @@ func (g *GPU) fastForward(smWake, startCycle int64) {
 			}
 		}
 		if smWake <= t {
-			return // a warp issued (or could have): resume ticking
+			return nil // a warp issued (or could have): resume ticking
 		}
 	}
 }

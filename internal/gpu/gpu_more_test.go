@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"context"
 	"testing"
 
 	"cawa/internal/config"
@@ -26,24 +27,24 @@ func TestLaunchValidation(t *testing.T) {
 	}
 	// Block larger than the SM warp capacity.
 	big := trivialKernel(t, 1, 49*32)
-	if _, err := g.Launch(big); err == nil {
+	if _, err := g.Launch(context.Background(), big); err == nil {
 		t.Fatal("oversized block accepted")
 	}
 	// Shared memory beyond the SM.
 	shm := trivialKernel(t, 1, 32)
 	shm.SharedWords = 1 << 20
-	if _, err := g.Launch(shm); err == nil {
+	if _, err := g.Launch(context.Background(), shm); err == nil {
 		t.Fatal("oversized shared memory accepted")
 	}
 	// Register demand beyond the file.
 	regs := trivialKernel(t, 1, 1024)
 	regs.RegsPerThread = 64
-	if _, err := g.Launch(regs); err == nil {
+	if _, err := g.Launch(context.Background(), regs); err == nil {
 		t.Fatal("oversized register demand accepted")
 	}
 	// Invalid geometry.
 	badK := trivialKernel(t, 0, 32)
-	if _, err := g.Launch(badK); err == nil {
+	if _, err := g.Launch(context.Background(), badK); err == nil {
 		t.Fatal("zero grid accepted")
 	}
 }
@@ -66,11 +67,11 @@ func TestMultiLaunchAccumulatesGIDs(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := trivialKernel(t, 3, 64)
-	l1, err := g.Launch(k)
+	l1, err := g.Launch(context.Background(), k)
 	if err != nil {
 		t.Fatal(err)
 	}
-	l2, err := g.Launch(k)
+	l2, err := g.Launch(context.Background(), k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestBlocksSpreadAcrossSMs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	launch, err := g.Launch(trivialKernel(t, 8, 64))
+	launch, err := g.Launch(context.Background(), trivialKernel(t, 8, 64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestPerCycleHook(t *testing.T) {
 	}
 	var calls int64
 	g.PerCycle = func(gg *GPU, cycle int64) { calls++ }
-	launch, err := g.Launch(trivialKernel(t, 2, 64))
+	launch, err := g.Launch(context.Background(), trivialKernel(t, 2, 64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		launch, err := g.Launch(k)
+		launch, err := g.Launch(context.Background(), k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -182,7 +183,7 @@ func TestCoalescingFactor(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		launch, err := g.Launch(k)
+		launch, err := g.Launch(context.Background(), k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -209,7 +210,7 @@ func TestMaxCyclesGuard(t *testing.T) {
 	b.Bra("head")
 	b.Exit()
 	k := &simt.Kernel{Name: "spin", Program: b.MustBuild(), GridDim: 1, BlockDim: 32}
-	if _, err := g.Launch(k); err == nil {
+	if _, err := g.Launch(context.Background(), k); err == nil {
 		t.Fatal("runaway kernel not aborted")
 	}
 }

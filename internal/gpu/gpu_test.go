@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"context"
 	"testing"
 
 	"cawa/internal/config"
@@ -68,7 +69,7 @@ func TestVecAddAllPolicies(t *testing.T) {
 			if err != nil {
 				t.Fatalf("gpu: %v", err)
 			}
-			launch, err := g.Launch(k)
+			launch, err := g.Launch(context.Background(), k)
 			if err != nil {
 				t.Fatalf("launch: %v", err)
 			}

@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cawa/internal/config"
+	"cawa/internal/workloads"
+)
+
+// EngineVersion names the current behaviour of the simulation engine
+// for persistent-cache keying. Bump it whenever a change can alter any
+// simulated number (timing model, scheduler, cache policy, workload
+// generators); purely structural or performance work that is proven
+// byte-identical (e.g. the fast-forward engine) does not bump it.
+// Stale disk-cache entries from older engine versions simply stop
+// matching and are re-simulated.
+const EngineVersion = "cawa-engine-5"
+
+// DiskCache is a persistent, content-addressed result store shared by
+// long-running services and repeated evaluation campaigns. Each entry
+// is one JSON file named by the SHA-256 of its full identity key
+// (app | design-point key | workload params | architecture | engine
+// version), so restarts and concurrent processes pointing at the same
+// directory reuse each other's simulations.
+//
+// The cache is corruption-tolerant by construction: a missing,
+// truncated, unparsable or mis-keyed entry is treated as a miss and
+// re-simulated — a bad file can cost one redundant run, never a crash
+// or a wrong result. Writes go through a temp file + rename so readers
+// never observe a partially written entry.
+type DiskCache struct {
+	dir string
+}
+
+// OpenDiskCache opens (creating if needed) a disk cache rooted at dir.
+func OpenDiskCache(dir string) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("harness: disk cache: %w", err)
+	}
+	return &DiskCache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (d *DiskCache) Dir() string { return d.dir }
+
+// EntryKey builds the full identity of one simulation result. sysKey
+// must be the design point's core.SystemConfig.Key(). The architecture
+// is folded in via its complete value (every field of config.Config is
+// comparable scalar state), and EngineVersion ties entries to the
+// simulator behaviour that produced them.
+func (d *DiskCache) EntryKey(app, sysKey string, p workloads.Params, cfg config.Config) string {
+	return fmt.Sprintf("%s|%s|scale=%g|seed=%d|arch=%+v|%s",
+		app, sysKey, p.Scale, p.Seed, cfg, EngineVersion)
+}
+
+// entry is the on-disk document: the full key is stored alongside the
+// result so loads can verify identity (guarding against hash-prefix
+// reuse or hand-copied files) and operators can inspect entries.
+type entry struct {
+	Key    string  `json:"key"`
+	Result *Result `json:"result"`
+}
+
+// path maps a key to its content-addressed file.
+func (d *DiskCache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(d.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// Load returns the cached result for key, or (nil, false) on any kind
+// of miss — absent, unreadable, corrupt, or keyed to a different
+// identity. It never fails hard.
+func (d *DiskCache) Load(key string) (*Result, bool) {
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil || e.Result == nil || e.Key != key {
+		return nil, false
+	}
+	return e.Result, true
+}
+
+// Store writes the result under key atomically (temp file + rename).
+// The result must already be GPU-free serializable state; Result.GPU
+// is excluded from encoding either way.
+func (d *DiskCache) Store(key string, r *Result) error {
+	data, err := json.Marshal(entry{Key: key, Result: r})
+	if err != nil {
+		return fmt.Errorf("harness: disk cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(d.dir, ".entry-*")
+	if err != nil {
+		return fmt.Errorf("harness: disk cache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: disk cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: disk cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: disk cache: %w", err)
+	}
+	return nil
+}
+
+// Len counts the committed entries on disk (operational visibility).
+func (d *DiskCache) Len() int {
+	matches, err := filepath.Glob(filepath.Join(d.dir, "*.json"))
+	if err != nil {
+		return 0
+	}
+	return len(matches)
+}

@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cawa/internal/config"
+	"cawa/internal/core"
+	"cawa/internal/workloads"
+)
+
+var diskTestParams = workloads.Params{Scale: 0.05, Seed: 3}
+
+// TestDiskCacheRoundTrip: a stored result loads back equal, and the
+// load is keyed — a different key misses.
+func TestDiskCacheRoundTrip(t *testing.T) {
+	d, err := OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(RunOptions{
+		Workload: "bfs", Params: diskTestParams,
+		System: core.Baseline(), Config: config.Small(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.ReleaseGPU()
+	key := d.EntryKey("bfs", "lrr", diskTestParams, config.Small())
+	if err := d.Store(key, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Load(key)
+	if !ok {
+		t.Fatal("stored entry did not load")
+	}
+	if !reflect.DeepEqual(got.Agg, res.Agg) || !reflect.DeepEqual(got.Spans, res.Spans) {
+		t.Error("round-tripped result differs from the original")
+	}
+	otherParams := diskTestParams
+	otherParams.Seed++
+	if _, ok := d.Load(d.EntryKey("bfs", "lrr", otherParams, config.Small())); ok {
+		t.Error("load with a different seed hit the same entry")
+	}
+	if d.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", d.Len())
+	}
+}
+
+// TestDiskCacheCorruptionTolerant: truncated, garbage, and
+// key-mismatched entry files must degrade to a miss, never an error or
+// a wrong result.
+func TestDiskCacheCorruptionTolerant(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(RunOptions{
+		Workload: "bfs", Params: diskTestParams,
+		System: core.Baseline(), Config: config.Small(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.ReleaseGPU()
+	key := d.EntryKey("bfs", "lrr", diskTestParams, config.Small())
+	if err := d.Store(key, res); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("expected one entry file, got %v (%v)", entries, err)
+	}
+
+	for name, content := range map[string]string{
+		"truncated": "{\"Key\":\"",
+		"garbage":   "not json at all",
+		"empty":     "",
+	} {
+		if err := os.WriteFile(entries[0], []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := d.Load(key); ok {
+			t.Errorf("%s entry file served a result", name)
+		}
+	}
+
+	// A misfiled entry (right filename for key B, content recorded for
+	// key A) must miss: the stored key is verified, not trusted.
+	if err := d.Store(key, res); err != nil {
+		t.Fatal(err)
+	}
+	otherParams := diskTestParams
+	otherParams.Seed++
+	otherKey := d.EntryKey("bfs", "lrr", otherParams, config.Small())
+	if err := d.Store(otherKey, res); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != 2 {
+		t.Fatalf("expected two entry files, got %v (%v)", files, err)
+	}
+	goodDoc, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if f == entries[0] {
+			continue
+		}
+		if err := os.WriteFile(f, goodDoc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := d.Load(otherKey); ok {
+		t.Error("entry recorded for a different key served a result")
+	}
+
+	// A session pointed at the corrupted cache must silently
+	// re-simulate.
+	if err := os.WriteFile(entries[0], []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(config.Small(), diskTestParams)
+	s.Disk = d
+	got, err := s.Run("bfs", core.Baseline())
+	if err != nil {
+		t.Fatalf("session with corrupt disk cache: %v", err)
+	}
+	if s.DiskHits() != 0 {
+		t.Errorf("corrupt entry counted as a disk hit")
+	}
+	if !reflect.DeepEqual(got.Agg, res.Agg) {
+		t.Error("re-simulated result differs from the original")
+	}
+}
+
+// TestDiskCacheSurvivesRestart: a second session on the same cache
+// directory serves the first session's campaign without simulating —
+// the serving layer's restart story.
+func TestDiskCacheSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	d1, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := NewSession(config.Small(), diskTestParams)
+	s1.Disk = d1
+	first, err := s1.Run("bfs", core.CAWA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.Timings()) != 1 {
+		t.Fatalf("first session simulated %d runs, want 1", len(s1.Timings()))
+	}
+
+	// "Restart": fresh session, fresh DiskCache handle, same directory.
+	d2, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSession(config.Small(), diskTestParams)
+	s2.Disk = d2
+	second, err := s2.Run("bfs", core.CAWA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s2.Timings()); n != 0 {
+		t.Errorf("restarted session simulated %d runs, want 0 (disk cache)", n)
+	}
+	if s2.DiskHits() != 1 {
+		t.Errorf("restarted session disk hits = %d, want 1", s2.DiskHits())
+	}
+	if !reflect.DeepEqual(first.Agg, second.Agg) || !reflect.DeepEqual(first.Spans, second.Spans) {
+		t.Error("disk-cached result differs from the simulated one")
+	}
+	if len(second.Agg.Warps) != len(first.Agg.Warps) {
+		t.Fatalf("warp records: %d vs %d", len(second.Agg.Warps), len(first.Agg.Warps))
+	}
+
+	// A different architecture on the same directory must not hit.
+	s3 := NewSession(config.GTX480(), diskTestParams)
+	s3.Disk = d2
+	s3.SetRunFunc(func(ctx context.Context, opt RunOptions) (*Result, error) {
+		return &Result{}, nil
+	})
+	if _, err := s3.Run("bfs", core.CAWA()); err != nil {
+		t.Fatal(err)
+	}
+	if s3.DiskHits() != 0 {
+		t.Error("different architecture hit the small-config cache entry")
+	}
+}

@@ -393,17 +393,15 @@ func fig13(s *Session) (*Table, error) {
 }
 
 // criticalHitRate pools L1D hits/accesses of the post-hoc critical
-// warps of a run.
+// warps of a run, read from the per-warp snapshot the Result carries
+// (session-cached results no longer retain their GPU).
 func criticalHitRate(r *Result) float64 {
 	crit := CriticalGIDs(&r.Agg, 2)
 	var hits, accs uint64
-	for _, m := range r.GPU.SMs() {
-		l1 := m.L1D()
-		for gid, a := range l1.WarpAccesses {
-			if crit[int(gid)] {
-				accs += a
-				hits += l1.WarpHits[gid]
-			}
+	for gid, a := range r.WarpL1Accesses {
+		if crit[int(gid)] {
+			accs += a
+			hits += r.WarpL1Hits[gid]
 		}
 	}
 	if accs == 0 {

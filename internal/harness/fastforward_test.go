@@ -63,8 +63,8 @@ func TestFastForwardEquivalence(t *testing.T) {
 				if fr.Launches != sr.Launches {
 					t.Errorf("launches: fast-forward %d, ticked %d", fr.Launches, sr.Launches)
 				}
-				if !reflect.DeepEqual(fr.GPU.Spans, sr.GPU.Spans) {
-					t.Errorf("launch spans diverge:\nfast-forward %+v\nticked       %+v", fr.GPU.Spans, sr.GPU.Spans)
+				if !reflect.DeepEqual(fr.Spans, sr.Spans) {
+					t.Errorf("launch spans diverge:\nfast-forward %+v\nticked       %+v", fr.Spans, sr.Spans)
 				}
 				fa, sa := fr.Agg, sr.Agg
 				// Compare the scalar aggregate first for a readable diff,

@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"testing"
+
+	"cawa/internal/config"
+	"cawa/internal/core"
+	"cawa/internal/workloads"
+)
+
+// TestFig9ReducedGmeanPinned pins the reduced-configuration CAWA
+// geometric-mean speedup over the Sens applications so the headline
+// fidelity number cannot drift silently. The simulator is
+// deterministic, so the value is exactly reproducible; the band only
+// absorbs float-ordering differences across platforms.
+//
+// Context (see the fig9 deviation callout in EXPERIMENTS.md): this
+// reproduction's CAWA lands below GTO on the Sens gmean — full scale
+// 1.039 vs 1.082, and at this reduced configuration 0.958 vs 0.988 —
+// with bfs the main offender (CACP raises its MPKI, fig10). The pin
+// covers both values so a change that moves either in *any* direction
+// shows up as a conscious decision, not noise.
+func TestFig9ReducedGmeanPinned(t *testing.T) {
+	const (
+		pinCAWA = 0.9579 // measured at Small config, Scale 0.1, Seed 7
+		pinGTO  = 0.9876
+		band    = 0.005
+	)
+	s := NewSession(config.Small(), workloads.Params{Scale: 0.1, Seed: 7})
+	gto := core.SystemConfig{Scheduler: "gto"}
+	if err := s.Prewarm(matrix(s.sensApps(), core.Baseline(), gto, core.CAWA())); err != nil {
+		t.Fatal(err)
+	}
+
+	cawa, err := gmeanSpeedup(s, core.CAWA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gtoG, err := gmeanSpeedup(s, gto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cawa < pinCAWA-band || cawa > pinCAWA+band {
+		t.Errorf("CAWA gmean(sens) = %.4f, pinned at %.4f ± %.3f — if this moved on purpose, update the pin AND the fig9 deviation callout in EXPERIMENTS.md",
+			cawa, pinCAWA, band)
+	}
+	if gtoG < pinGTO-band || gtoG > pinGTO+band {
+		t.Errorf("GTO gmean(sens) = %.4f, pinned at %.4f ± %.3f", gtoG, pinGTO, band)
+	}
+}

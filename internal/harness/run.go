@@ -4,6 +4,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"cawa/internal/config"
@@ -43,17 +44,69 @@ type RunOptions struct {
 	SkipVerify bool
 }
 
-// Result is the outcome of one application run.
+// Result is the outcome of one application run. Everything experiments
+// read after the fact is snapshotted into plain serializable fields at
+// run end (Agg, Spans, the per-warp L1 tallies), so a Result can be
+// cached, JSON-encoded for the disk cache or the serving layer, and
+// held for a session's lifetime without pinning the run's GPU — whose
+// memory image, caches and MSHRs dwarf the statistics by orders of
+// magnitude. Session-cached results have GPU nil (see ReleaseGPU);
+// only direct Run/RunUncached callers get the live GPU for deeper
+// post-run inspection.
 type Result struct {
 	Workload string
 	System   string
 	Agg      stats.Launch // merged across launches
 	Launches int
-	GPU      *gpu.GPU // post-run inspection (cache stats, providers)
+
+	// Spans are the cycle windows of the run's kernel launches
+	// (snapshot of gpu.GPU.Spans).
+	Spans []gpu.LaunchSpan
+
+	// WarpL1Accesses and WarpL1Hits pool each warp's L1D accesses and
+	// hits across SMs by global warp id — the counters behind the
+	// critical-warp hit-rate analysis (Figure 14).
+	WarpL1Accesses map[int32]uint64
+	WarpL1Hits     map[int32]uint64
+
+	// GPU allows post-run inspection (cache tag state, policies,
+	// providers) on directly executed runs. It is nil on session-cached
+	// results and excluded from serialization.
+	GPU *gpu.GPU `json:"-"`
+}
+
+// ReleaseGPU drops the result's reference to the run's GPU so the
+// memory image, cache arrays and MSHRs become collectable. The
+// snapshotted statistics remain valid. The session's result cache calls
+// this on every entry it retains.
+func (r *Result) ReleaseGPU() { r.GPU = nil }
+
+// snapshotGPU fills the serializable post-run fields from the GPU.
+func (r *Result) snapshotGPU(g *gpu.GPU) {
+	r.Spans = append([]gpu.LaunchSpan(nil), g.Spans...)
+	r.WarpL1Accesses = make(map[int32]uint64)
+	r.WarpL1Hits = make(map[int32]uint64)
+	for _, s := range g.SMs() {
+		l1 := s.L1D()
+		for gid, a := range l1.WarpAccesses {
+			r.WarpL1Accesses[gid] += a
+		}
+		for gid, h := range l1.WarpHits {
+			r.WarpL1Hits[gid] += h
+		}
+	}
 }
 
 // Run executes the workload to completion on the design point.
 func Run(opt RunOptions) (*Result, error) {
+	return RunContext(context.Background(), opt)
+}
+
+// RunContext executes the workload to completion on the design point,
+// honoring ctx: cancellation or deadline expiry aborts the simulation
+// mid-kernel (checked cheaply inside gpu.Launch) and returns ctx's
+// error. A cancelled run's partial state is discarded entirely.
+func RunContext(ctx context.Context, opt RunOptions) (*Result, error) {
 	if opt.Params == (workloads.Params{}) {
 		opt.Params = workloads.DefaultParams()
 	}
@@ -102,7 +155,7 @@ func Run(opt RunOptions) (*Result, error) {
 		if !ok {
 			break
 		}
-		launch, err := g.Launch(k)
+		launch, err := g.Launch(ctx, k)
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s on %s: %w", opt.Workload, opt.System.Label(), err)
 		}
@@ -115,5 +168,6 @@ func Run(opt RunOptions) (*Result, error) {
 				opt.Workload, opt.System.Label(), err)
 		}
 	}
+	res.snapshotGPU(g)
 	return res, nil
 }

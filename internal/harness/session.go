@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -67,14 +68,25 @@ type Session struct {
 	// byte-identical results (proven by TestFastForwardEquivalence), so
 	// the result cache is deliberately not keyed on this switch.
 	DisableFastForward bool
+	// Disk, when non-nil, backs the in-memory result cache with a
+	// persistent content-addressed store: misses consult it before
+	// simulating, and fresh results are written through, so restarts and
+	// repeated campaigns skip re-simulation (see DiskCache).
+	Disk *DiskCache
 
-	mu      sync.Mutex
-	cache   map[string]*flight
-	sem     chan struct{}
-	records []obs.RunRecord
-	hits    uint64 // Run requests served from the cache
-	misses  uint64 // Run requests that simulated
-	started time.Time
+	mu       sync.Mutex
+	cache    map[string]*flight
+	sem      chan struct{}
+	records  []obs.RunRecord
+	hits     uint64 // Run requests served from the in-memory cache
+	misses   uint64 // Run requests that missed the in-memory cache
+	diskHits uint64 // misses answered by the disk cache without simulating
+	started  time.Time
+
+	// runFn, when non-nil, replaces RunContext as the simulation
+	// executor. It is a seam for tests (injected failures, controlled
+	// run durations); production code never sets it.
+	runFn func(ctx context.Context, opt RunOptions) (*Result, error)
 }
 
 // flight is one singleflight cache slot: the first requester simulates
@@ -122,21 +134,45 @@ func (s *Session) Workers() int {
 	return cap(s.sem)
 }
 
-// acquire claims a worker slot, returning its release func.
-func (s *Session) acquire() (release func()) {
+// SetRunFunc replaces the simulation executor with fn (nil restores
+// the default, RunContext). This is a seam for harness- and
+// service-level tests that need injected failures or runs whose
+// duration they control; it must never be set in production code.
+func (s *Session) SetRunFunc(fn func(ctx context.Context, opt RunOptions) (*Result, error)) {
+	s.mu.Lock()
+	s.runFn = fn
+	s.mu.Unlock()
+}
+
+// acquire claims a worker slot, returning its release func, or gives
+// up with ctx's error if the context dies while queued.
+func (s *Session) acquire(ctx context.Context) (release func(), err error) {
 	s.mu.Lock()
 	sem := s.sem
 	s.mu.Unlock()
-	sem <- struct{}{}
-	return func() { <-sem }
+	select {
+	case sem <- struct{}{}:
+		return func() { <-sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // simulate executes one run under the worker-pool bound and records a
 // manifest entry with its wall-clock cost and outcome.
-func (s *Session) simulate(opt RunOptions) (*Result, error) {
-	release := s.acquire()
+func (s *Session) simulate(ctx context.Context, opt RunOptions) (*Result, error) {
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	run := s.runFn
+	s.mu.Unlock()
+	if run == nil {
+		run = RunContext
+	}
 	start := time.Now()
-	r, err := Run(opt)
+	r, err := run(ctx, opt)
 	elapsed := time.Since(start)
 	release()
 	rec := obs.RunRecord{
@@ -168,6 +204,25 @@ func (s *Session) simulate(opt RunOptions) (*Result, error) {
 // Run simulates (or returns the cached) application run on the design
 // point. Concurrent calls with the same key share one simulation.
 func (s *Session) Run(app string, sc core.SystemConfig) (*Result, error) {
+	return s.RunContext(context.Background(), app, sc)
+}
+
+// RunContext is Run with cancellation: if ctx dies while the request is
+// queued for a worker slot, waiting on another caller's in-flight
+// simulation, or mid-simulation, the call returns ctx's error promptly.
+//
+// Failure handling: a flight that ends in an error — including a
+// cancellation — is evicted from the cache before its waiters are
+// released, so one transient failure never poisons the (app, design
+// point) for the session's lifetime; the next request re-simulates.
+// Waiters sharing the failed flight receive its error (standard
+// singleflight semantics), but a waiter whose own ctx dies first
+// detaches with its own ctx error and leaves the flight untouched.
+//
+// Successful results are cached with their GPU reference dropped
+// (Result.ReleaseGPU): a long-running session holds only the
+// snapshotted statistics, never the runs' memory images.
+func (s *Session) RunContext(ctx context.Context, app string, sc core.SystemConfig) (*Result, error) {
 	sysKey, err := sc.Key()
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: %w", app, err)
@@ -180,18 +235,50 @@ func (s *Session) Run(app string, sc core.SystemConfig) (*Result, error) {
 	if f, ok := s.cache[key]; ok {
 		s.hits++
 		s.mu.Unlock()
-		<-f.done
-		return f.res, f.err
+		select {
+		case <-f.done:
+			return f.res, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	f := &flight{done: make(chan struct{})}
 	s.cache[key] = f
 	s.misses++
+	disk := s.Disk
 	s.mu.Unlock()
 
-	f.res, f.err = s.simulate(RunOptions{
+	if disk != nil {
+		if res, ok := disk.Load(disk.EntryKey(app, sysKey, s.Params, s.Config)); ok {
+			s.mu.Lock()
+			s.diskHits++
+			s.mu.Unlock()
+			f.res = res
+			close(f.done)
+			return f.res, f.err
+		}
+	}
+
+	f.res, f.err = s.simulate(ctx, RunOptions{
 		Workload: app, Params: s.Params, System: sc, Config: s.Config,
 		DisableFastForward: s.DisableFastForward,
 	})
+	if f.err != nil {
+		// Evict before releasing waiters: a retry must re-simulate
+		// rather than observe the stale error as a cache "hit".
+		s.mu.Lock()
+		if s.cache[key] == f {
+			delete(s.cache, key)
+		}
+		s.mu.Unlock()
+	} else {
+		f.res.ReleaseGPU()
+		if disk != nil {
+			// Write-through is best-effort: a full or read-only disk
+			// degrades to in-memory caching, never to a failed run.
+			disk.Store(disk.EntryKey(app, sysKey, s.Params, s.Config), f.res) //nolint:errcheck
+		}
+	}
 	close(f.done)
 	return f.res, f.err
 }
@@ -211,7 +298,7 @@ func (s *Session) RunUncached(opt RunOptions) (*Result, error) {
 	if s.DisableFastForward {
 		opt.DisableFastForward = true
 	}
-	return s.simulate(opt)
+	return s.simulate(context.Background(), opt)
 }
 
 // Prewarm simulates every key of the run matrix across the worker
@@ -268,6 +355,14 @@ func (s *Session) CacheStats() (hits, misses uint64) {
 	return s.hits, s.misses
 }
 
+// DiskHits returns how many in-memory cache misses were answered by
+// the persistent disk cache without simulating.
+func (s *Session) DiskHits() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.diskHits
+}
+
 // Manifest snapshots the session — architecture, workload scaling,
 // worker count, cache effectiveness, and every simulation executed so
 // far — as one observability document.
@@ -282,6 +377,7 @@ func (s *Session) Manifest() *obs.Manifest {
 		Workers:      cap(s.sem),
 		CacheHits:    s.hits,
 		CacheMisses:  s.misses,
+		DiskHits:     s.diskHits,
 		WallSeconds:  time.Since(s.started).Seconds(),
 		Runs:         append([]obs.RunRecord(nil), s.records...),
 	}

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"cawa/internal/config"
+	"cawa/internal/core"
+	"cawa/internal/workloads"
+)
+
+// TestSessionEvictsErroredFlight is the regression test for the
+// error-poisoning bug: Session.Run used to cache a failed flight
+// forever, so one transient failure turned every later request for
+// that (app, design point) into the same stale error. A failed flight
+// must be evicted so the next request re-simulates.
+func TestSessionEvictsErroredFlight(t *testing.T) {
+	s := NewSession(config.Small(), workloads.Params{Scale: 0.05, Seed: 3})
+	injected := errors.New("injected transient failure")
+	calls := 0
+	s.SetRunFunc(func(ctx context.Context, opt RunOptions) (*Result, error) {
+		calls++
+		if calls == 1 {
+			return nil, injected
+		}
+		return RunContext(ctx, opt)
+	})
+
+	if _, err := s.Run("bfs", core.Baseline()); !errors.Is(err, injected) {
+		t.Fatalf("first run: got %v, want the injected failure", err)
+	}
+	res, err := s.Run("bfs", core.Baseline())
+	if err != nil {
+		t.Fatalf("second run after transient failure: %v (error was cached)", err)
+	}
+	if res == nil || res.Agg.Cycles == 0 {
+		t.Fatal("second run returned no result")
+	}
+	if calls != 2 {
+		t.Fatalf("executor ran %d times, want 2 (fail, then re-simulate)", calls)
+	}
+	// Both requests were cache misses: the failed flight must not count
+	// (or serve) as a hit.
+	hits, misses := s.CacheStats()
+	if hits != 0 || misses != 2 {
+		t.Errorf("cache stats after fail+retry: hits=%d misses=%d, want 0/2", hits, misses)
+	}
+	// Third request is a genuine hit on the good result.
+	if _, err := s.Run("bfs", core.Baseline()); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := s.CacheStats(); hits != 1 {
+		t.Errorf("third run: hits=%d, want 1", hits)
+	}
+}
+
+// TestSessionCachedResultsDropGPU is the regression test for the
+// memory-leak bug: cached Results used to pin the run's entire *gpu.GPU
+// — SMs, caches, and the workload's memory image — for the session's
+// lifetime. Cached entries must hold only snapshotted statistics.
+func TestSessionCachedResultsDropGPU(t *testing.T) {
+	s := NewSession(config.Small(), workloads.Params{Scale: 0.05, Seed: 3})
+	if err := s.Prewarm(matrix(PaperApps, core.Baseline())); err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range PaperApps {
+		res, err := s.Run(app, core.Baseline())
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if res.GPU != nil {
+			t.Errorf("%s: cached result retains its *gpu.GPU (memory image pinned)", app)
+		}
+		// The snapshot must cover what experiments read from cached
+		// results: spans and the pooled per-warp L1 counters.
+		if len(res.Spans) == 0 {
+			t.Errorf("%s: cached result has no launch spans", app)
+		}
+		if len(res.WarpL1Accesses) == 0 {
+			t.Errorf("%s: cached result has no per-warp L1 snapshot", app)
+		}
+		// And it must be serializable (the disk cache and the serving
+		// layer both marshal Results).
+		if _, err := json.Marshal(res); err != nil {
+			t.Errorf("%s: cached result not serializable: %v", app, err)
+		}
+	}
+	// Direct runs keep the live GPU for instrumented consumers.
+	direct, err := Run(RunOptions{
+		Workload: "bfs", Params: s.Params, System: core.Baseline(), Config: s.Config,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.GPU == nil {
+		t.Error("direct Run dropped its GPU; instrumented experiments need it")
+	}
+}
+
+// TestReleaseGPUFreesMemoryImage pins the release mechanism end to end:
+// once a Result drops its GPU reference, the GPU (and with it the
+// workload memory image) becomes collectable.
+func TestReleaseGPUFreesMemoryImage(t *testing.T) {
+	res, err := Run(RunOptions{
+		Workload: "bfs", Params: workloads.Params{Scale: 0.05, Seed: 3},
+		System: core.Baseline(), Config: config.Small(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collected := make(chan struct{})
+	runtime.SetFinalizer(res.GPU, func(any) { close(collected) })
+	res.ReleaseGPU()
+	deadline := time.After(10 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case <-collected:
+			return
+		case <-deadline:
+			t.Fatal("GPU not collected after ReleaseGPU; something still pins the memory image")
+		default:
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}

@@ -15,8 +15,9 @@
 //     collect-then-sort idiom (a body of plain appends followed by a
 //     sort.* call in the same block) is recognized and allowed, and
 //     `//cawalint:ignore <reason>` suppresses a finding explicitly.
-//   - goroutine: `go` statements anywhere outside internal/harness —
-//     concurrency lives in the harness scheduler, never in the model.
+//   - goroutine: `go` statements anywhere outside internal/harness and
+//     internal/serve — concurrency lives in the harness scheduler and
+//     the HTTP serving layer, never in the model.
 //
 // The engine is stdlib-only (go/ast, go/parser, go/types). Cross-
 // package types resolve against stub packages, so map detection is
@@ -67,7 +68,9 @@ type Options struct {
 }
 
 // DefaultOptions matches this repository's layout: determinism rules
-// over the simulation core, goroutines confined to the harness.
+// over the simulation core, goroutines confined to the harness run
+// scheduler and the HTTP serving layer (which sits entirely outside
+// the deterministic core and talks to it only through harness.Session).
 func DefaultOptions() Options {
 	return Options{
 		SimPaths: []string{
@@ -75,7 +78,7 @@ func DefaultOptions() Options {
 			"cawa/internal/core", "cawa/internal/cache", "cawa/internal/memsys",
 			"cawa/internal/stats",
 		},
-		GoroutineAllowed: []string{"cawa/internal/harness"},
+		GoroutineAllowed: []string{"cawa/internal/harness", "cawa/internal/serve"},
 	}
 }
 

@@ -39,8 +39,11 @@ type Manifest struct {
 	// CacheHits counts Session.Run requests served from the result
 	// cache (including singleflight waiters); CacheMisses counts
 	// actual simulations.
-	CacheHits   uint64      `json:"cache_hits"`
-	CacheMisses uint64      `json:"cache_misses"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	// DiskHits counts in-memory misses answered by the persistent disk
+	// cache without simulating (zero when no disk cache is attached).
+	DiskHits    uint64      `json:"disk_hits,omitempty"`
 	WallSeconds float64     `json:"wall_seconds"`
 	Runs        []RunRecord `json:"runs"`
 }

@@ -48,7 +48,7 @@ func TestChromeTraceSchema(t *testing.T) {
 		Warps:  res.Agg.Warps,
 		Events: collector.Events(),
 		Series: sampler.Series(),
-		Spans:  res.GPU.Spans,
+		Spans:  res.Spans,
 	})
 
 	var buf bytes.Buffer

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders every metric of the registry in the
+// Prometheus text exposition format (version 0.0.4), one scrape's worth
+// of instantaneous values:
+//
+//   - Gauge probes become prometheus gauges.
+//   - Rate probes observe cumulative counters, so their raw value is
+//     exposed as a prometheus counter (the server computes rates).
+//   - Ratio probes expose their numerator and denominator as two
+//     counters with a _num / _den suffix, so the scraper can build the
+//     exact interval ratio instead of a lossy pre-divided gauge.
+//
+// Metric names are prefixed ("cawa" -> cawa_ipc) and sanitized to the
+// [a-zA-Z0-9_] identifier set; per-SM metrics carry an sm="N" label.
+// Registered Prepare hooks run once before the first probe, matching
+// the Sampler's contract.
+func WritePrometheus(w io.Writer, prefix string, r *Registry) error {
+	for _, fn := range r.prepares {
+		fn()
+	}
+	// Group series of the same name (one per SM) under a single TYPE
+	// header, as the exposition format requires.
+	type sample struct {
+		sm    int
+		value float64
+	}
+	families := map[string]struct {
+		typ     string
+		samples []sample
+	}{}
+	var order []string
+	add := func(name, typ string, sm int, v float64) {
+		f, ok := families[name]
+		if !ok {
+			f.typ = typ
+			order = append(order, name)
+		}
+		f.samples = append(f.samples, sample{sm: sm, value: v})
+		families[name] = f
+	}
+	for i := range r.metrics {
+		m := &r.metrics[i]
+		name := promName(prefix, m.Name)
+		switch m.Kind {
+		case Gauge:
+			add(name, "gauge", m.SM, m.probe())
+		case Rate:
+			add(name, "counter", m.SM, m.probe())
+		case Ratio:
+			add(name+"_num", "counter", m.SM, m.num())
+			add(name+"_den", "counter", m.SM, m.den())
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		f := families[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
+			return err
+		}
+		sort.Slice(f.samples, func(i, j int) bool { return f.samples[i].sm < f.samples[j].sm })
+		for _, s := range f.samples {
+			var err error
+			if s.sm == GPUScope {
+				_, err = fmt.Fprintf(w, "%s %g\n", name, s.value)
+			} else {
+				_, err = fmt.Fprintf(w, "%s{sm=\"%d\"} %g\n", name, s.sm, s.value)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promName sanitizes prefix_name to the metric identifier charset.
+func promName(prefix, name string) string {
+	full := name
+	if prefix != "" {
+		full = prefix + "_" + name
+	}
+	var b strings.Builder
+	for i, c := range full {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9' && i > 0:
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheus pins the exposition format: family grouping with
+// one TYPE header, gauge/counter kind mapping, ratio num/den
+// expansion, per-SM labels, sorted family and SM order, and name
+// sanitization.
+func TestWritePrometheus(t *testing.T) {
+	r := &Registry{}
+	prepared := 0
+	r.Prepare(func() { prepared++ })
+	r.Gauge("ipc", GPUScope, func() float64 { return 1.5 })
+	r.Gauge("occupancy", 1, func() float64 { return 0.25 })
+	r.Gauge("occupancy", 0, func() float64 { return 0.75 })
+	r.Rate("instructions/s", GPUScope, func() float64 { return 12345 })
+	r.Ratio("l1.hit-rate", GPUScope,
+		func() float64 { return 30 }, func() float64 { return 40 })
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, "cawa", r); err != nil {
+		t.Fatal(err)
+	}
+	if prepared != 1 {
+		t.Errorf("prepare hooks ran %d times, want 1", prepared)
+	}
+	want := `# TYPE cawa_instructions_s counter
+cawa_instructions_s 12345
+# TYPE cawa_ipc gauge
+cawa_ipc 1.5
+# TYPE cawa_l1_hit_rate_den counter
+cawa_l1_hit_rate_den 40
+# TYPE cawa_l1_hit_rate_num counter
+cawa_l1_hit_rate_num 30
+# TYPE cawa_occupancy gauge
+cawa_occupancy{sm="0"} 0.75
+cawa_occupancy{sm="1"} 0.25
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestPromName: identifier sanitization, including a leading digit.
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"ipc":        "cawa_ipc",
+		"l1.hits/s":  "cawa_l1_hits_s",
+		"warp-stall": "cawa_warp_stall",
+	}
+	for in, want := range cases {
+		if got := promName("cawa", in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := promName("", "2lvl"); got != "_lvl" {
+		t.Errorf("leading digit: got %q, want %q", got, "_lvl")
+	}
+}

@@ -1,0 +1,511 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cawa/internal/config"
+	"cawa/internal/core"
+	"cawa/internal/harness"
+	"cawa/internal/workloads"
+)
+
+var testParams = workloads.Params{Scale: 0.05, Seed: 3}
+
+func testSession() *harness.Session {
+	return harness.NewSession(config.Small(), testParams)
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body any) *http.Response {
+	t.Helper()
+	doc, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return v
+}
+
+// TestServeEndToEnd drives the async API: submit, poll to completion,
+// fetch the result — and requires the served bytes to be exactly what a
+// direct harness run marshals to.
+func TestServeEndToEnd(t *testing.T) {
+	srv := New(Config{Session: testSession()})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts.Client(), ts.URL+"/v1/jobs", RunRequest{App: "bfs", Scheduler: "gcaws", CPL: true, CACP: true})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	st := decode[JobStatus](t, resp)
+	if st.ID == "" || st.System != core.CAWA().Label() {
+		t.Fatalf("submit status %+v", st)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := decode[JobStatus](t, resp)
+		if got.State == StateDone {
+			break
+		}
+		if got.State == StateFailed || got.State == StateCanceled {
+			t.Fatalf("job ended %s: %s", got.State, got.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", got.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: status %d", resp.StatusCode)
+	}
+	served, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	direct, err := testSession().Run("bfs", core.CAWA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.MarshalIndent(direct, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, '\n')
+	if !bytes.Equal(served, want) {
+		t.Errorf("served result differs from a direct harness run (%d vs %d bytes)", len(served), len(want))
+	}
+}
+
+// blockingSession returns a session whose runs block until release is
+// closed (or their ctx dies) — controlled occupancy for backpressure
+// and drain tests.
+func blockingSession(release <-chan struct{}) *harness.Session {
+	s := testSession()
+	s.SetRunFunc(func(ctx context.Context, opt harness.RunOptions) (*harness.Result, error) {
+		select {
+		case <-release:
+			return &harness.Result{Launches: 1}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	return s
+}
+
+// submitN issues one submit per app name so each lands on a distinct
+// singleflight key.
+func submitN(t *testing.T, ts *httptest.Server, apps ...string) []JobStatus {
+	t.Helper()
+	var out []JobStatus
+	for _, app := range apps {
+		resp := postJSON(t, ts.Client(), ts.URL+"/v1/jobs", RunRequest{App: app})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %s: status %d", app, resp.StatusCode)
+		}
+		out = append(out, decode[JobStatus](t, resp))
+	}
+	return out
+}
+
+// TestServeBackpressure: with one worker busy and the queue full, the
+// next submit is rejected with 429 + Retry-After, and once capacity
+// frees up the queued job still completes.
+func TestServeBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	sess := blockingSession(release).SetWorkers(1)
+	srv := New(Config{Session: sess, Workers: 1, QueueDepth: 1, RetryAfter: 3 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	jobs := submitN(t, ts, "bfs") // occupies the worker
+	waitState(t, ts, jobs[0].ID, StateRunning)
+	jobs = append(jobs, submitN(t, ts, "kmeans")...) // fills the queue
+
+	resp := postJSON(t, ts.Client(), ts.URL+"/v1/jobs", RunRequest{App: "needle"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Errorf("Retry-After = %q, want \"3\"", ra)
+	}
+
+	close(release)
+	for _, j := range jobs {
+		waitState(t, ts, j.ID, StateDone)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitState(t *testing.T, ts *httptest.Server, id, want string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := decode[JobStatus](t, resp)
+		if got.State == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s (want %s; err %q)", id, got.State, want, got.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServeCancel: cancelling a running job frees its worker slot
+// within the engine's bounded cancellation cadence, and the job
+// reports canceled.
+func TestServeCancel(t *testing.T) {
+	// Real simulation, no run seam: the cancel must reach the cycle
+	// loop. kmeans at this scale runs long enough to still be in flight.
+	sess := testSession().SetWorkers(1)
+	srv := New(Config{Session: sess, Workers: 1, QueueDepth: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(context.Background())
+
+	jobs := submitN(t, ts, "kmeans", "bfs")
+	resp := postJSON(t, ts.Client(), ts.URL+"/v1/jobs/"+jobs[0].ID+"/cancel", nil)
+	st := decode[JobStatus](t, resp)
+	if st.State != StateCanceled && st.State != StateRunning {
+		t.Fatalf("cancel response state %s", st.State)
+	}
+	waitState(t, ts, jobs[0].ID, StateCanceled)
+	// The slot freed: the second job completes on the same worker.
+	waitState(t, ts, jobs[1].ID, StateDone)
+
+	// And the session is not poisoned: rerunning the canceled key works.
+	res, err := sess.Run("kmeans", core.SystemConfig{Scheduler: "lrr"})
+	if err != nil {
+		t.Fatalf("rerun after cancel: %v", err)
+	}
+	if res.Agg.Cycles == 0 {
+		t.Fatal("rerun returned an empty result")
+	}
+}
+
+// TestServeSyncClientDisconnect: a synchronous /v1/run whose client
+// goes away must cancel the underlying simulation and free the worker
+// slot for the next job.
+func TestServeSyncClientDisconnect(t *testing.T) {
+	release := make(chan struct{})
+	sess := blockingSession(release).SetWorkers(1)
+	srv := New(Config{Session: sess, Workers: 1, QueueDepth: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// LIFO: unblock the runs first, then drain cleanly.
+	defer srv.Drain(context.Background())
+	defer close(release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	doc, _ := json.Marshal(RunRequest{App: "bfs"})
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/run", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := ts.Client().Do(req)
+		errc <- err
+	}()
+
+	// Wait until the sync job is running, then kill the client.
+	waitAnyState(t, ts, "job-000001", StateRunning)
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("expected the aborted request to error")
+	}
+	waitAnyState(t, ts, "job-000001", StateCanceled)
+
+	// The worker slot is free: a fresh async job gets picked up (it
+	// blocks on release like every seamed run, so "running" is the
+	// proof the canceled job's slot came back).
+	jobs := submitN(t, ts, "kmeans")
+	waitState(t, ts, jobs[0].ID, StateRunning)
+}
+
+func waitAnyState(t *testing.T, ts *httptest.Server, id, want string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			got := decode[JobStatus](t, resp)
+			if got.State == want {
+				return
+			}
+		} else {
+			resp.Body.Close()
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached %s", id, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServeDrain: BeginDrain flips /healthz and rejects submits with
+// 503; Drain lets queued and running jobs finish; a deadline-cut drain
+// cancels what's left.
+func TestServeDrain(t *testing.T) {
+	release := make(chan struct{})
+	sess := blockingSession(release).SetWorkers(1)
+	srv := New(Config{Session: sess, Workers: 1, QueueDepth: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	jobs := submitN(t, ts, "bfs")
+	waitState(t, ts, jobs[0].ID, StateRunning)
+
+	srv.BeginDrain()
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: status %d, want 503", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.Client(), ts.URL+"/v1/jobs", RunRequest{App: "kmeans"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit: status %d, want 503", resp.StatusCode)
+	}
+
+	// Graceful path: release the run, drain finishes cleanly.
+	close(release)
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, ts, jobs[0].ID, StateDone)
+}
+
+// TestServeDrainDeadlineCancels: a drain whose context expires cancels
+// in-flight runs instead of waiting forever.
+func TestServeDrainDeadlineCancels(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	sess := blockingSession(release).SetWorkers(1)
+	srv := New(Config{Session: sess, Workers: 1, QueueDepth: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	jobs := submitN(t, ts, "bfs")
+	waitState(t, ts, jobs[0].ID, StateRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("deadline drain: err %v, want DeadlineExceeded", err)
+	}
+	waitState(t, ts, jobs[0].ID, StateCanceled)
+}
+
+// TestServeRestartFromDiskCache: a second service instance on the same
+// cache directory serves the first instance's campaign without
+// simulating — the restart acceptance criterion.
+func TestServeRestartFromDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func() ([]byte, *harness.Session) {
+		disk, err := harness.OpenDiskCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess := testSession()
+		sess.Disk = disk
+		srv := New(Config{Session: sess})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		resp := postJSON(t, ts.Client(), ts.URL+"/v1/run", RunRequest{App: "bfs", Scheduler: "gto"})
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("sync run: status %d: %s", resp.StatusCode, body)
+		}
+		doc, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return doc, sess
+	}
+
+	first, s1 := runOnce()
+	if len(s1.Timings()) != 1 || s1.DiskHits() != 0 {
+		t.Fatalf("first instance: %d simulations, %d disk hits", len(s1.Timings()), s1.DiskHits())
+	}
+	second, s2 := runOnce()
+	if len(s2.Timings()) != 0 || s2.DiskHits() != 1 {
+		t.Fatalf("restarted instance: %d simulations, %d disk hits; want 0 and 1",
+			len(s2.Timings()), s2.DiskHits())
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("restarted instance served different bytes than the original run")
+	}
+}
+
+// TestServeValidation: malformed requests are rejected up front.
+func TestServeValidation(t *testing.T) {
+	srv := New(Config{Session: testSession()})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for name, req := range map[string]RunRequest{
+		"unknown app":       {App: "no-such-app"},
+		"unknown scheduler": {App: "bfs", Scheduler: "fifo"},
+		"negative timeout":  {App: "bfs", TimeoutMS: -1},
+	} {
+		resp := postJSON(t, ts.Client(), ts.URL+"/v1/jobs", req)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServeMetricsAndApps: /metrics speaks the Prometheus text format
+// and reflects job counters; /v1/apps lists the registered workloads.
+func TestServeMetricsAndApps(t *testing.T) {
+	srv := New(Config{Session: testSession(), Workers: 2})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	jobs := submitN(t, ts, "bfs")
+	waitState(t, ts, jobs[0].ID, StateDone)
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE cawa_serve_queue_depth gauge",
+		"cawa_serve_jobs_submitted_total 1",
+		"cawa_serve_jobs_completed_total 1",
+		"cawa_session_cache_misses_total 1",
+		"cawa_session_runs_total 1",
+		"cawa_serve_workers 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/v1/apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := decode[map[string][]string](t, resp)
+	found := false
+	for _, a := range apps["apps"] {
+		if a == "bfs" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("apps listing missing bfs: %v", apps)
+	}
+	if len(apps["schedulers"]) == 0 {
+		t.Error("apps listing has no schedulers")
+	}
+}
+
+// TestServeResultStates: result fetch on unfinished/failed jobs has
+// useful semantics (202 while pending, 409 for terminal failures).
+func TestServeResultStates(t *testing.T) {
+	release := make(chan struct{})
+	sess := blockingSession(release).SetWorkers(1)
+	srv := New(Config{Session: sess, Workers: 1, QueueDepth: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	jobs := submitN(t, ts, "bfs")
+	waitState(t, ts, jobs[0].ID, StateRunning)
+	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + jobs[0].ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("pending result: status %d, want 202", resp.StatusCode)
+	}
+
+	postJSON(t, ts.Client(), ts.URL+"/v1/jobs/"+jobs[0].ID+"/cancel", nil).Body.Close()
+	waitState(t, ts, jobs[0].ID, StateCanceled)
+	resp, err = ts.Client().Get(ts.URL + "/v1/jobs/" + jobs[0].ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("canceled result: status %d, want 409", resp.StatusCode)
+	}
+
+	close(release)
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,446 @@
+// Package serve turns a harness.Session into a long-running HTTP
+// simulation service: clients submit (application, design point) jobs,
+// poll their status, and fetch results; the service executes them on
+// the session's bounded worker pool behind an admission queue with
+// backpressure, deduplicates concurrent identical requests through the
+// session's singleflight cache, and — when the session carries a
+// harness.DiskCache — survives restarts without re-simulating.
+//
+// The package sits entirely outside the deterministic simulation core:
+// it owns goroutines, wall-clock time and request contexts, and talks
+// to the simulator only through harness.Session.RunContext, which
+// plumbs cancellation down to the cycle loop. A dead client, an
+// expired per-job deadline, or a drain therefore frees its worker slot
+// within a bounded amount of simulation work.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cawa/internal/core"
+	"cawa/internal/harness"
+	"cawa/internal/obs"
+	"cawa/internal/sched"
+	"cawa/internal/workloads"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Session executes and caches the runs. Required. Its worker count
+	// bounds concurrent simulations; attach a harness.DiskCache to it
+	// for persistence across restarts.
+	Session *harness.Session
+	// Workers is the number of job-executing workers (default: the
+	// session's worker-pool bound). More workers than session slots
+	// just queue inside the session.
+	Workers int
+	// QueueDepth bounds the admission queue; a submit that finds the
+	// queue full is rejected with HTTP 429 + Retry-After rather than
+	// accepted into an unbounded backlog. Default 64.
+	QueueDepth int
+	// DefaultTimeout caps each job's run unless the request carries its
+	// own timeout_ms. Zero means no deadline.
+	DefaultTimeout time.Duration
+	// RetryAfter is the backoff hint attached to 429 responses.
+	// Default 1s.
+	RetryAfter time.Duration
+}
+
+// RunRequest is the submit payload: one application on one design
+// point, executed at the service session's workload scaling.
+type RunRequest struct {
+	App       string `json:"app"`
+	Scheduler string `json:"scheduler"`            // default "lrr"
+	CPL       bool   `json:"cpl,omitempty"`        // criticality prediction
+	CACP      bool   `json:"cacp,omitempty"`       // cache prioritization (implies CPL)
+	TimeoutMS int64  `json:"timeout_ms,omitempty"` // per-job deadline override
+}
+
+// System maps the request to a design point.
+func (r RunRequest) System() core.SystemConfig {
+	s := r.Scheduler
+	if s == "" {
+		s = "lrr"
+	}
+	return core.SystemConfig{Scheduler: s, CPL: r.CPL || r.CACP, CACP: r.CACP}
+}
+
+// Validate rejects requests the simulator is guaranteed to refuse,
+// before they consume a queue slot.
+func (r RunRequest) Validate() error {
+	found := false
+	for _, name := range workloads.Names() {
+		if name == r.App {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown app %q (have %v)", r.App, workloads.Names())
+	}
+	sc := r.System()
+	if _, ok := sched.Lookup(sc.Scheduler); !ok {
+		return fmt.Errorf("unknown scheduler %q (have %v)", sc.Scheduler, sched.Names())
+	}
+	if _, err := sc.Key(); err != nil {
+		return err
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("negative timeout_ms %d", r.TimeoutMS)
+	}
+	return nil
+}
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// job is one submitted run and its lifecycle.
+type job struct {
+	id  string
+	req RunRequest
+	sys core.SystemConfig
+
+	ctx      context.Context
+	cancel   context.CancelFunc
+	done     chan struct{} // closed when the job reaches a terminal state
+	canceled bool          // an explicit cancel (client or drain) was requested
+
+	state  string
+	err    string
+	result *harness.Result
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// JobStatus is the poll view of a job.
+type JobStatus struct {
+	ID     string `json:"id"`
+	App    string `json:"app"`
+	System string `json:"system"`
+	State  string `json:"state"`
+	Error  string `json:"error,omitempty"`
+	// Seconds the job has spent in its current lifecycle (queued wait
+	// for queued jobs, run time for running/terminal jobs).
+	Seconds float64 `json:"seconds"`
+}
+
+// Server is the HTTP simulation service.
+type Server struct {
+	cfg  Config
+	sess *harness.Session
+	reg  *obs.Registry
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+	wg        sync.WaitGroup
+	started   time.Time
+
+	mu          sync.Mutex
+	jobs        map[string]*job
+	queue       chan *job
+	nextID      int
+	draining    bool
+	queueClosed bool
+	busy        int
+
+	submitted uint64
+	rejected  uint64
+	completed uint64
+	failed    uint64
+	canceled  uint64
+}
+
+// New builds and starts a Server: its workers begin draining the
+// admission queue immediately. Call Drain to stop it.
+func New(cfg Config) *Server {
+	if cfg.Session == nil {
+		panic("serve: Config.Session is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = cfg.Session.Workers()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		sess:      cfg.Session,
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		started:   time.Now(),
+		jobs:      make(map[string]*job),
+		queue:     make(chan *job, cfg.QueueDepth),
+	}
+	s.reg = s.buildRegistry()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// buildRegistry registers the service's operational gauges; /metrics
+// renders them through the obs text exposition alongside the session
+// manifest counters.
+func (s *Server) buildRegistry() *obs.Registry {
+	reg := &obs.Registry{}
+	locked := func(f func() float64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return f()
+		}
+	}
+	reg.Gauge("serve_queue_depth", obs.GPUScope, func() float64 { return float64(len(s.queue)) })
+	reg.Gauge("serve_queue_capacity", obs.GPUScope, func() float64 { return float64(cap(s.queue)) })
+	reg.Gauge("serve_workers", obs.GPUScope, func() float64 { return float64(s.cfg.Workers) })
+	reg.Gauge("serve_workers_busy", obs.GPUScope, locked(func() float64 { return float64(s.busy) }))
+	reg.Gauge("serve_draining", obs.GPUScope, locked(func() float64 {
+		if s.draining {
+			return 1
+		}
+		return 0
+	}))
+	reg.Gauge("serve_uptime_seconds", obs.GPUScope, func() float64 { return time.Since(s.started).Seconds() })
+	reg.Rate("serve_jobs_submitted_total", obs.GPUScope, locked(func() float64 { return float64(s.submitted) }))
+	reg.Rate("serve_jobs_rejected_total", obs.GPUScope, locked(func() float64 { return float64(s.rejected) }))
+	reg.Rate("serve_jobs_completed_total", obs.GPUScope, locked(func() float64 { return float64(s.completed) }))
+	reg.Rate("serve_jobs_failed_total", obs.GPUScope, locked(func() float64 { return float64(s.failed) }))
+	reg.Rate("serve_jobs_canceled_total", obs.GPUScope, locked(func() float64 { return float64(s.canceled) }))
+	return reg
+}
+
+// errQueueFull and errDraining classify admission failures for the
+// HTTP layer.
+var (
+	errQueueFull = fmt.Errorf("admission queue full")
+	errDraining  = fmt.Errorf("server is draining")
+)
+
+// submit validates and enqueues a job. The returned job is owned by
+// the server; callers observe it through its done channel and Status.
+func (s *Server) submit(req RunRequest) (*job, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, errDraining
+	}
+	s.nextID++
+	j := &job{
+		id:        fmt.Sprintf("job-%06d", s.nextID),
+		req:       req,
+		sys:       req.System(),
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	if timeout > 0 {
+		j.ctx, j.cancel = context.WithTimeout(s.baseCtx, timeout)
+	} else {
+		j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.submitted++
+		return j, nil
+	default:
+		s.rejected++
+		j.cancel()
+		return nil, errQueueFull
+	}
+}
+
+// worker executes queued jobs until the queue closes (drain).
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob drives one job through the session and records its outcome.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	if j.state != StateQueued { // canceled while queued
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	s.busy++
+	s.mu.Unlock()
+
+	res, err := s.sess.RunContext(j.ctx, j.req.App, j.sys)
+
+	s.mu.Lock()
+	s.busy--
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = res
+		s.completed++
+	case j.ctx.Err() != nil:
+		j.state = StateCanceled
+		j.err = err.Error()
+		s.canceled++
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+		s.failed++
+	}
+	close(j.done)
+	s.mu.Unlock()
+	j.cancel() // release the deadline timer
+}
+
+// cancelJob requests cancellation. Queued jobs terminate immediately;
+// running jobs terminate as soon as the simulator observes the dead
+// context. Unknown ids return false.
+func (s *Server) cancelJob(id string) bool {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	j.canceled = true
+	if j.state == StateQueued {
+		j.state = StateCanceled
+		j.err = context.Canceled.Error()
+		j.finished = time.Now()
+		s.canceled++
+		close(j.done)
+	}
+	s.mu.Unlock()
+	j.cancel()
+	return true
+}
+
+// status snapshots a job for the poll endpoint.
+func (s *Server) status(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return s.statusLocked(j), true
+}
+
+func (s *Server) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID:     j.id,
+		App:    j.req.App,
+		System: j.sys.Label(),
+		State:  j.state,
+		Error:  j.err,
+	}
+	switch j.state {
+	case StateQueued:
+		st.Seconds = time.Since(j.submitted).Seconds()
+	case StateRunning:
+		st.Seconds = time.Since(j.started).Seconds()
+	default:
+		ref := j.started
+		if ref.IsZero() {
+			ref = j.submitted
+		}
+		st.Seconds = j.finished.Sub(ref).Seconds()
+	}
+	return st
+}
+
+// statuses lists every job, newest first.
+func (s *Server) statuses() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, s.statusLocked(j))
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID > out[k].ID })
+	return out
+}
+
+// result returns a finished job's result.
+func (s *Server) result(id string) (*harness.Result, JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, JobStatus{}, false
+	}
+	return j.result, s.statusLocked(j), true
+}
+
+// Draining reports whether the server has stopped admitting jobs.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// BeginDrain stops admission (submits fail with 503, /healthz flips to
+// 503 so load balancers stop routing here) without touching running
+// jobs. Idempotent.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Drain gracefully shuts the service down: stop admitting, let the
+// workers finish the queued and in-flight runs, and — if ctx expires
+// first — cancel everything still running and wait for the workers to
+// observe it. The session's disk cache needs no separate flush: every
+// result was written through at run end. Drain returns ctx.Err() when
+// the deadline forced cancellation, nil on a clean finish.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if !s.queueClosed {
+		s.queueClosed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll()
+		<-finished
+		return ctx.Err()
+	}
+}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -90,7 +91,7 @@ func TestRecorderEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	launch, err := g.Launch(k)
+	launch, err := g.Launch(context.Background(), k)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,7 @@
 # Benchmark snapshot: run the headline throughput benchmarks and write a
 # machine-readable JSON report for regression tracking.
 #
-#   scripts/bench.sh [outfile] [bench-regexp]
+#   scripts/bench.sh [-delta] [outfile] [bench-regexp]
 #
 # Defaults: outfile BENCH_<date>.json in the repo root; the benchmark
 # set covers raw simulator throughput, the parallel sweep path, and the
@@ -13,8 +13,19 @@
 # reported metric, with units mangled to identifier form (ns/op ->
 # ns_op, sim_cycles/s -> sim_cycles_s, B/op -> B_op, allocs/op ->
 # allocs_op).
+#
+# Delta mode (-delta): after writing the report, compare the
+# SimulatorThroughput sim_cycles_s against the committed baseline (the
+# newest BENCH_*.json in the repo root, or $BASELINE) and exit non-zero
+# on a regression of more than 25% — the CI bench-smoke gate.
 set -e
 cd "$(dirname "$0")/.."
+
+delta=0
+if [ "${1:-}" = "-delta" ]; then
+    delta=1
+    shift
+fi
 
 out=${1:-BENCH_$(date +%F).json}
 pattern=${2:-'BenchmarkSimulatorThroughput|BenchmarkParallelSweep|BenchmarkFig9Performance|BenchmarkFig13SchedulerBreakdown'}
@@ -47,3 +58,38 @@ END { printf "\n  ]\n}\n" }
 ' "$raw" > "$out"
 
 echo "wrote $out"
+
+if [ "$delta" = 1 ]; then
+    # Newest committed baseline unless the caller pinned one. The
+    # just-written outfile must not shadow the baseline.
+    base=${BASELINE:-$(ls BENCH_*.json 2>/dev/null | grep -v "^$(basename "$out")\$" | sort | tail -1)}
+    if [ -z "$base" ] || [ ! -f "$base" ]; then
+        echo "delta: no committed BENCH_*.json baseline found" >&2
+        exit 1
+    fi
+    # Extract one numeric metric of one benchmark from a report.
+    extract() {
+        awk -v name="$2" -v metric="$3" '
+            $0 ~ "\"name\": \"" name "\"" && match($0, "\"" metric "\": *[0-9.eE+-]+") {
+                v = substr($0, RSTART, RLENGTH)
+                sub(/.*: */, "", v)
+                print v
+                exit
+            }' "$1"
+    }
+    new=$(extract "$out" SimulatorThroughput sim_cycles_s)
+    old=$(extract "$base" SimulatorThroughput sim_cycles_s)
+    if [ -z "$new" ] || [ -z "$old" ]; then
+        echo "delta: sim_cycles_s missing (new='$new' baseline='$old' from $base)" >&2
+        exit 1
+    fi
+    awk -v new="$new" -v old="$old" -v base="$base" '
+        BEGIN {
+            pct = (new / old - 1) * 100
+            printf "delta: sim_cycles_s %.0f vs baseline %.0f (%s): %+.1f%%\n", new, old, base, pct
+            if (new < old * 0.75) {
+                printf "delta: FAIL — more than 25%% below baseline\n"
+                exit 1
+            }
+        }'
+fi
