@@ -138,14 +138,43 @@ func BenchmarkParallelSweep(b *testing.B) {
 
 // Raw simulator throughput: simulated cycles per second on a
 // cache-thrashing workload (kmeans) under the full CAWA design.
+//
+// Three sub-benchmarks separate the engine dimensions:
+//
+//	serial-2sm   the historical headline number (SmallConfig, serial) —
+//	             scripts/bench.sh -delta tracks this against committed
+//	             baselines, so its body must stay equivalent
+//	serial-15sm  the paper's GTX480 on the serial engine — the
+//	             denominator of the parallel speedup
+//	smpar-15sm   GTX480 on the parallel per-SM engine with one domain
+//	             goroutine per available core — speedup is
+//	             smpar-15sm / serial-15sm at matching GOMAXPROCS
+//
+// The go-test name suffix (-N) records GOMAXPROCS; scripts/bench.sh
+// extracts it into the JSON report so deltas only compare like with
+// like.
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	var cycles int64
-	for i := 0; i < b.N; i++ {
-		res, err := Run("kmeans", Params{Scale: 0.125, Seed: 7}, CAWA(), SmallConfig())
-		if err != nil {
-			b.Fatal(err)
+	bench := func(b *testing.B, cfg Config, smWorkers int) {
+		var cycles int64
+		for i := 0; i < b.N; i++ {
+			res, err := RunWith(RunOptions{
+				Workload: "kmeans", Params: Params{Scale: 0.125, Seed: 7},
+				System: CAWA(), Config: cfg, SMWorkers: smWorkers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += res.Agg.Cycles
 		}
-		cycles += res.Agg.Cycles
+		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim_cycles/s")
 	}
-	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim_cycles/s")
+	b.Run("serial-2sm", func(b *testing.B) { bench(b, SmallConfig(), 0) })
+	b.Run("serial-15sm", func(b *testing.B) { bench(b, GTX480(), 0) })
+	b.Run("smpar-15sm", func(b *testing.B) {
+		workers := runtime.GOMAXPROCS(0)
+		if workers < 2 {
+			workers = 2 // keep the parallel engine engaged on 1-core hosts
+		}
+		bench(b, GTX480(), workers)
+	})
 }

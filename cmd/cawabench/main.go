@@ -11,7 +11,12 @@
 // Simulations fan out across a worker pool (-j, default all cores):
 // every experiment declares its run matrix, the matrices are pooled and
 // deduplicated, and the cells simulate in parallel before the tables
-// build sequentially. Tables are byte-identical to a -j 1 run.
+// build sequentially. Tables are byte-identical to a -j 1 run. -smpar N
+// additionally runs each simulation on the parallel per-SM engine with
+// up to N domain goroutines, budgeted from the same -j pool (total
+// concurrency never exceeds -j); results stay byte-identical, so use it
+// when runs are scarce (a single figure, the tail of a sweep) rather
+// than to oversubscribe a saturated pool.
 //
 // The -scale and -sms flags trade fidelity for speed; EXPERIMENTS.md
 // records the reference results at the default settings. -timing writes
@@ -64,6 +69,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "input generator seed")
 		sms     = flag.Int("sms", 0, "override number of SMs")
 		workers = flag.Int("j", 0, "max concurrent simulations (0 = all cores)")
+		smpar   = flag.Int("smpar", 1, "SM-domain goroutines per run, budgeted from the -j pool (byte-identical results; <=1 = serial)")
 		asJSON  = flag.Bool("json", false, "emit tables as JSON documents")
 		timing  = flag.String("timing", "", "write a JSON timing summary to this file (\"-\" = stderr)")
 		fastfwd = flag.Bool("fastforward", true, "event-driven idle-cycle fast-forwarding (results are byte-identical either way)")
@@ -130,7 +136,8 @@ func main() {
 	if *workers <= 0 {
 		*workers = runtime.NumCPU()
 	}
-	session := harness.NewSession(cfg, workloads.Params{Scale: *scale, Seed: *seed}).SetWorkers(*workers)
+	session := harness.NewSession(cfg, workloads.Params{Scale: *scale, Seed: *seed}).
+		SetWorkers(*workers).SMParallel(*smpar)
 	session.DisableFastForward = !*fastfwd
 
 	wallStart := time.Now()

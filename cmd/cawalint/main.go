@@ -1,8 +1,9 @@
 // Command cawalint enforces the simulator's determinism invariants
 // over its Go source (see internal/lint): no wall-clock reads or
 // global math/rand in simulation packages, no raw map iteration
-// feeding simulation state or output, and no goroutines outside
-// internal/harness.
+// feeding simulation state or output, no goroutines outside
+// internal/harness, internal/serve and the gpu domain runner, and no
+// direct memsys.System mutation from SM-domain code.
 //
 // Usage:
 //

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	cawasim -workload bfs -scheduler gcaws -cpl -cacp [-scale 1] [-seed 1] [-sms 15] [-v]
+//	cawasim -workload bfs -scheduler gcaws -cpl -cacp [-scale 1] [-seed 1] [-sms 15] [-smpar N] [-v]
 //
 // Schedulers: lrr (baseline RR), gto, 2lvl, caws (oracle), gcaws.
 // The full CAWA design point is -scheduler gcaws -cpl -cacp.
@@ -53,6 +53,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-block warp summaries")
 		hotpcs    = flag.Int("hotpcs", 0, "print the N PCs with the most stall time")
 		fastfwd   = flag.Bool("fastforward", true, "event-driven idle-cycle fast-forwarding (results are byte-identical either way)")
+		smpar     = flag.Int("smpar", 1, "SM-domain goroutines for the parallel intra-run engine (byte-identical results; 0 = one per core, <=1 = serial; forced serial when tracing attaches observers)")
 
 		traceJSON   = flag.String("trace-json", "", "write a Chrome trace-event file (Perfetto / chrome://tracing)")
 		obsDir      = flag.String("obs-dir", "", "write observability artifacts (trace.json, metrics.csv, metrics.json, manifest.json) into this directory")
@@ -90,12 +91,19 @@ func main() {
 		sc.Oracle = oracle
 	}
 
+	smWorkers := *smpar
+	if smWorkers == 0 {
+		smWorkers = runtime.GOMAXPROCS(0)
+	}
 	opt := harness.RunOptions{
 		Workload:           *workload,
 		Params:             workloads.Params{Scale: *scale, Seed: *seed},
 		System:             sc,
 		Config:             cfg,
 		DisableFastForward: !*fastfwd,
+		// The harness forces tracing runs (whose observers share state
+		// across SMs) back onto the serial engine.
+		SMWorkers: smWorkers,
 	}
 
 	// Observability wiring. The collector decorates every SM's

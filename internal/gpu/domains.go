@@ -1,0 +1,185 @@
+package gpu
+
+// Parallel per-SM execution domains.
+//
+// The serial engine steps every SM on the caller's goroutine; the
+// parallel engine shards the SMs across a small pool of persistent
+// worker goroutines — the *domain runner* — and advances them in
+// lockstep epochs of exactly one cycle. One cycle, not more, because
+// the orchestrator's serial duties (the shared memory system's event
+// drain, block dispatch, the PerCycle hook, staged-access commit and
+// store-log flush) are interleaved with SM execution at cycle
+// granularity by the serial engine, and the refactor's contract is
+// byte-identical output.
+//
+// Invariants that make the parallel engine deterministic:
+//
+//  1. Domain isolation. During an epoch a worker only touches the
+//     state of its own SMs: warp slots, scoreboards, schedulers, the
+//     L1D tag array and MSHRs. Shared structures are reached through
+//     two staging channels drained by the orchestrator at the barrier:
+//     outbound memory-system requests (memsys.StageBuffer) and
+//     functional global-memory stores (memory.StoreLog). The linter's
+//     memsys-mutation rule enforces the first statically.
+//  2. Deterministic merge. Both staging channels are committed in
+//     (cycle, SM id, program order) — exactly the order the serial
+//     engine generates them — so the event heap's sequence numbers and
+//     the functional memory image evolve identically.
+//  3. Serial orchestration. Everything that reads or writes cross-SM
+//     state (System.Cycle with its L1 fill delivery, dispatch, the
+//     PerCycle hook, fast-forward planning) runs on the orchestrator
+//     between barriers, unchanged from the serial engine.
+//
+// The barrier is a hybrid spin/park design: both sides yield-spin for
+// a bounded number of rounds (cheap when all cores are busy advancing
+// SMs) and then park on a buffered signal channel (cheap when a launch
+// idles, e.g. between fast-forward jumps). The signal channels have
+// capacity 1 and are written with non-blocking sends: a stale token
+// costs one spurious wakeup — the waiter re-checks its atomic and
+// parks again — and never a lost one.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cawa/internal/sm"
+)
+
+// barrierSpins bounds how many scheduler yields a waiter burns before
+// parking on its channel. Yield-spinning keeps barrier latency in the
+// tens of nanoseconds while every worker has cycles to run; parking
+// caps the cost when the machine is oversubscribed or the run idles.
+const barrierSpins = 64
+
+// domainWorker is one goroutine's share of the SMs plus its epoch
+// output: the minimum wake bound across the SMs it stepped.
+type domainWorker struct {
+	sms    []*sm.SM
+	wake   int64
+	wakeCh chan struct{} // capacity 1; park/wake signal
+}
+
+// domainRunner drives one kernel launch's SM epochs. It is created
+// when a parallel Launch starts and stopped (unconditionally, via
+// defer) when the launch returns, so an aborted launch can never leak
+// its workers.
+type domainRunner struct {
+	workers []*domainWorker
+	cycle   int64 // epoch input; written before epoch is published
+
+	epoch   atomic.Int64 // epoch counter; incremented to start an epoch
+	pending atomic.Int64 // workers that have not finished the epoch
+	stopped atomic.Bool
+	doneCh  chan struct{} // capacity 1; last finisher pings the orchestrator
+	wg      sync.WaitGroup
+}
+
+// newDomainRunner partitions sms contiguously across workers goroutines
+// (workers is clamped to len(sms)) and starts them parked.
+func newDomainRunner(sms []*sm.SM, workers int) *domainRunner {
+	if workers > len(sms) {
+		workers = len(sms)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	r := &domainRunner{doneCh: make(chan struct{}, 1)}
+	for wi := 0; wi < workers; wi++ {
+		lo := wi * len(sms) / workers
+		hi := (wi + 1) * len(sms) / workers
+		r.workers = append(r.workers, &domainWorker{
+			sms:    sms[lo:hi],
+			wakeCh: make(chan struct{}, 1),
+		})
+	}
+	for _, w := range r.workers {
+		r.wg.Add(1)
+		go r.run(w)
+	}
+	return r
+}
+
+// step runs one epoch: every SM executes one cycle at c, in parallel,
+// and step returns the minimum wake bound across all SMs (the same
+// value the serial engine's min-fold computes). On return all workers
+// have finished the epoch, so the orchestrator may touch any SM state
+// until it starts the next epoch.
+func (r *domainRunner) step(c int64) int64 {
+	r.cycle = c
+	r.pending.Store(int64(len(r.workers)))
+	r.epoch.Add(1)
+	for _, w := range r.workers {
+		select {
+		case w.wakeCh <- struct{}{}:
+		default:
+		}
+	}
+	spins := 0
+	for r.pending.Load() != 0 {
+		if spins < barrierSpins {
+			spins++
+			runtime.Gosched()
+			continue
+		}
+		<-r.doneCh // park; a stale token just re-checks the counter
+	}
+	wake := sm.NoWake
+	for _, w := range r.workers {
+		if w.wake < wake {
+			wake = w.wake
+		}
+	}
+	return wake
+}
+
+// stop terminates the workers and waits for them to exit. Safe to call
+// more than once; the runner cannot be restarted.
+func (r *domainRunner) stop() {
+	if r.stopped.Swap(true) {
+		return
+	}
+	for _, w := range r.workers {
+		select {
+		case w.wakeCh <- struct{}{}:
+		default:
+		}
+	}
+	r.wg.Wait()
+}
+
+// run is a worker's loop: wait for an epoch (or stop), step the owned
+// SMs, fold their wake bounds, and report completion.
+func (r *domainRunner) run(w *domainWorker) {
+	defer r.wg.Done()
+	last := int64(0)
+	for {
+		spins := 0
+		for r.epoch.Load() == last {
+			if r.stopped.Load() {
+				return
+			}
+			if spins < barrierSpins {
+				spins++
+				runtime.Gosched()
+				continue
+			}
+			<-w.wakeCh // park; a stale token just re-checks the epoch
+		}
+		last++
+		c := r.cycle
+		wake := sm.NoWake
+		for _, s := range w.sms {
+			if v := s.Cycle(c); v < wake {
+				wake = v
+			}
+		}
+		w.wake = wake
+		if r.pending.Add(-1) == 0 {
+			select {
+			case r.doneCh <- struct{}{}:
+			default:
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package gpu
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"cawa/internal/config"
+	"cawa/internal/memory"
+	"cawa/internal/sm"
+)
+
+// newIdleGPU builds a GPU with n SMs and no kernel resident: every SM
+// cycle is a pure scheduler pass returning sm.NoWake, which makes the
+// runner's barrier mechanics observable without simulating a workload
+// (the harness engine-equivalence matrix covers loaded behavior).
+func newIdleGPU(t *testing.T, n int) *GPU {
+	t.Helper()
+	cfg := config.Small()
+	cfg.NumSMs = n
+	g, err := New(Options{Config: cfg, Memory: memory.New(1 << 16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// waitGoroutines polls until the goroutine count returns to base,
+// failing after a deadline: parked domain workers that missed a stop
+// signal show up as a stable elevated count.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestDomainRunnerLifecycle drives the runner through many epochs —
+// enough to exercise both the yield-spin and the parked path of the
+// hybrid barrier on any machine — and checks that stepSMs matches the
+// serial fold, that teardown restores the goroutine count, and that
+// the staging plumbing is uninstalled afterwards.
+func TestDomainRunnerLifecycle(t *testing.T) {
+	g := newIdleGPU(t, 8)
+	base := runtime.NumGoroutine()
+
+	g.startDomains(4)
+	if got := len(g.runner.workers); got != 4 {
+		t.Fatalf("runner has %d workers, want 4", got)
+	}
+	for c := int64(1); c <= 500; c++ {
+		if wake := g.stepSMs(c); wake != sm.NoWake {
+			t.Fatalf("idle epoch %d returned wake %d, want NoWake", c, wake)
+		}
+		if c%97 == 0 {
+			// Let workers fall off the spin path and park, so later
+			// epochs exercise the channel wakeup.
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	g.stopDomains()
+	waitGoroutines(t, base)
+
+	if g.runner != nil {
+		t.Error("stopDomains left the runner installed")
+	}
+	for i, s := range g.sms {
+		if s.L1D().Staged() {
+			t.Errorf("SM %d still has a staging buffer after stopDomains", i)
+		}
+	}
+
+	// The plumbing is reusable: a second launch-scoped start/stop works.
+	g.startDomains(2)
+	if wake := g.stepSMs(501); wake != sm.NoWake {
+		t.Fatal("restarted runner returned a spurious wake")
+	}
+	g.stopDomains()
+	waitGoroutines(t, base)
+}
+
+// TestDomainRunnerPartition: the contiguous shard must cover every SM
+// exactly once, and worker counts above the SM count clamp.
+func TestDomainRunnerPartition(t *testing.T) {
+	g := newIdleGPU(t, 5)
+	for _, workers := range []int{1, 2, 3, 5, 9} {
+		r := newDomainRunner(g.sms, workers)
+		want := workers
+		if want > len(g.sms) {
+			want = len(g.sms)
+		}
+		if len(r.workers) != want {
+			t.Errorf("workers=%d: runner built %d shards, want %d", workers, len(r.workers), want)
+		}
+		seen := make(map[*sm.SM]int)
+		total := 0
+		for _, w := range r.workers {
+			if len(w.sms) == 0 {
+				t.Errorf("workers=%d: empty shard", workers)
+			}
+			for _, s := range w.sms {
+				seen[s]++
+				total++
+			}
+		}
+		if total != len(g.sms) || len(seen) != len(g.sms) {
+			t.Errorf("workers=%d: shards cover %d/%d SMs (%d slots)", workers, len(seen), len(g.sms), total)
+		}
+		r.stop()
+	}
+}
+
+// TestDomainRunnerStopIdempotent: stop before any epoch, stop twice,
+// and stop racing a parked worker must all terminate cleanly.
+func TestDomainRunnerStopIdempotent(t *testing.T) {
+	g := newIdleGPU(t, 4)
+	base := runtime.NumGoroutine()
+
+	r := newDomainRunner(g.sms, 4)
+	r.stop()
+	r.stop() // second call is a no-op
+	waitGoroutines(t, base)
+
+	r = newDomainRunner(g.sms, 4)
+	r.step(1)
+	time.Sleep(2 * time.Millisecond) // workers fall through the spin path and park
+	r.stop()
+	r.stop()
+	waitGoroutines(t, base)
+}

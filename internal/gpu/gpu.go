@@ -71,6 +71,25 @@ type GPU struct {
 	// for the equivalence tests and for debugging.
 	DisableFastForward bool
 
+	// SMWorkers, when greater than 1, runs each Launch on the parallel
+	// per-SM execution-domain engine: the SMs are sharded across that
+	// many goroutines advancing between single-cycle epoch barriers,
+	// with all shared-state traffic staged per SM and merged
+	// deterministically at each barrier (see domains.go). Results are
+	// byte-identical to the serial engine. Values <= 1 (the default)
+	// select the serial engine; values above NumSMs are clamped.
+	//
+	// Callers that attach cross-SM shared observers (profiler taps,
+	// trace collectors) must leave this at 1; the harness gates those
+	// runs automatically.
+	SMWorkers int
+
+	// Parallel-engine plumbing, allocated lazily on the first parallel
+	// launch and installed onto the SMs only while one runs.
+	stages []*memsys.StageBuffer
+	logs   []*memory.StoreLog
+	runner *domainRunner
+
 	// Spans records the cycle window of every completed kernel launch
 	// (observability exporters render launches as top-level trace
 	// spans). One entry per Launch call; never trimmed.
@@ -207,14 +226,34 @@ func (g *GPU) Launch(ctx context.Context, k *simt.Kernel) (*stats.Launch, error)
 	l2 := g.sys.L2()
 	startL2Acc, startL2Miss := l2.Accesses, l2.Misses
 
-	retired := 0
-	for _, s := range g.sms {
-		s.OnBlockDone = func(int, int64) { retired++ }
+	// Block-retirement counters are per SM: under the parallel engine
+	// each counter is written only by the goroutine stepping its SM,
+	// and the orchestrator folds them between epochs (the barrier
+	// orders the accesses). The serial engine uses the same shape.
+	retiredBy := make([]int, len(g.sms))
+	for i, s := range g.sms {
+		counter := &retiredBy[i]
+		s.OnBlockDone = func(int, int64) { *counter++ }
+	}
+	retired := func() int {
+		n := 0
+		for _, v := range retiredBy {
+			n += v
+		}
+		return n
+	}
+
+	if workers := g.smWorkers(); workers > 1 {
+		g.startDomains(workers)
+		// Unconditional teardown: an aborted launch (cancellation,
+		// MaxCycles, a failed verify) must not leak domain goroutines
+		// or leave staging installed on the SMs.
+		defer g.stopDomains()
 	}
 
 	nextBlock := 0
 	total := k.GridDim
-	for retired < total {
+	for retired() < total {
 		g.cycle++
 		if g.cycle&cancelCheckMask == 0 && ctx != nil {
 			if err := ctx.Err(); err != nil {
@@ -227,18 +266,13 @@ func (g *GPU) Launch(ctx context.Context, k *simt.Kernel) (*stats.Launch, error)
 		// on its own; sm.NoWake when every SM is idle or fully blocked
 		// on memory. Any SM with a ready warp returns g.cycle, pinning
 		// the engine to tick-every-cycle behavior for this cycle.
-		wake := sm.NoWake
-		for _, s := range g.sms {
-			if w := s.Cycle(g.cycle); w < wake {
-				wake = w
-			}
-		}
+		wake := g.stepSMs(g.cycle)
 		if g.PerCycle != nil {
 			g.PerCycle(g, g.cycle)
 		}
 		if g.cfg.MaxCycles > 0 && g.cycle-startCycle > g.cfg.MaxCycles {
 			return nil, fmt.Errorf("gpu: kernel %s exceeded %d cycles (%d/%d blocks retired)",
-				k.Name, g.cfg.MaxCycles, retired, total)
+				k.Name, g.cfg.MaxCycles, retired(), total)
 		}
 		if wake > g.cycle && !g.DisableFastForward {
 			if err := g.fastForward(ctx, wake, startCycle); err != nil {
@@ -359,16 +393,85 @@ func (g *GPU) fastForward(ctx context.Context, smWake, startCycle int64) error {
 		}
 		// A fill unblocked at least one load: run a real SM cycle at t.
 		flush()
-		smWake = sm.NoWake
-		for _, s := range g.sms {
-			if w := s.Cycle(t); w < smWake {
-				smWake = w
-			}
-		}
+		smWake = g.stepSMs(t)
 		if smWake <= t {
 			return nil // a warp issued (or could have): resume ticking
 		}
 	}
+}
+
+// smWorkers resolves the engine choice for a launch: the configured
+// SMWorkers clamped to the SM count, with values <= 1 (and single-SM
+// configurations) selecting the serial engine.
+func (g *GPU) smWorkers() int {
+	w := g.SMWorkers
+	if w > len(g.sms) {
+		w = len(g.sms)
+	}
+	if w < 1 || len(g.sms) < 2 {
+		return 1
+	}
+	return w
+}
+
+// startDomains switches the GPU onto the parallel engine for one
+// launch: every SM gets a private stage buffer for outbound
+// memory-system requests and a private store log for functional
+// global-memory writes, and the domain runner's workers start parked.
+func (g *GPU) startDomains(workers int) {
+	if g.stages == nil {
+		g.stages = make([]*memsys.StageBuffer, len(g.sms))
+		g.logs = make([]*memory.StoreLog, len(g.sms))
+		for i := range g.sms {
+			g.stages[i] = &memsys.StageBuffer{}
+			g.logs[i] = memory.NewStoreLog(g.mem)
+		}
+	}
+	for i, s := range g.sms {
+		s.L1D().SetStaging(g.stages[i])
+		s.SetStoreLog(g.logs[i])
+	}
+	g.runner = newDomainRunner(g.sms, workers)
+}
+
+// stopDomains tears the parallel engine down: workers exit, any staged
+// residue is merged (clean exits have none; aborted launches discard
+// the GPU, but the memory system is left consistent either way), and
+// the SMs return to direct execution.
+func (g *GPU) stopDomains() {
+	g.runner.stop()
+	g.runner = nil
+	for i, s := range g.sms {
+		g.logs[i].Flush()
+		g.sys.Commit(g.stages[i])
+		s.L1D().SetStaging(nil)
+		s.SetStoreLog(nil)
+	}
+}
+
+// stepSMs advances every SM one cycle at time c and returns the
+// minimum conservative wake bound, on whichever engine the launch
+// selected. On the parallel engine the per-SM staging channels are
+// merged immediately after the epoch barrier, in SM-id order — the
+// deterministic merge that keeps the event heap's sequence numbers and
+// the functional memory image byte-identical to the serial engine
+// (see domains.go).
+func (g *GPU) stepSMs(c int64) int64 {
+	if g.runner == nil {
+		wake := sm.NoWake
+		for _, s := range g.sms {
+			if w := s.Cycle(c); w < wake {
+				wake = w
+			}
+		}
+		return wake
+	}
+	wake := g.runner.step(c)
+	for i := range g.sms {
+		g.logs[i].Flush()
+		g.sys.Commit(g.stages[i])
+	}
+	return wake
 }
 
 // dispatch hands out blocks breadth-first across SMs with capacity.

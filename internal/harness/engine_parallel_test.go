@@ -1,0 +1,249 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"cawa/internal/config"
+	"cawa/internal/core"
+	"cawa/internal/gpu"
+	"cawa/internal/memsys"
+)
+
+// waitGoroutines polls until the process goroutine count drops back to
+// at most base, failing the test if it never does. Domain workers park
+// on channels, so a leak shows up as a stable elevated count.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestParallelEngineCancel cancels a parallel-engine run from a
+// PerCycle hook mid-kernel and checks that the abort both honors the
+// bounded check cadence and releases every domain goroutine: the
+// runner's deferred stop must park-and-join all workers even though the
+// launch unwinds by error return, not by retiring its blocks.
+func TestParallelEngineCancel(t *testing.T) {
+	const cancelAt = 2000
+	const checkCadence = 4096 // gpu.cancelCheckMask + 1
+
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := RunContext(ctx, RunOptions{
+		Workload: "bfs", Params: cancelTestParams,
+		System: core.Baseline(), Config: engineMatrixConfig(),
+		SMWorkers: 4,
+		PerCycle: func(g *gpu.GPU, cycle int64) {
+			if cycle == cancelAt {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel mid-run cancel: got %v, want context.Canceled", err)
+	}
+	aborted, ok := abortCycle(err.Error())
+	if !ok {
+		t.Fatalf("abort error %q does not record the abort cycle", err)
+	}
+	if aborted < cancelAt || aborted > cancelAt+checkCadence {
+		t.Errorf("aborted at cycle %d; want within %d cycles of the cancel at %d",
+			aborted, checkCadence, cancelAt)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestParallelSessionCancelThenRerun is TestSessionCancelThenRerun on
+// the parallel engine: a cancelled parallel run must evict its flight,
+// leak no goroutines, and leave the session producing results
+// byte-identical to a serial session that never saw the cancellation.
+func TestParallelSessionCancelThenRerun(t *testing.T) {
+	app, sc := "bfs", core.CAWA()
+	cfg := engineMatrixConfig()
+
+	base := runtime.NumGoroutine()
+	disturbed := NewSession(cfg, cancelTestParams).SetWorkers(4).SMParallel(4)
+	disturbed.SetRunFunc(func(ctx context.Context, opt RunOptions) (*Result, error) {
+		runCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		opt.PerCycle = func(g *gpu.GPU, cycle int64) {
+			if cycle == 3000 {
+				cancel()
+			}
+		}
+		return RunContext(runCtx, opt)
+	})
+	if _, err := disturbed.RunContext(context.Background(), app, sc); !errors.Is(err, context.Canceled) {
+		t.Fatalf("injected cancel: got %v, want context.Canceled", err)
+	}
+	waitGoroutines(t, base)
+
+	// Re-run on the same session: must re-simulate (the flight was
+	// evicted, not poisoned) and match a pristine serial session.
+	disturbed.SetRunFunc(nil)
+	retried, err := disturbed.Run(app, sc)
+	if err != nil {
+		t.Fatalf("re-run after cancel: %v", err)
+	}
+	pristine, err := NewSession(cfg, cancelTestParams).Run(app, sc)
+	if err != nil {
+		t.Fatalf("pristine serial run: %v", err)
+	}
+	compareResults(t, "parallel-after-cancel", retried, pristine)
+}
+
+// TestSessionSharedWorkerBudget pins the over-subscription fix: a
+// session's run-level workers and SM-domain goroutines draw from one
+// pool, so total concurrency never exceeds SetWorkers(n) no matter how
+// runs and domains stack. With 4 slots and SMParallel(2), two runs
+// claim 2 slots each (base + one extra for domains) and a third run
+// must wait for a base slot rather than push the total to 5.
+func TestSessionSharedWorkerBudget(t *testing.T) {
+	const workers, smpar = 4, 2
+	s := NewSession(config.Small(), cancelTestParams).SetWorkers(workers).SMParallel(smpar)
+
+	var mu sync.Mutex
+	var weights []int // opt.SMWorkers of each run, in start order
+	inflight, peak := 0, 0
+	gate := make(chan struct{})
+	s.SetRunFunc(func(ctx context.Context, opt RunOptions) (*Result, error) {
+		w := opt.SMWorkers
+		if w == 0 {
+			w = 1
+		}
+		mu.Lock()
+		weights = append(weights, w)
+		inflight += w
+		if inflight > peak {
+			peak = inflight
+		}
+		mu.Unlock()
+		<-gate
+		mu.Lock()
+		inflight -= w
+		mu.Unlock()
+		return &Result{Workload: opt.Workload, System: opt.System.Label()}, nil
+	})
+
+	started := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(weights)
+	}
+	// Start three runs one at a time so slot acquisition is ordered
+	// (racing starts could legitimately split the extra slots
+	// differently — that would still respect the budget, but not the
+	// exact weights this test asserts).
+	apps := []string{"bfs", "kmeans", "needle"}
+	var wg sync.WaitGroup
+	for i, app := range apps {
+		wg.Add(1)
+		go func(app string) {
+			defer wg.Done()
+			if _, err := s.Run(app, core.Baseline()); err != nil {
+				t.Errorf("%s: %v", app, err)
+			}
+		}(app)
+		if i < 2 {
+			for started() < i+1 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	// Runs 1 and 2 hold 2 slots each: the pool is full, run 3 must be
+	// blocked in acquire. Give it real time to (wrongly) start.
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	if len(weights) != 2 {
+		mu.Unlock()
+		t.Fatalf("third run started with the pool saturated (started %d)", len(weights))
+	}
+	if weights[0] != smpar || weights[1] != smpar {
+		t.Errorf("saturating runs got SMWorkers %v, want %d each", weights, smpar)
+	}
+	if inflight != workers {
+		t.Errorf("inflight weight %d with two %d-wide runs, want %d", inflight, smpar, workers)
+	}
+	mu.Unlock()
+
+	close(gate)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(weights) != 3 {
+		t.Fatalf("runs executed: %d, want 3", len(weights))
+	}
+	if peak > workers {
+		t.Errorf("peak total concurrency %d exceeds the %d-slot pool", peak, workers)
+	}
+	for i, w := range weights {
+		if w > smpar {
+			t.Errorf("run %d got SMWorkers %d, above the SMParallel(%d) target", i, w, smpar)
+		}
+	}
+}
+
+// TestParallelGatedSerialForSharedObservers: runs carrying cross-SM
+// shared observers must land on the serial engine even when the caller
+// asks for SM parallelism — those closures may share mutable state
+// between SMs, which only the serial engine may do. The gate is
+// observable on direct runs through the returned GPU: a gated run never
+// has SMWorkers assigned.
+func TestParallelGatedSerialForSharedObservers(t *testing.T) {
+	opt := RunOptions{
+		Workload: "bfs", Params: cancelTestParams,
+		System: core.Baseline(), Config: engineMatrixConfig(),
+		SMWorkers: 4,
+	}
+
+	// No shared observer: the engine choice passes through.
+	plain, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.GPU.SMWorkers != 4 {
+		t.Errorf("plain run: GPU.SMWorkers = %d, want 4", plain.GPU.SMWorkers)
+	}
+
+	// An AttachL1 tap forces the serial engine.
+	tapped := opt
+	taps := 0
+	tapped.AttachL1 = func(smID int, l1 *memsys.L1D) { taps++ }
+	tr, err := Run(tapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if taps != tapped.Config.NumSMs {
+		t.Fatalf("tap called %d times, want %d", taps, tapped.Config.NumSMs)
+	}
+	if tr.GPU.SMWorkers != 0 {
+		t.Errorf("tapped run: GPU.SMWorkers = %d, want 0 (serial gate)", tr.GPU.SMWorkers)
+	}
+	compareResults(t, "gated-serial", tr, plain)
+
+	// The ccws scheduler auto-wires per-SM providers through shared
+	// closures (a ProviderOverride): also gated.
+	ccws := opt
+	ccws.System = core.SystemConfig{Scheduler: "ccws"}
+	cr, err := Run(ccws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.GPU.SMWorkers != 0 {
+		t.Errorf("ccws run: GPU.SMWorkers = %d, want 0 (serial gate)", cr.GPU.SMWorkers)
+	}
+}

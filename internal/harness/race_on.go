@@ -1,0 +1,10 @@
+//go:build race
+
+package harness
+
+// raceDetectorEnabled reports whether this binary was built with the
+// race detector. Heavyweight equivalence sweeps trim their matrices
+// under -race: the detector multiplies simulation cost ~20x, and the
+// synchronization patterns it audits do not depend on how many
+// applications run through them.
+const raceDetectorEnabled = true

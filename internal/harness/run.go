@@ -40,6 +40,14 @@ type RunOptions struct {
 	// are byte-identical either way; the switch exists for equivalence
 	// tests and debugging (see gpu.GPU.DisableFastForward).
 	DisableFastForward bool
+	// SMWorkers, when greater than 1, runs the simulation on the
+	// parallel per-SM execution-domain engine with that many domain
+	// goroutines (see gpu.GPU.SMWorkers). Results are byte-identical
+	// to the serial engine. Runs that attach cross-SM shared observers
+	// (AttachL1 taps, a ProviderOverride) are forced serial: those
+	// closures may share mutable state between SMs, which only the
+	// serial engine may do.
+	SMWorkers int
 	// SkipVerify skips the functional check against the Go reference.
 	SkipVerify bool
 }
@@ -147,6 +155,13 @@ func RunContext(ctx context.Context, opt RunOptions) (*Result, error) {
 	g.PerCycle = opt.PerCycle
 	g.PerCycleWake = opt.PerCycleWake
 	g.DisableFastForward = opt.DisableFastForward
+	// Engine selection. The serial gate is evaluated here, after the
+	// CCWS auto-wiring above, so a ccws run (whose per-SM providers are
+	// attached through shared closures) lands on the serial engine even
+	// when the caller asked for SM parallelism.
+	if opt.AttachL1 == nil && opt.System.ProviderOverride == nil {
+		g.SMWorkers = opt.SMWorkers
+	}
 
 	res := &Result{Workload: opt.Workload, System: opt.System.Label(), GPU: g}
 	res.Agg.Kernel = opt.Workload

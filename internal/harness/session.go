@@ -65,7 +65,7 @@ type Session struct {
 	Apps []string
 	// DisableFastForward forces every run the session launches onto the
 	// tick-every-cycle engine. The event-driven engine produces
-	// byte-identical results (proven by TestFastForwardEquivalence), so
+	// byte-identical results (proven by TestEngineEquivalenceMatrix), so
 	// the result cache is deliberately not keyed on this switch.
 	DisableFastForward bool
 	// Disk, when non-nil, backs the in-memory result cache with a
@@ -77,6 +77,7 @@ type Session struct {
 	mu       sync.Mutex
 	cache    map[string]*flight
 	sem      chan struct{}
+	smpar    int // target SM-domain goroutines per run (<=1: serial)
 	records  []obs.RunRecord
 	hits     uint64 // Run requests served from the in-memory cache
 	misses   uint64 // Run requests that missed the in-memory cache
@@ -134,6 +135,25 @@ func (s *Session) Workers() int {
 	return cap(s.sem)
 }
 
+// SMParallel asks every run the session launches to use up to n
+// SM-domain goroutines (the parallel intra-run engine; results are
+// byte-identical, see gpu.GPU.SMWorkers). Values <= 1 disable it.
+//
+// Run-level and SM-level parallelism are budgeted from the same worker
+// pool: a run always holds its base slot and opportunistically claims
+// up to n-1 extra slots for its domain goroutines, returning them when
+// it finishes. Total concurrency therefore never exceeds Workers() —
+// when the pool is saturated by runs, every run degrades gracefully to
+// the serial engine, and when runs are scarce (the tail of a sweep,
+// a single cache-miss request in cawaserve) the idle slots accelerate
+// the runs still in flight.
+func (s *Session) SMParallel(n int) *Session {
+	s.mu.Lock()
+	s.smpar = n
+	s.mu.Unlock()
+	return s
+}
+
 // SetRunFunc replaces the simulation executor with fn (nil restores
 // the default, RunContext). This is a seam for harness- and
 // service-level tests that need injected failures or runs whose
@@ -144,26 +164,56 @@ func (s *Session) SetRunFunc(fn func(ctx context.Context, opt RunOptions) (*Resu
 	s.mu.Unlock()
 }
 
-// acquire claims a worker slot, returning its release func, or gives
-// up with ctx's error if the context dies while queued.
-func (s *Session) acquire(ctx context.Context) (release func(), err error) {
+// acquire claims one base worker slot (blocking until one frees or ctx
+// dies) plus up to extra additional slots claimed opportunistically
+// (non-blocking), all from the same semaphore so run-level and
+// SM-level concurrency share one budget. It returns the total number
+// of slots held and their release func.
+func (s *Session) acquire(ctx context.Context, extra int) (held int, release func(), err error) {
 	s.mu.Lock()
 	sem := s.sem
 	s.mu.Unlock()
 	select {
 	case sem <- struct{}{}:
-		return func() { <-sem }, nil
+		held = 1
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return 0, nil, ctx.Err()
 	}
+	for held-1 < extra {
+		select {
+		case sem <- struct{}{}:
+			held++
+		default:
+			extra = 0 // pool saturated; stop asking
+		}
+	}
+	n := held
+	return held, func() {
+		for i := 0; i < n; i++ {
+			<-sem
+		}
+	}, nil
 }
 
 // simulate executes one run under the worker-pool bound and records a
 // manifest entry with its wall-clock cost and outcome.
 func (s *Session) simulate(ctx context.Context, opt RunOptions) (*Result, error) {
-	release, err := s.acquire(ctx)
+	s.mu.Lock()
+	smpar := s.smpar
+	s.mu.Unlock()
+	extra := 0
+	if smpar > 1 && opt.SMWorkers == 0 {
+		extra = smpar - 1
+	}
+	held, release, err := s.acquire(ctx, extra)
 	if err != nil {
 		return nil, err
+	}
+	if extra > 0 {
+		// The run's engine width is however many slots the pool could
+		// spare right now (>= 1). Results are byte-identical at any
+		// width, so the cache never keys on it.
+		opt.SMWorkers = held
 	}
 	s.mu.Lock()
 	run := s.runFn

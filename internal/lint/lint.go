@@ -15,9 +15,17 @@
 //     collect-then-sort idiom (a body of plain appends followed by a
 //     sort.* call in the same block) is recognized and allowed, and
 //     `//cawalint:ignore <reason>` suppresses a finding explicitly.
-//   - goroutine: `go` statements anywhere outside internal/harness and
-//     internal/serve — concurrency lives in the harness scheduler and
-//     the HTTP serving layer, never in the model.
+//   - goroutine: `go` statements anywhere outside internal/harness,
+//     internal/serve, and the gpu domain runner (internal/gpu/domains.go,
+//     allowlisted per file) — concurrency lives in the harness
+//     scheduler, the HTTP serving layer, and the epoch-barrier engine,
+//     never elsewhere in the model.
+//   - memsys-mutation: direct memsys.System method calls from SM code
+//     (internal/sm). Under the parallel engine SM domains run
+//     concurrently and must reach the shared memory system only through
+//     their L1D, whose outbound traffic stages for a deterministic
+//     SM-id-ordered commit (see memsys/stage.go); construction-time
+//     NewL1D wiring is exempt.
 //
 // The engine is stdlib-only (go/ast, go/parser, go/types). Cross-
 // package types resolve against stub packages, so map detection is
@@ -40,10 +48,11 @@ import (
 
 // Rules reported by the linter.
 const (
-	RuleWallClock  = "wall-clock"
-	RuleGlobalRand = "global-rand"
-	RuleMapRange   = "map-range"
-	RuleGoroutine  = "goroutine"
+	RuleWallClock      = "wall-clock"
+	RuleGlobalRand     = "global-rand"
+	RuleMapRange       = "map-range"
+	RuleGoroutine      = "goroutine"
+	RuleMemsysMutation = "memsys-mutation"
 )
 
 // Finding is one determinism violation.
@@ -65,12 +74,28 @@ type Options struct {
 	// GoroutineAllowed are import-path prefixes where `go` statements
 	// are permitted.
 	GoroutineAllowed []string
+	// GoroutineAllowedFiles are single files where `go` statements are
+	// permitted even though their package is not in GoroutineAllowed,
+	// named as "<import path>/<file base name>" so the match is stable
+	// no matter which directory the linter was invoked from. The only
+	// entry today is the gpu domain runner, whose worker goroutines are
+	// proven deterministic by the epoch barrier (see
+	// internal/gpu/domains.go) — everything else in the model stays
+	// single-threaded.
+	GoroutineAllowedFiles []string
+	// StagedMemsysPaths are import-path prefixes where the
+	// memsys-mutation rule applies: code there runs inside parallel SM
+	// domains and must reach the shared memory system only through its
+	// staged two-phase interface (the per-SM L1D), never by calling
+	// memsys.System methods directly.
+	StagedMemsysPaths []string
 }
 
 // DefaultOptions matches this repository's layout: determinism rules
 // over the simulation core, goroutines confined to the harness run
-// scheduler and the HTTP serving layer (which sits entirely outside
-// the deterministic core and talks to it only through harness.Session).
+// scheduler, the HTTP serving layer (which sits entirely outside
+// the deterministic core and talks to it only through harness.Session)
+// and the gpu domain runner.
 func DefaultOptions() Options {
 	return Options{
 		SimPaths: []string{
@@ -78,9 +103,17 @@ func DefaultOptions() Options {
 			"cawa/internal/core", "cawa/internal/cache", "cawa/internal/memsys",
 			"cawa/internal/stats",
 		},
-		GoroutineAllowed: []string{"cawa/internal/harness", "cawa/internal/serve"},
+		GoroutineAllowed:      []string{"cawa/internal/harness", "cawa/internal/serve"},
+		GoroutineAllowedFiles: []string{"cawa/internal/gpu/domains.go"},
+		StagedMemsysPaths:     []string{"cawa/internal/sm"},
 	}
 }
+
+// allowedSystemMethods are the memsys.System methods SM-domain code may
+// call directly: construction-time wiring only. Everything that runs
+// per cycle must go through the L1D, which stages its outbound traffic
+// during parallel epochs.
+var allowedSystemMethods = map[string]bool{"NewL1D": true}
 
 func hasPrefix(path string, prefixes []string) bool {
 	for _, p := range prefixes {
@@ -261,6 +294,7 @@ type fileLinter struct {
 	info     *types.Info
 	imports  map[string]string
 	ignores  map[int]bool
+	sysNames map[string]bool // identifiers declared with type memsys.System
 	findings []Finding
 }
 
@@ -274,12 +308,20 @@ func (l *fileLinter) add(pos token.Pos, rule, msg string) {
 
 func (l *fileLinter) file(f *ast.File) {
 	sim := hasPrefix(l.pkgPath, l.opts.SimPaths)
+	staged := hasPrefix(l.pkgPath, l.opts.StagedMemsysPaths)
+	if staged {
+		l.collectSystemNames(f)
+	}
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.GoStmt:
-			if !hasPrefix(l.pkgPath, l.opts.GoroutineAllowed) {
+			if !hasPrefix(l.pkgPath, l.opts.GoroutineAllowed) && !l.fileAllowsGoroutines(n.Pos()) {
 				l.add(n.Pos(), RuleGoroutine,
 					"goroutine creation outside internal/harness breaks deterministic replay")
+			}
+		case *ast.CallExpr:
+			if staged {
+				l.systemCall(n)
 			}
 		case *ast.SelectorExpr:
 			if sim {
@@ -300,6 +342,122 @@ func (l *fileLinter) file(f *ast.File) {
 		}
 		return true
 	})
+}
+
+// fileAllowsGoroutines reports whether the file containing pos is on
+// the explicit goroutine allowlist: its package import path plus its
+// base file name matches an entry, so the check holds whether the
+// linter saw the file as internal/gpu/domains.go, ../gpu/domains.go,
+// or an absolute path.
+func (l *fileLinter) fileAllowsGoroutines(pos token.Pos) bool {
+	key := l.pkgPath + "/" + filepath.Base(l.fset.Position(pos).Filename)
+	for _, entry := range l.opts.GoroutineAllowedFiles {
+		if key == entry {
+			return true
+		}
+	}
+	return false
+}
+
+// memsysImportNames returns the local identifiers under which this file
+// imports the memsys package.
+func (l *fileLinter) memsysImportNames() map[string]bool {
+	out := map[string]bool{}
+	for name, path := range l.imports {
+		if path == "cawa/internal/memsys" || strings.HasSuffix(path, "/internal/memsys") {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+// collectSystemNames gathers every identifier the file declares with
+// type memsys.System or *memsys.System: struct fields, function
+// parameters and results, variable declarations, and short declarations
+// initialized from memsys.New. The stub importer cannot resolve the
+// repository's own packages, so this is a syntactic census — it misses
+// untyped aliased copies, which the repository's style does not use.
+func (l *fileLinter) collectSystemNames(f *ast.File) {
+	pkgs := l.memsysImportNames()
+	if len(pkgs) == 0 {
+		return
+	}
+	l.sysNames = map[string]bool{}
+	isSystemType := func(expr ast.Expr) bool {
+		if star, ok := expr.(*ast.StarExpr); ok {
+			expr = star.X
+		}
+		sel, ok := expr.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "System" {
+			return false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		return ok && pkgs[id.Name]
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Field: // struct fields, params, results, receivers
+			if isSystemType(n.Type) {
+				for _, name := range n.Names {
+					l.sysNames[name.Name] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil && isSystemType(n.Type) {
+				for _, name := range n.Names {
+					l.sysNames[name.Name] = true
+				}
+			}
+		case *ast.AssignStmt: // sys := memsys.New(cfg)
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "New" {
+				return true
+			}
+			if pkg, ok := sel.X.(*ast.Ident); ok && pkgs[pkg.Name] {
+				if id, ok := n.Lhs[0].(*ast.Ident); ok {
+					l.sysNames[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// systemCall flags method calls on memsys.System values from SM-domain
+// code. During a parallel epoch an SM goroutine must never touch the
+// shared event heap or sequence counter; the sanctioned route is the
+// per-SM L1D, which stages outbound traffic for the orchestrator's
+// SM-id-ordered commit (see memsys/stage.go). Construction-time wiring
+// (NewL1D) is exempt.
+func (l *fileLinter) systemCall(call *ast.CallExpr) {
+	if len(l.sysNames) == 0 {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || allowedSystemMethods[sel.Sel.Name] {
+		return
+	}
+	var base string
+	switch x := sel.X.(type) {
+	case *ast.Ident: // sys.Cycle(...)
+		base = x.Name
+	case *ast.SelectorExpr: // m.sys.Cycle(...), opt.MemSys.Cycle(...)
+		base = x.Sel.Name
+	default:
+		return
+	}
+	if !l.sysNames[base] {
+		return
+	}
+	l.add(call.Pos(), RuleMemsysMutation,
+		fmt.Sprintf("memsys.System.%s called from SM-domain code; route memory traffic through the L1D's staged interface (memsys/stage.go)", sel.Sel.Name))
 }
 
 // selector flags wall-clock and global-rand references. The receiver

@@ -246,3 +246,98 @@ func TestRepoIsClean(t *testing.T) {
 		}
 	}
 }
+
+// lintNamed is lintSrc with a caller-chosen filename, for rules whose
+// scope is a file path rather than a package.
+func lintNamed(t *testing.T, pkgPath, filename, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Files(fset, pkgPath, []*ast.File{f}, DefaultOptions())
+}
+
+// TestGoroutineAllowedInDomainRunner: the gpu domain runner is the one
+// model file permitted to start goroutines — its workers are proven
+// deterministic by the epoch barrier. The allowlist is per file: the
+// same package's other files stay banned.
+func TestGoroutineAllowedInDomainRunner(t *testing.T) {
+	src := `package gpu
+func f() { go func() {}() }
+`
+	fs := lintNamed(t, "cawa/internal/gpu", "internal/gpu/domains.go", src)
+	if len(fs) != 0 {
+		t.Fatalf("domain-runner goroutine flagged: %v", fs)
+	}
+	fs = lintNamed(t, "cawa/internal/gpu", "/abs/path/repo/internal/gpu/domains.go", src)
+	if len(fs) != 0 {
+		t.Fatalf("domain-runner goroutine flagged under absolute path: %v", fs)
+	}
+	fs = lintNamed(t, "cawa/internal/gpu", "internal/gpu/gpu.go", src)
+	wantOnly(t, fs, RuleGoroutine, 1)
+	// A file merely named like the allowlisted one, in another package,
+	// stays banned (the allowlist pairs import path with file name).
+	fs = lintNamed(t, "cawa/internal/sm", "internal/sm/domains.go", src)
+	wantOnly(t, fs, RuleGoroutine, 1)
+}
+
+// TestMemsysMutationFlagged: SM-domain code calling memsys.System
+// methods directly bypasses the staged two-phase interface and is
+// flagged, whether the System value is a struct field, a parameter, or
+// a local built by memsys.New. NewL1D (construction wiring) is exempt,
+// and the rule does not apply outside StagedMemsysPaths.
+func TestMemsysMutationFlagged(t *testing.T) {
+	src := `package sm
+import "cawa/internal/memsys"
+type SM struct{ sys *memsys.System }
+func (m *SM) bad(now int64) { m.sys.Cycle(now) }
+func alsoBad(s *memsys.System) { s.Cycle(1) }
+func local(cfg Config) { sys := memsys.New(cfg); sys.Commit(nil) }
+type Config struct{}
+`
+	fs := lintSrc(t, simPkg, src)
+	wantOnly(t, fs, RuleMemsysMutation, 3)
+
+	// The gpu orchestrator legitimately drives System.Cycle: not staged.
+	fs = lintSrc(t, "cawa/internal/gpu", src)
+	if len(fs) != 0 {
+		t.Fatalf("orchestrator-side System call flagged: %v", fs)
+	}
+}
+
+// TestMemsysConstructionAllowed: the sanctioned System uses in SM code
+// — NewL1D wiring and everything reached through the L1D — are clean.
+func TestMemsysConstructionAllowed(t *testing.T) {
+	fs := lintSrc(t, simPkg, `package sm
+import "cawa/internal/memsys"
+type Options struct{ MemSys *memsys.System }
+type SM struct{ l1d *memsys.L1D }
+func New(opt Options) *SM {
+	m := &SM{}
+	m.l1d = opt.MemSys.NewL1D(nil, nil)
+	return m
+}
+func (m *SM) issue(now int64) { m.l1d.AccessLoad(req(), 0, now) }
+func req() (r struct{}) { return }
+`)
+	if len(fs) != 0 {
+		t.Fatalf("sanctioned memsys uses flagged: %v", fs)
+	}
+}
+
+// TestMemsysMutationIgnoreDirective: the escape hatch works for this
+// rule too.
+func TestMemsysMutationIgnoreDirective(t *testing.T) {
+	fs := lintSrc(t, simPkg, `package sm
+import "cawa/internal/memsys"
+func f(s *memsys.System) {
+	//cawalint:ignore test-only drain helper
+	s.Cycle(1)
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("ignored finding still reported: %v", fs)
+	}
+}

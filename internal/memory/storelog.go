@@ -1,0 +1,61 @@
+package memory
+
+// StoreLog defers one SM domain's global-memory stores until the end
+// of the current cycle's epoch. The parallel engine gives every SM a
+// private log: during an epoch SMs only *read* the shared Memory
+// (concurrent reads are safe), stores append here, and the orchestrator
+// flushes the logs in SM-id order at the epoch barrier — reproducing
+// the serial engine's same-cycle write order exactly.
+//
+// Loads forward from the log (newest entry first) before falling back
+// to the backing Memory, so a warp observes its own SM's earlier
+// same-cycle stores just as it would under the serial engine. Stores
+// from *other* SMs in the same cycle become visible one cycle later;
+// DESIGN.md ("Parallel intra-run engine") argues why that relaxation is
+// unobservable for the ported workloads, and the engine-equivalence
+// matrix verifies it byte-for-byte on every app × scheduler cell.
+type StoreLog struct {
+	mem   *Memory
+	addrs []int64 // word-aligned byte addresses, in store order
+	vals  []int64
+}
+
+// NewStoreLog builds a store log backed by mem.
+func NewStoreLog(mem *Memory) *StoreLog {
+	return &StoreLog{mem: mem}
+}
+
+// Store records a deferred store. The address is canonicalized to its
+// word like Memory.Store would, so forwarding matches on the same
+// cells a direct store would have written.
+func (l *StoreLog) Store(addr, v int64) {
+	l.addrs = append(l.addrs, addr&^(WordBytes-1))
+	l.vals = append(l.vals, v)
+}
+
+// Load returns the value a load at addr observes: the newest deferred
+// store to the same word, or the backing memory's current value. The
+// backward scan is cheap — a log holds at most one cycle's stores from
+// one SM (tens of entries).
+func (l *StoreLog) Load(addr int64) int64 {
+	a := addr &^ (WordBytes - 1)
+	for i := len(l.addrs) - 1; i >= 0; i-- {
+		if l.addrs[i] == a {
+			return l.vals[i]
+		}
+	}
+	return l.mem.Load(addr)
+}
+
+// Flush applies the deferred stores to the backing memory in store
+// order and empties the log.
+func (l *StoreLog) Flush() {
+	for i, a := range l.addrs {
+		l.mem.Store(a, l.vals[i])
+	}
+	l.addrs = l.addrs[:0]
+	l.vals = l.vals[:0]
+}
+
+// Len reports the number of deferred stores.
+func (l *StoreLog) Len() int { return len(l.addrs) }

@@ -302,6 +302,7 @@ type L1D struct {
 	free   []*mshrEntry // retired MSHR entries, recycled with their token arrays
 	fill   FillHandler
 	cfgref config.CacheConfig
+	stage  *StageBuffer // parallel-epoch staging; nil schedules directly
 
 	// Stats.
 	LoadAccesses  uint64
@@ -391,7 +392,7 @@ func (l *L1D) AccessLoad(req cache.Request, token int64, now int64) Outcome {
 		entry.tokens[0] = token
 	}
 	l.mshr[line] = entry
-	l.sys.schedule(now+l.sys.icntLat, evL2Arrive, line, l, req)
+	l.emitL2(now+l.sys.icntLat, line, req)
 	if l.AccessListener != nil {
 		l.AccessListener(req, false)
 	}
@@ -414,8 +415,7 @@ func (l *L1D) AccessStore(req cache.Request, now int64) Outcome {
 		return Hit
 	}
 	l.StoreMisses++
-	s := l.sys
-	s.schedule(now+s.icntLat, evL2Arrive, line, l, req)
+	l.emitL2(now+l.sys.icntLat, line, req)
 	if l.AccessListener != nil {
 		l.AccessListener(req, false)
 	}
@@ -433,7 +433,10 @@ func (l *L1D) handleFill(lineAddr int64, now int64) {
 	l.sys.FillsDelivered++
 	ev := l.cache.Fill(entry.req)
 	if ev.Valid && ev.Dirty {
-		// Write the dirty victim back to L2 (bandwidth only).
+		// Write the dirty victim back to L2 (bandwidth only). Scheduled
+		// directly, never staged: handleFill only runs inside the
+		// orchestrator's serial System.Cycle, and its sequence number
+		// must precede the cycle's SM accesses (see stage.go).
 		wb := cache.Request{Addr: ev.Addr, Write: true}
 		l.sys.schedule(now+l.sys.icntLat, evL2Arrive, ev.Addr, l, wb)
 	}

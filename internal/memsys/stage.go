@@ -1,0 +1,81 @@
+package memsys
+
+import "cawa/internal/cache"
+
+// The parallel engine's two-phase memory interface.
+//
+// Under the serial engine every L1 miss schedules its L2-arrive event
+// directly, and the global sequence counter (System.seq) is advanced in
+// the order the engine happens to step the SMs — SM 0's accesses of a
+// cycle before SM 1's, and so on. That sequence order is the
+// determinism linchpin: it tie-breaks same-cycle events in the heap,
+// which decides L2 bank and DRAM channel contention, which decides
+// every downstream latency.
+//
+// The parallel engine cannot let SM goroutines touch the shared event
+// heap, so each SM *stages* its outbound requests into a private
+// StageBuffer during an epoch, and the orchestrator commits the buffers
+// in SM-id order at the epoch barrier. An SM stages its own requests in
+// program order, and the commit walks SMs 0..N-1, so the sequence
+// numbers assigned at commit are exactly the ones the serial engine
+// would have assigned — the heaps evolve identically, bit for bit
+// (verified by TestStagedCommitEquivalence and the harness
+// engine-equivalence matrix).
+//
+// Only SM-originated accesses stage. Fill-side traffic — dirty-victim
+// writebacks scheduled by handleFill — runs inside the orchestrator's
+// serial System.Cycle, *before* the cycle's SM accesses, and must keep
+// scheduling directly so its sequence numbers precede theirs just as
+// they do under the serial engine.
+
+// stagedAccess is one captured request. SMs only ever emit L2-arrive
+// events (loads/stores leaving the L1), so the kind is implicit.
+type stagedAccess struct {
+	time int64
+	addr int64 // line address
+	l1   *L1D
+	req  cache.Request
+}
+
+// StageBuffer collects one SM domain's outbound memory-system requests
+// during an epoch. It is owned by a single SM goroutine between
+// barriers and drained by the orchestrator at the barrier; it needs no
+// locking.
+type StageBuffer struct {
+	pending []stagedAccess
+}
+
+// Len reports the number of staged, uncommitted accesses.
+func (b *StageBuffer) Len() int { return len(b.pending) }
+
+// SetStaging installs buf as the L1D's staging buffer (nil restores
+// direct scheduling). While staged, AccessLoad/AccessStore capture
+// their outbound events instead of touching the shared event heap.
+func (l *L1D) SetStaging(buf *StageBuffer) { l.stage = buf }
+
+// Staged reports whether a staging buffer is installed (the L1 is part
+// of a running parallel epoch).
+func (l *L1D) Staged() bool { return l.stage != nil }
+
+// emitL2 sends one L2-arrive request: staged when a buffer is
+// installed (parallel epoch), scheduled directly otherwise.
+func (l *L1D) emitL2(t int64, addr int64, req cache.Request) {
+	if l.stage != nil {
+		l.stage.pending = append(l.stage.pending, stagedAccess{time: t, addr: addr, l1: l, req: req})
+		return
+	}
+	l.sys.schedule(t, evL2Arrive, addr, l, req)
+}
+
+// Commit replays buf's staged accesses into the event system in
+// capture order, assigning sequence numbers exactly as the serial
+// engine would have, and empties the buffer. The caller must commit
+// the per-SM buffers in SM-id order.
+func (s *System) Commit(buf *StageBuffer) {
+	for i := range buf.pending {
+		a := &buf.pending[i]
+		s.schedule(a.time, evL2Arrive, a.addr, a.l1, a.req)
+		buf.pending[i] = stagedAccess{} // drop the stale L1D pointer
+	}
+	buf.pending = buf.pending[:0]
+}

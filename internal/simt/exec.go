@@ -129,9 +129,14 @@ func ExecInto(w *Warp, prog *isa.Program, ctx *ExecContext, out *Step) {
 			}
 			addr := w.regs[lane][in.A] + in.Imm
 			st.Accesses = append(st.Accesses, MemAccess{Lane: lane, Addr: addr})
-			if st.IsLoad {
+			switch {
+			case st.IsLoad && ctx.Log != nil:
+				w.regs[lane][in.Dst] = ctx.Log.Load(addr)
+			case st.IsLoad:
 				w.regs[lane][in.Dst] = ctx.Mem.Load(addr)
-			} else {
+			case ctx.Log != nil:
+				ctx.Log.Store(addr, w.regs[lane][in.B])
+			default:
 				ctx.Mem.Store(addr, w.regs[lane][in.B])
 			}
 		}

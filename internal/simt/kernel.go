@@ -81,6 +81,13 @@ func (k *Kernel) WarpsPerBlock(warpSize int) int {
 type ExecContext struct {
 	// Mem is the global memory.
 	Mem *memory.Memory
+	// Log, when non-nil, intercepts global-memory traffic: stores are
+	// deferred into the log and loads forward from it before falling
+	// back to Mem. The parallel engine installs one log per SM domain
+	// so concurrent domains never write Mem directly (the orchestrator
+	// flushes the logs in SM-id order at each epoch barrier). Nil — the
+	// serial engine — executes directly against Mem.
+	Log *memory.StoreLog
 	// Shared is the owning block's shared memory.
 	Shared []int64
 	// Params are the kernel arguments.

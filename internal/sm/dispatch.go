@@ -52,6 +52,7 @@ func (m *SM) DispatchBlock(blockID, gidBase int, now int64) {
 	}
 	blk.ctx = simt.ExecContext{
 		Mem:      m.mem,
+		Log:      m.storeLog,
 		Shared:   blk.shared,
 		Params:   k.Params,
 		BlockID:  blockID,

@@ -149,16 +149,17 @@ type SM struct {
 	ID  int
 	cfg config.Config
 
-	mem    *memory.Memory
-	l1d    *memsys.L1D
-	l1i    *cache.Cache // instruction cache (tag state only)
-	icBusy int64        // cycle until which an I-miss blocks fetch
-	crit   CriticalityProvider
-	units  []schedUnit
-	slots  []slot
-	kernel *simt.Kernel
-	prog   *isa.Program
-	meta   []isa.InstrMeta // prog's predecoded issue metadata (SetKernel)
+	mem      *memory.Memory
+	storeLog *memory.StoreLog // non-nil only while a parallel launch runs
+	l1d      *memsys.L1D
+	l1i      *cache.Cache // instruction cache (tag state only)
+	icBusy   int64        // cycle until which an I-miss blocks fetch
+	crit     CriticalityProvider
+	units    []schedUnit
+	slots    []slot
+	kernel   *simt.Kernel
+	prog     *isa.Program
+	meta     []isa.InstrMeta // prog's predecoded issue metadata (SetKernel)
 
 	// classLat maps a functional-unit class to its writeback latency,
 	// precomputed from the configuration (indexed by isa.Class).
@@ -258,6 +259,13 @@ func New(opt Options) *SM {
 
 // L1D exposes the SM's data cache.
 func (m *SM) L1D() *memsys.L1D { return m.l1d }
+
+// SetStoreLog installs (nil: removes) the deferred store log that
+// blocks dispatched from now on execute global-memory traffic against.
+// The parallel engine gives each SM domain a private log and flushes
+// them in SM-id order at every epoch barrier; the serial engine leaves
+// it nil and warps write global memory directly.
+func (m *SM) SetStoreLog(l *memory.StoreLog) { m.storeLog = l }
 
 // L1I exposes the SM's instruction cache (statistics).
 func (m *SM) L1I() *cache.Cache { return m.l1i }

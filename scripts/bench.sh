@@ -12,12 +12,19 @@
 # Each benchmark line becomes one JSON object: iterations plus every
 # reported metric, with units mangled to identifier form (ns/op ->
 # ns_op, sim_cycles/s -> sim_cycles_s, B/op -> B_op, allocs/op ->
-# allocs_op).
+# allocs_op), plus the GOMAXPROCS the benchmark ran at (go test's -N
+# name suffix) and the engine it exercised ("parallel" for the smpar
+# sub-benchmarks, "serial" otherwise). Throughput on the parallel
+# engine scales with cores, so reports are only comparable at matching
+# GOMAXPROCS.
 #
-# Delta mode (-delta): after writing the report, compare the
+# Delta mode (-delta): after writing the report, compare the serial
 # SimulatorThroughput sim_cycles_s against the committed baseline (the
 # newest BENCH_*.json in the repo root, or $BASELINE) and exit non-zero
-# on a regression of more than 25% — the CI bench-smoke gate.
+# on a regression of more than 25% — the CI bench-smoke gate. The
+# parallel-engine number is additionally compared when the baseline
+# recorded one at the same GOMAXPROCS; otherwise it is reported and
+# skipped (a 4-core baseline says nothing about a 16-core run).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -37,15 +44,23 @@ trap 'rm -f "$raw"' EXIT
 echo "== go test -bench ($benchtime) =="
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . | tee "$raw"
 
-awk -v date="$(date +%F)" -v gover="$(go env GOVERSION)" -v benchtime="$benchtime" '
+awk -v date="$(date +%F)" -v gover="$(go env GOVERSION)" -v benchtime="$benchtime" \
+    -v hostprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}" '
 BEGIN {
-    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", date, gover, benchtime
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"benchmarks\": [\n", date, gover, benchtime, hostprocs
 }
 /^Benchmark/ {
     name = $1
+    # go test suffixes every benchmark with -GOMAXPROCS; lift it into a
+    # field before stripping (absent only at GOMAXPROCS=1, where go
+    # test prints the bare name).
+    procs = 1
+    if (match(name, /-[0-9]+$/)) procs = substr(name, RSTART + 1, RLENGTH - 1)
     sub(/-[0-9]+$/, "", name)
     sub(/^Benchmark/, "", name)
-    printf "%s    {\"name\": \"%s\", \"iterations\": %s", sep, name, $2
+    engine = (name ~ /smpar/) ? "parallel" : "serial"
+    printf "%s    {\"name\": \"%s\", \"gomaxprocs\": %s, \"engine\": \"%s\", \"iterations\": %s", \
+        sep, name, procs, engine, $2
     for (i = 3; i < NF; i += 2) {
         unit = $(i + 1)
         gsub(/[^A-Za-z0-9_]/, "_", unit)
@@ -77,19 +92,47 @@ if [ "$delta" = 1 ]; then
                 exit
             }' "$1"
     }
-    new=$(extract "$out" SimulatorThroughput sim_cycles_s)
-    old=$(extract "$base" SimulatorThroughput sim_cycles_s)
+    # Serial headline: the historical flat name (pre-split baselines)
+    # or the serial-2sm sub-benchmark. Engine-independent, so it always
+    # gates.
+    new=$(extract "$out" "SimulatorThroughput/serial-2sm" sim_cycles_s)
+    old=$(extract "$base" "SimulatorThroughput/serial-2sm" sim_cycles_s)
+    [ -n "$old" ] || old=$(extract "$base" SimulatorThroughput sim_cycles_s)
     if [ -z "$new" ] || [ -z "$old" ]; then
-        echo "delta: sim_cycles_s missing (new='$new' baseline='$old' from $base)" >&2
+        echo "delta: serial sim_cycles_s missing (new='$new' baseline='$old' from $base)" >&2
         exit 1
     fi
     awk -v new="$new" -v old="$old" -v base="$base" '
         BEGIN {
             pct = (new / old - 1) * 100
-            printf "delta: sim_cycles_s %.0f vs baseline %.0f (%s): %+.1f%%\n", new, old, base, pct
+            printf "delta: serial sim_cycles_s %.0f vs baseline %.0f (%s): %+.1f%%\n", new, old, base, pct
             if (new < old * 0.75) {
                 printf "delta: FAIL — more than 25%% below baseline\n"
                 exit 1
             }
         }'
+    # Parallel engine: only meaningful against a baseline captured at
+    # the same GOMAXPROCS — domain-goroutine throughput scales with
+    # cores, so cross-machine comparisons are noise, not regressions.
+    pnew=$(extract "$out" "SimulatorThroughput/smpar-15sm" sim_cycles_s)
+    pold=$(extract "$base" "SimulatorThroughput/smpar-15sm" sim_cycles_s)
+    if [ -n "$pnew" ] && [ -n "$pold" ]; then
+        procs_new=$(extract "$out" "SimulatorThroughput/smpar-15sm" gomaxprocs)
+        procs_old=$(extract "$base" "SimulatorThroughput/smpar-15sm" gomaxprocs)
+        if [ "$procs_new" = "$procs_old" ]; then
+            awk -v new="$pnew" -v old="$pold" -v base="$base" -v procs="$procs_new" '
+                BEGIN {
+                    pct = (new / old - 1) * 100
+                    printf "delta: smpar sim_cycles_s %.0f vs baseline %.0f (%s, GOMAXPROCS=%s): %+.1f%%\n", new, old, base, procs, pct
+                    if (new < old * 0.75) {
+                        printf "delta: FAIL — more than 25%% below baseline\n"
+                        exit 1
+                    }
+                }'
+        else
+            echo "delta: smpar skipped — GOMAXPROCS $procs_new vs baseline $procs_old ($base) are not comparable"
+        fi
+    elif [ -n "$pnew" ]; then
+        echo "delta: smpar skipped — baseline $base predates the parallel engine"
+    fi
 fi

@@ -15,6 +15,12 @@
 #                 the race detector. -short skips the slow sequential
 #                 experiment sweep but keeps every parallel-path test
 #                 (singleflight, prewarm, parallel-vs-sequential golden).
+#   GOMAXPROCS race matrix: the parallel per-SM engine's tests (epoch
+#                 barrier, staged commit, cancellation, worker budget,
+#                 engine-equivalence) re-run under -race at GOMAXPROCS=2
+#                 (forced goroutine multiplexing — exercises the barrier
+#                 park path) and GOMAXPROCS=8 (real interleaving on CI's
+#                 multi-core runners).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -37,4 +43,10 @@ echo "== go test =="
 go test ./...
 echo "== go test -race (harness, workloads) =="
 go test -race -short ./internal/harness/... ./internal/workloads/...
+echo "== go test -race parallel engine (GOMAXPROCS=2, GOMAXPROCS=8) =="
+for procs in 2 8; do
+    GOMAXPROCS=$procs go test -race -short \
+        -run 'TestParallel|TestDomain|TestStaged|TestStaging|TestSessionSharedWorkerBudget|TestEngineEquivalenceMatrix' \
+        ./internal/gpu/... ./internal/memsys/... ./internal/harness/...
+done
 echo "ALL CHECKS PASSED"
