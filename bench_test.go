@@ -14,6 +14,9 @@ import (
 	"runtime"
 	"strconv"
 	"testing"
+
+	"cawa/internal/harness"
+	"cawa/internal/obs/perf"
 )
 
 func benchSession() *Session {
@@ -150,6 +153,14 @@ func BenchmarkParallelSweep(b *testing.B) {
 //	             goroutine per available core — speedup is
 //	             smpar-15sm / serial-15sm at matching GOMAXPROCS
 //
+//	smpar-prof-15sm  the same parallel run with the engine self-profiler
+//	             attached (harness.NewWallProfiler): reports
+//	             barrier_wait_frac (fraction of shard wall-clock spent
+//	             waiting at the epoch barrier) and shard_spread (max/mean
+//	             per-shard compute) so scripts/bench.sh can fold shard-
+//	             imbalance into BENCH_*.json. Kept separate from
+//	             smpar-15sm so the delta gate tracks an unprofiled run.
+//
 // The go-test name suffix (-N) records GOMAXPROCS; scripts/bench.sh
 // extracts it into the JSON report so deltas only compare like with
 // like.
@@ -176,5 +187,28 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			workers = 2 // keep the parallel engine engaged on 1-core hosts
 		}
 		bench(b, GTX480(), workers)
+	})
+	b.Run("smpar-prof-15sm", func(b *testing.B) {
+		workers := runtime.GOMAXPROCS(0)
+		if workers < 2 {
+			workers = 2
+		}
+		prof := harness.NewWallProfiler(perf.DefaultSampleEvery)
+		var cycles int64
+		for i := 0; i < b.N; i++ {
+			res, err := RunWith(RunOptions{
+				Workload: "kmeans", Params: Params{Scale: 0.125, Seed: 7},
+				System: CAWA(), Config: GTX480(), SMWorkers: workers,
+				Profiler: prof,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += res.Agg.Cycles
+		}
+		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim_cycles/s")
+		rep := prof.Report()
+		b.ReportMetric(rep.BarrierWaitFrac(), "barrier_wait_frac")
+		b.ReportMetric(rep.Spread(), "shard_spread")
 	})
 }

@@ -21,7 +21,12 @@
 // The -scale and -sms flags trade fidelity for speed; EXPERIMENTS.md
 // records the reference results at the default settings. -timing writes
 // a machine-readable JSON summary of per-run and total wall-clock so
-// sweep-throughput regressions are trackable.
+// sweep-throughput regressions are trackable. -perf FILE additionally
+// profiles the engine's own wall-clock phases (domain compute, barrier
+// wait, staged commit, memsys drain, fast-forward planning) across
+// every simulation in the sweep and writes the aggregated PerfReport
+// JSON — results stay byte-identical with it on. -barrier-spins tunes
+// the parallel engine's epoch barrier.
 package main
 
 import (
@@ -73,6 +78,9 @@ func main() {
 		asJSON  = flag.Bool("json", false, "emit tables as JSON documents")
 		timing  = flag.String("timing", "", "write a JSON timing summary to this file (\"-\" = stderr)")
 		fastfwd = flag.Bool("fastforward", true, "event-driven idle-cycle fast-forwarding (results are byte-identical either way)")
+
+		perfOut      = flag.String("perf", "", "profile the engine's wall-clock phases across the sweep and write the PerfReport JSON to this file (\"-\" = stderr)")
+		barrierSpins = flag.Int("barrier-spins", 0, "parallel-engine barrier spin count before parking (0 = default)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -139,6 +147,10 @@ func main() {
 	session := harness.NewSession(cfg, workloads.Params{Scale: *scale, Seed: *seed}).
 		SetWorkers(*workers).SMParallel(*smpar)
 	session.DisableFastForward = !*fastfwd
+	session.BarrierSpins = *barrierSpins
+	if *perfOut != "" {
+		session.EnableProfiling()
+	}
 
 	wallStart := time.Now()
 	// Pool the declared run matrices of every requested experiment so
@@ -168,6 +180,30 @@ func main() {
 		}
 		fmt.Println(tbl)
 		fmt.Printf("(%s in %.1fs)\n\n", id, elapsed)
+	}
+
+	if *perfOut != "" {
+		rep := session.PerfReport()
+		if rep == nil {
+			fmt.Fprintln(os.Stderr, "cawabench: perf: no runs were profiled")
+			os.Exit(1)
+		}
+		doc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cawabench: perf: %v\n", err)
+			os.Exit(1)
+		}
+		doc = append(doc, '\n')
+		if *perfOut == "-" {
+			os.Stderr.Write(doc)
+		} else if err := os.WriteFile(*perfOut, doc, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "cawabench: perf: %v\n", err)
+			os.Exit(1)
+		}
+		if len(rep.Shards) > 0 {
+			fmt.Fprintf(os.Stderr, "cawabench: engine profile %d epochs, barrier wait %.1f%%, shard spread %.2fx\n",
+				rep.Epochs, rep.BarrierWaitFrac()*100, rep.Spread())
+		}
 	}
 
 	if *timing != "" {

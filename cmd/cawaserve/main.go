@@ -5,6 +5,13 @@
 // in-flight simulations finish (or are cancelled at the drain
 // deadline), then the process exits.
 //
+// The process emits a structured request log via log/slog: one line
+// per HTTP exchange plus one per job lifecycle transition, each
+// carrying the request id (client X-Request-ID or server-minted),
+// job id, app, design point, outcome and queue/run durations.
+// -log-format json switches from the human text handler to JSON for
+// log shippers.
+//
 // Usage:
 //
 //	cawaserve -addr :8080 -cache-dir /var/cache/cawa -scale 0.25
@@ -14,7 +21,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -38,7 +45,21 @@ func main() {
 	small := flag.Bool("small", false, "use the reduced Small architecture instead of GTX480")
 	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory (empty = memory only)")
 	drainWait := flag.Duration("drain", 2*time.Minute, "graceful-drain deadline on SIGTERM")
+	logFormat := flag.String("log-format", "text", "request log format: text or json")
+	barrierSpins := flag.Int("barrier-spins", 0, "parallel-engine barrier spin count (0 = default)")
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "cawaserve: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
 
 	cfg := config.GTX480()
 	if *small {
@@ -50,22 +71,25 @@ func main() {
 	params := workloads.Params{Scale: *scale, Seed: *seed}
 
 	sess := harness.NewSession(cfg, params)
+	sess.BarrierSpins = *barrierSpins
 	if *workers > 0 {
 		sess.SetWorkers(*workers)
 	}
 	if *cacheDir != "" {
 		disk, err := harness.OpenDiskCache(*cacheDir)
 		if err != nil {
-			log.Fatalf("cawaserve: open disk cache: %v", err)
+			logger.Error("open disk cache", slog.String("dir", *cacheDir), slog.String("error", err.Error()))
+			os.Exit(1)
 		}
 		sess.Disk = disk
-		log.Printf("cawaserve: disk cache %s (%d entries)", *cacheDir, disk.Len())
+		logger.Info("disk cache attached", slog.String("dir", *cacheDir), slog.Int("entries", disk.Len()))
 	}
 
 	srv := serve.New(serve.Config{
 		Session:        sess,
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
+		Logger:         logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -73,14 +97,20 @@ func main() {
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 	errs := make(chan error, 1)
 	go func() { errs <- httpSrv.ListenAndServe() }()
-	log.Printf("cawaserve: serving %s on %s (workers=%d queue=%d scale=%g seed=%d)",
-		cfg.Name, *addr, sess.Workers(), *queue, params.Scale, params.Seed)
+	logger.Info("serving",
+		slog.String("arch", cfg.Name),
+		slog.String("addr", *addr),
+		slog.Int("workers", sess.Workers()),
+		slog.Int("queue", *queue),
+		slog.Float64("scale", params.Scale),
+		slog.Int64("seed", params.Seed))
 
 	select {
 	case sig := <-sigs:
-		log.Printf("cawaserve: %v — draining (deadline %s)", sig, *drainWait)
+		logger.Info("draining", slog.String("signal", sig.String()), slog.Duration("deadline", *drainWait))
 	case err := <-errs:
-		log.Fatalf("cawaserve: listen: %v", err)
+		logger.Error("listen", slog.String("error", err.Error()))
+		os.Exit(1)
 	}
 
 	// Stop admission first so the health check flips and load balancers
@@ -89,11 +119,11 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("cawaserve: http shutdown: %v", err)
+		logger.Warn("http shutdown", slog.String("error", err.Error()))
 	}
 	if err := srv.Drain(ctx); err != nil {
-		log.Printf("cawaserve: drain cut short: %v", err)
+		logger.Error("drain cut short", slog.String("error", err.Error()))
 		os.Exit(1)
 	}
-	fmt.Println("cawaserve: drained cleanly")
+	logger.Info("drained cleanly")
 }

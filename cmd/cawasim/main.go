@@ -18,6 +18,18 @@
 //	-sample-every N        metric sampling cadence in cycles
 //	-hotpcs N              print the N PCs with the most stall time,
 //	                       from the same event stream as the trace
+//
+// Engine self-profiling (see DESIGN.md "Self-profiling"):
+//
+//	-perf FILE             profile the engine's own wall-clock phases
+//	                       (domain compute, barrier wait, staged commit,
+//	                       memsys drain, fast-forward planning) and write
+//	                       the PerfReport JSON to FILE; simulated results
+//	                       stay byte-identical
+//	-perf-trace FILE       also write the profile as Chrome trace-event
+//	                       counter tracks (Perfetto / chrome://tracing)
+//	-barrier-spins N       spin iterations before the parallel engine's
+//	                       epoch barrier parks a worker (0 = default)
 package main
 
 import (
@@ -35,6 +47,7 @@ import (
 	"cawa/internal/core"
 	"cawa/internal/harness"
 	"cawa/internal/obs"
+	"cawa/internal/obs/perf"
 	"cawa/internal/sched"
 	"cawa/internal/sm"
 	"cawa/internal/stats"
@@ -58,6 +71,10 @@ func main() {
 		traceJSON   = flag.String("trace-json", "", "write a Chrome trace-event file (Perfetto / chrome://tracing)")
 		obsDir      = flag.String("obs-dir", "", "write observability artifacts (trace.json, metrics.csv, metrics.json, manifest.json) into this directory")
 		sampleEvery = flag.Int64("sample-every", 0, fmt.Sprintf("metric sampling interval in cycles (0 = %d when observability is on)", obs.DefaultSampleEvery))
+
+		perfJSON     = flag.String("perf", "", "profile the engine's wall-clock phases and write the PerfReport JSON to this file")
+		perfTrace    = flag.String("perf-trace", "", "write the engine profile as Chrome trace-event counter tracks")
+		barrierSpins = flag.Int("barrier-spins", 0, "parallel-engine barrier spin count before parking (0 = default)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -103,7 +120,18 @@ func main() {
 		DisableFastForward: !*fastfwd,
 		// The harness forces tracing runs (whose observers share state
 		// across SMs) back onto the serial engine.
-		SMWorkers: smWorkers,
+		SMWorkers:    smWorkers,
+		BarrierSpins: *barrierSpins,
+	}
+
+	// Engine self-profiling: purely observational — the profiler reads
+	// the wall clock at the orchestrator's phase seams and never feeds
+	// simulated state, so results stay byte-identical (the equivalence
+	// tests pin this).
+	var prof *perf.Profiler
+	if *perfJSON != "" || *perfTrace != "" {
+		prof = harness.NewWallProfiler(perf.DefaultSampleEvery)
+		opt.Profiler = prof
 	}
 
 	// Observability wiring. The collector decorates every SM's
@@ -173,8 +201,16 @@ func main() {
 		}
 	}
 
+	var perfReport *perf.Report
+	if prof != nil {
+		perfReport = prof.Report()
+		if err := writePerfArtifacts(perfReport, *perfJSON, *perfTrace); err != nil {
+			fatal(err)
+		}
+	}
+
 	if wantTrace {
-		if err := writeObsArtifacts(res, collector, sampler, elapsed, *traceJSON, *obsDir, cfg, opt.Params, sysKey); err != nil {
+		if err := writeObsArtifacts(res, collector, sampler, elapsed, *traceJSON, *obsDir, cfg, opt.Params, sysKey, perfReport); err != nil {
 			fatal(err)
 		}
 	}
@@ -200,10 +236,45 @@ func main() {
 	}
 }
 
+// writePerfArtifacts renders the engine self-profile: the PerfReport
+// JSON and, when requested, its Chrome-trace counter tracks. A one-line
+// summary of where the engine spent its wall clock goes to stdout.
+func writePerfArtifacts(rep *perf.Report, jsonPath, tracePath string) error {
+	write := func(path string, render func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(jsonPath, rep.WriteJSON); err != nil {
+		return err
+	}
+	if err := write(tracePath, rep.WriteChromeTrace); err != nil {
+		return err
+	}
+	if len(rep.Shards) > 0 {
+		fmt.Printf("engine profile %d epochs, barrier wait %.1f%%, shard spread %.2fx (%s)\n",
+			rep.Epochs, rep.BarrierWaitFrac()*100, rep.Spread(), jsonPath)
+	} else {
+		fmt.Printf("engine profile serial engine, %s total (%s)\n",
+			time.Duration(rep.WallNS), jsonPath)
+	}
+	return nil
+}
+
 // writeObsArtifacts renders the Chrome trace and, under -obs-dir, the
 // metric time series and the run manifest.
 func writeObsArtifacts(res *harness.Result, collector *obs.Collector, sampler *obs.Sampler,
-	elapsed time.Duration, traceJSON, obsDir string, cfg config.Config, params workloads.Params, sysKey string) error {
+	elapsed time.Duration, traceJSON, obsDir string, cfg config.Config, params workloads.Params, sysKey string,
+	perfReport *perf.Report) error {
 	events := collector.Events()
 	if total := collector.Total(); total > uint64(len(events)) {
 		fmt.Fprintf(os.Stderr, "cawasim: trace rings overwrote %d of %d events; only the most recent are exported\n",
@@ -244,6 +315,7 @@ func writeObsArtifacts(res *harness.Result, collector *obs.Collector, sampler *o
 		Workers:      1,
 		CacheMisses:  1,
 		WallSeconds:  elapsed.Seconds(),
+		Perf:         perfReport,
 		Runs: []obs.RunRecord{{
 			App:       res.Workload,
 			System:    res.System,

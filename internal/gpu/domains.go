@@ -43,18 +43,22 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cawa/internal/obs/perf"
 	"cawa/internal/sm"
 )
 
-// barrierSpins bounds how many scheduler yields a waiter burns before
-// parking on its channel. Yield-spinning keeps barrier latency in the
-// tens of nanoseconds while every worker has cycles to run; parking
-// caps the cost when the machine is oversubscribed or the run idles.
-const barrierSpins = 64
+// DefaultBarrierSpins bounds how many scheduler yields a waiter burns
+// before parking on its channel, when the caller does not choose a
+// value (GPU.BarrierSpins / RunOptions.BarrierSpins). Yield-spinning
+// keeps barrier latency in the tens of nanoseconds while every worker
+// has cycles to run; parking caps the cost when the machine is
+// oversubscribed or the run idles.
+const DefaultBarrierSpins = 64
 
 // domainWorker is one goroutine's share of the SMs plus its epoch
 // output: the minimum wake bound across the SMs it stepped.
 type domainWorker struct {
+	id     int // shard index, for per-shard profiling
 	sms    []*sm.SM
 	wake   int64
 	wakeCh chan struct{} // capacity 1; park/wake signal
@@ -67,6 +71,13 @@ type domainWorker struct {
 type domainRunner struct {
 	workers []*domainWorker
 	cycle   int64 // epoch input; written before epoch is published
+	spins   int   // barrier spin budget before parking
+	// prof, when non-nil, receives each shard's per-epoch compute span
+	// (RecordShardCompute from the shard's own worker; the barrier's
+	// release/acquire pair orders those writes before the
+	// orchestrator's ObserveEpoch fold). Purely observational: no
+	// control flow reads a profiled duration.
+	prof *perf.Profiler
 
 	epoch   atomic.Int64 // epoch counter; incremented to start an epoch
 	pending atomic.Int64 // workers that have not finished the epoch
@@ -76,19 +87,27 @@ type domainRunner struct {
 }
 
 // newDomainRunner partitions sms contiguously across workers goroutines
-// (workers is clamped to len(sms)) and starts them parked.
-func newDomainRunner(sms []*sm.SM, workers int) *domainRunner {
+// (workers is clamped to len(sms)) and starts them parked. spins <= 0
+// selects DefaultBarrierSpins; prof may be nil.
+func newDomainRunner(sms []*sm.SM, workers, spins int, prof *perf.Profiler) *domainRunner {
 	if workers > len(sms) {
 		workers = len(sms)
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	r := &domainRunner{doneCh: make(chan struct{}, 1)}
+	if spins <= 0 {
+		spins = DefaultBarrierSpins
+	}
+	r := &domainRunner{doneCh: make(chan struct{}, 1), spins: spins, prof: prof}
+	if prof != nil {
+		prof.EnsureShards(workers)
+	}
 	for wi := 0; wi < workers; wi++ {
 		lo := wi * len(sms) / workers
 		hi := (wi + 1) * len(sms) / workers
 		r.workers = append(r.workers, &domainWorker{
+			id:     wi,
 			sms:    sms[lo:hi],
 			wakeCh: make(chan struct{}, 1),
 		})
@@ -117,7 +136,7 @@ func (r *domainRunner) step(c int64) int64 {
 	}
 	spins := 0
 	for r.pending.Load() != 0 {
-		if spins < barrierSpins {
+		if spins < r.spins {
 			spins++
 			runtime.Gosched()
 			continue
@@ -159,7 +178,7 @@ func (r *domainRunner) run(w *domainWorker) {
 			if r.stopped.Load() {
 				return
 			}
-			if spins < barrierSpins {
+			if spins < r.spins {
 				spins++
 				runtime.Gosched()
 				continue
@@ -168,11 +187,18 @@ func (r *domainRunner) run(w *domainWorker) {
 		}
 		last++
 		c := r.cycle
+		var t0 int64
+		if r.prof != nil {
+			t0 = r.prof.Now()
+		}
 		wake := sm.NoWake
 		for _, s := range w.sms {
 			if v := s.Cycle(c); v < wake {
 				wake = v
 			}
+		}
+		if r.prof != nil {
+			r.prof.RecordShardCompute(w.id, r.prof.Now()-t0)
 		}
 		w.wake = wake
 		if r.pending.Add(-1) == 0 {

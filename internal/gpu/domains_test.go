@@ -88,7 +88,7 @@ func TestDomainRunnerLifecycle(t *testing.T) {
 func TestDomainRunnerPartition(t *testing.T) {
 	g := newIdleGPU(t, 5)
 	for _, workers := range []int{1, 2, 3, 5, 9} {
-		r := newDomainRunner(g.sms, workers)
+		r := newDomainRunner(g.sms, workers, 0, nil)
 		want := workers
 		if want > len(g.sms) {
 			want = len(g.sms)
@@ -120,12 +120,12 @@ func TestDomainRunnerStopIdempotent(t *testing.T) {
 	g := newIdleGPU(t, 4)
 	base := runtime.NumGoroutine()
 
-	r := newDomainRunner(g.sms, 4)
+	r := newDomainRunner(g.sms, 4, 0, nil)
 	r.stop()
 	r.stop() // second call is a no-op
 	waitGoroutines(t, base)
 
-	r = newDomainRunner(g.sms, 4)
+	r = newDomainRunner(g.sms, 4, 0, nil)
 	r.step(1)
 	time.Sleep(2 * time.Millisecond) // workers fall through the spin path and park
 	r.stop()

@@ -12,6 +12,7 @@ import (
 	"cawa/internal/isa/analysis"
 	"cawa/internal/memory"
 	"cawa/internal/memsys"
+	"cawa/internal/obs/perf"
 	"cawa/internal/sched"
 	"cawa/internal/simt"
 	"cawa/internal/sm"
@@ -83,6 +84,23 @@ type GPU struct {
 	// trace collectors) must leave this at 1; the harness gates those
 	// runs automatically.
 	SMWorkers int
+
+	// BarrierSpins overrides the parallel engine's barrier spin budget
+	// (scheduler yields before a waiter parks; see domains.go). Values
+	// <= 0 select DefaultBarrierSpins. Purely a host-performance knob:
+	// results are byte-identical at any setting.
+	BarrierSpins int
+
+	// Perf, when non-nil, self-profiles the engine: Launch brackets its
+	// orchestrator seams (memsys drain, dispatch, SM stepping, staged
+	// commit, fast-forward planning) with reads of the profiler's
+	// injected clock, and parallel launches additionally record each
+	// shard's per-epoch compute span. The clock is observational only —
+	// no engine control flow depends on a profiled duration — so
+	// results stay byte-identical with profiling on or off. When nil
+	// (the default) the only cost is one predictable branch per seam
+	// and the cycle path stays allocation-free (TestProfilerOffZeroCost).
+	Perf *perf.Profiler
 
 	// Parallel-engine plumbing, allocated lazily on the first parallel
 	// launch and installed onto the SMs only while one runs.
@@ -253,6 +271,7 @@ func (g *GPU) Launch(ctx context.Context, k *simt.Kernel) (*stats.Launch, error)
 
 	nextBlock := 0
 	total := k.GridDim
+	prof := g.Perf
 	for retired() < total {
 		g.cycle++
 		if g.cycle&cancelCheckMask == 0 && ctx != nil {
@@ -260,8 +279,20 @@ func (g *GPU) Launch(ctx context.Context, k *simt.Kernel) (*stats.Launch, error)
 				return nil, fmt.Errorf("gpu: kernel %s aborted at cycle %d: %w", k.Name, g.cycle, err)
 			}
 		}
+		var t0 int64
+		if prof != nil {
+			t0 = prof.Now()
+		}
 		g.sys.Cycle(g.cycle)
+		if prof != nil {
+			t1 := prof.Now()
+			prof.ObservePhase(perf.PhaseMemsysDrain, t1-t0)
+			t0 = t1
+		}
 		g.dispatch(k, &nextBlock, total, warpsPerBlock)
+		if prof != nil {
+			prof.ObservePhase(perf.PhaseDispatch, prof.Now()-t0)
+		}
 		// wake is the conservative next cycle at which any SM can act
 		// on its own; sm.NoWake when every SM is idle or fully blocked
 		// on memory. Any SM with a ready warp returns g.cycle, pinning
@@ -275,7 +306,17 @@ func (g *GPU) Launch(ctx context.Context, k *simt.Kernel) (*stats.Launch, error)
 				k.Name, g.cfg.MaxCycles, retired(), total)
 		}
 		if wake > g.cycle && !g.DisableFastForward {
-			if err := g.fastForward(ctx, wake, startCycle); err != nil {
+			if prof != nil {
+				t0 = prof.Now()
+			}
+			err := g.fastForward(ctx, wake, startCycle)
+			if prof != nil {
+				// The whole planning call, including the memsys drains
+				// and real SM cycles it performs at event boundaries
+				// (nested seams record too; the taxonomy is in DESIGN.md).
+				prof.ObservePhase(perf.PhaseFastForward, prof.Now()-t0)
+			}
+			if err != nil {
 				return nil, fmt.Errorf("gpu: kernel %s aborted at cycle %d: %w", k.Name, g.cycle, err)
 			}
 		}
@@ -431,7 +472,7 @@ func (g *GPU) startDomains(workers int) {
 		s.L1D().SetStaging(g.stages[i])
 		s.SetStoreLog(g.logs[i])
 	}
-	g.runner = newDomainRunner(g.sms, workers)
+	g.runner = newDomainRunner(g.sms, workers, g.BarrierSpins, g.Perf)
 }
 
 // stopDomains tears the parallel engine down: workers exit, any staged
@@ -457,19 +498,42 @@ func (g *GPU) stopDomains() {
 // the functional memory image byte-identical to the serial engine
 // (see domains.go).
 func (g *GPU) stepSMs(c int64) int64 {
+	prof := g.Perf
 	if g.runner == nil {
+		var t0 int64
+		if prof != nil {
+			t0 = prof.Now()
+		}
 		wake := sm.NoWake
 		for _, s := range g.sms {
 			if w := s.Cycle(c); w < wake {
 				wake = w
 			}
 		}
+		if prof != nil {
+			prof.ObservePhase(perf.PhaseDomainCompute, prof.Now()-t0)
+		}
 		return wake
 	}
+	var t0 int64
+	if prof != nil {
+		t0 = prof.Now()
+	}
 	wake := g.runner.step(c)
+	var t1 int64
+	if prof != nil {
+		// One epoch: the barrier span folds into DomainCompute, the
+		// workers' recorded per-shard compute splits it into compute
+		// vs. barrier wait.
+		t1 = prof.Now()
+		prof.ObserveEpoch(t0, t1, len(g.runner.workers))
+	}
 	for i := range g.sms {
 		g.logs[i].Flush()
 		g.sys.Commit(g.stages[i])
+	}
+	if prof != nil {
+		prof.ObservePhase(perf.PhaseStagedCommit, prof.Now()-t1)
 	}
 	return wake
 }

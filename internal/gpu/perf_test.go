@@ -1,0 +1,217 @@
+package gpu
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"cawa/internal/config"
+	"cawa/internal/isa"
+	"cawa/internal/memory"
+	"cawa/internal/obs/perf"
+	"cawa/internal/simt"
+)
+
+// loopKernel keeps every warp busy in a long strided global-load loop
+// (the internal/sm alloc test's shape) so the engine stays mid-kernel
+// for the whole measured window.
+func loopKernel(t *testing.T, mem *memory.Memory, iters int64) *simt.Kernel {
+	t.Helper()
+	base := mem.Alloc(1 << 17)
+	b := isa.NewBuilder("perfloop")
+	b.SReg(isa.R0, isa.SRGTid)
+	b.Param(isa.R1, 0)
+	b.MovI(isa.R9, 0)
+	b.MovI(isa.R5, 0)
+	b.Label("loop")
+	b.MulI(isa.R2, isa.R5, 512)
+	b.AndI(isa.R2, isa.R2, (1<<20)-1)
+	b.MulI(isa.R6, isa.R0, 8)
+	b.Add(isa.R2, isa.R2, isa.R6)
+	b.AndI(isa.R2, isa.R2, (1<<20)-8)
+	b.Add(isa.R2, isa.R2, isa.R1)
+	b.Ld(isa.R7, isa.R2, 0)
+	b.Add(isa.R9, isa.R9, isa.R7)
+	b.AddI(isa.R5, isa.R5, 1)
+	b.SetLTI(isa.R8, isa.R5, iters)
+	b.CBra(isa.R8, "loop")
+	b.MulI(isa.R2, isa.R0, 8)
+	b.Add(isa.R2, isa.R2, isa.R1)
+	b.St(isa.R2, 0, isa.R9)
+	b.Exit()
+	return &simt.Kernel{
+		Name: "perfloop", Program: b.MustBuild(),
+		GridDim: 8, BlockDim: 64,
+		Params: []int64{base},
+	}
+}
+
+// TestProfilerOffZeroCost pins the profiling-off overhead at zero: with
+// g.Perf nil the orchestrator's cycle loop — memsys drain, dispatch, SM
+// stepping — must not allocate. This test drives the same per-cycle
+// sequence Launch runs (Launch itself cannot be stepped from outside)
+// after warming the kernel to steady state.
+func TestProfilerOffZeroCost(t *testing.T) {
+	mem := memory.New(1 << 21)
+	k := loopKernel(t, mem, 1<<20)
+	g, err := New(Options{Config: config.Small(), Memory: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range g.sms {
+		s.SetKernel(k)
+	}
+	warpsPerBlock := k.WarpsPerBlock(g.cfg.WarpSize)
+	nextBlock := 0
+	retired := 0
+	for _, s := range g.sms {
+		s.OnBlockDone = func(int, int64) { retired++ }
+	}
+
+	for i := 0; i < 20000; i++ {
+		g.cycle++
+		g.sys.Cycle(g.cycle)
+		g.dispatch(k, &nextBlock, k.GridDim, warpsPerBlock)
+		g.stepSMs(g.cycle)
+	}
+	if retired > 0 {
+		t.Fatalf("kernel retired %d blocks during warmup; steady state not reached", retired)
+	}
+
+	issued := int64(0)
+	for _, s := range g.sms {
+		issued += s.Instructions
+	}
+	allocs := testing.AllocsPerRun(2000, func() {
+		g.cycle++
+		g.sys.Cycle(g.cycle)
+		g.dispatch(k, &nextBlock, k.GridDim, warpsPerBlock)
+		g.stepSMs(g.cycle)
+	})
+	if allocs != 0 {
+		t.Errorf("cycle path with profiling off allocated %.2f objects/cycle, want 0", allocs)
+	}
+	after := int64(0)
+	for _, s := range g.sms {
+		after += s.Instructions
+	}
+	if after == issued {
+		t.Error("no instructions issued during the measured window (vacuous)")
+	}
+	if retired > 0 {
+		t.Fatal("kernel finished during measurement; steady state was not sustained")
+	}
+}
+
+// countingClock is a deterministic goroutine-safe Clock: every read
+// advances a shared counter, so all profiled durations are positive.
+func countingClock() perf.Clock {
+	var ns atomic.Int64
+	return func() int64 { return ns.Add(3) }
+}
+
+// TestProfilerOnByteIdentical proves profiling is observational: the
+// same kernel, with and without a profiler attached, on both engines,
+// produces identical launch statistics and memory images — and the
+// profiled parallel run's report carries the per-shard compute/wait
+// breakdown the tuning workflow needs.
+func TestProfilerOnByteIdentical(t *testing.T) {
+	run := func(workers int, prof *perf.Profiler) ([]int64, interface{}) {
+		mem := memory.New(1 << 20)
+		const n = 1000
+		k, _, _, c := vecAddKernel(t, mem, n)
+		g, err := New(Options{Config: config.Small(), Memory: mem})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.SMWorkers = workers
+		g.Perf = prof
+		out, err := g.Launch(context.Background(), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := make([]int64, n)
+		for i := range img {
+			img[i] = mem.Load(c + int64(i)*8)
+		}
+		return img, *out
+	}
+
+	for _, workers := range []int{1, 2} {
+		baseImg, baseStats := run(workers, nil)
+		prof := perf.New(countingClock(), 1)
+		profImg, profStats := run(workers, prof)
+		if !reflect.DeepEqual(baseImg, profImg) {
+			t.Fatalf("workers=%d: memory image differs with profiling on", workers)
+		}
+		if !reflect.DeepEqual(baseStats, profStats) {
+			t.Fatalf("workers=%d: launch stats differ with profiling on:\n%+v\nvs\n%+v",
+				workers, baseStats, profStats)
+		}
+
+		r := prof.Report()
+		if r.PhaseTotalNS("domain_compute") <= 0 {
+			t.Errorf("workers=%d: no domain_compute time recorded", workers)
+		}
+		if r.PhaseTotalNS("memsys_drain") <= 0 {
+			t.Errorf("workers=%d: no memsys_drain time recorded", workers)
+		}
+		if workers > 1 {
+			if r.Epochs <= 0 {
+				t.Errorf("parallel run recorded no epochs")
+			}
+			if len(r.Shards) != workers {
+				t.Fatalf("report has %d shards, want %d", len(r.Shards), workers)
+			}
+			for _, s := range r.Shards {
+				if s.ComputeNS <= 0 {
+					t.Errorf("shard %d recorded no compute time", s.Shard)
+				}
+			}
+			if r.Imbalance == nil {
+				t.Fatal("parallel report missing imbalance summary")
+			}
+			if r.Imbalance.BarrierWaitFrac < 0 || r.Imbalance.BarrierWaitFrac >= 1 {
+				t.Errorf("BarrierWaitFrac = %v out of range", r.Imbalance.BarrierWaitFrac)
+			}
+			if len(r.Samples) == 0 {
+				t.Error("sampleEvery=1 parallel run produced no checkpoints")
+			}
+		} else if len(r.Shards) != 0 {
+			t.Errorf("serial run grew %d shards", len(r.Shards))
+		}
+	}
+}
+
+// TestBarrierSpinsKnob proves the spin budget is purely a host
+// performance knob: extreme settings produce byte-identical results.
+func TestBarrierSpinsKnob(t *testing.T) {
+	run := func(spins int) ([]int64, interface{}) {
+		mem := memory.New(1 << 20)
+		const n = 500
+		k, _, _, c := vecAddKernel(t, mem, n)
+		g, err := New(Options{Config: config.Small(), Memory: mem})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.SMWorkers = 2
+		g.BarrierSpins = spins
+		out, err := g.Launch(context.Background(), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := make([]int64, n)
+		for i := range img {
+			img[i] = mem.Load(c + int64(i)*8)
+		}
+		return img, *out
+	}
+	baseImg, baseStats := run(0) // default
+	for _, spins := range []int{1, 100000} {
+		img, stats := run(spins)
+		if !reflect.DeepEqual(baseImg, img) || !reflect.DeepEqual(baseStats, stats) {
+			t.Fatalf("BarrierSpins=%d changed simulation output", spins)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"cawa/internal/core"
 	"cawa/internal/gpu"
 	"cawa/internal/memsys"
+	"cawa/internal/obs/perf"
 	"cawa/internal/stats"
 	"cawa/internal/workloads"
 )
@@ -48,6 +49,15 @@ type RunOptions struct {
 	// closures may share mutable state between SMs, which only the
 	// serial engine may do.
 	SMWorkers int
+	// BarrierSpins overrides the parallel engine's epoch-barrier spin
+	// budget (see gpu.GPU.BarrierSpins). 0 keeps the default. Purely a
+	// host performance knob; results are byte-identical at any value.
+	BarrierSpins int
+	// Profiler, when non-nil, self-profiles the engine's wall-clock
+	// phases into the given accumulator (see gpu.GPU.Perf and
+	// internal/obs/perf). Observational only: simulation results are
+	// byte-identical with or without it (TestProfilerEquivalence).
+	Profiler *perf.Profiler
 	// SkipVerify skips the functional check against the Go reference.
 	SkipVerify bool
 }
@@ -155,6 +165,8 @@ func RunContext(ctx context.Context, opt RunOptions) (*Result, error) {
 	g.PerCycle = opt.PerCycle
 	g.PerCycleWake = opt.PerCycleWake
 	g.DisableFastForward = opt.DisableFastForward
+	g.BarrierSpins = opt.BarrierSpins
+	g.Perf = opt.Profiler
 	// Engine selection. The serial gate is evaluated here, after the
 	// CCWS auto-wiring above, so a ccws run (whose per-SM providers are
 	// attached through shared closures) lands on the serial engine even

@@ -11,9 +11,29 @@ import (
 	"cawa/internal/config"
 	"cawa/internal/core"
 	"cawa/internal/obs"
+	"cawa/internal/obs/perf"
 	"cawa/internal/stats"
 	"cawa/internal/workloads"
 )
+
+// wallBase anchors WallClock: reading nanoseconds as an offset from
+// process start keeps the values on Go's monotonic clock (immune to
+// wall-time steps) and small enough to survive any arithmetic the
+// profiler does.
+var wallBase = time.Now()
+
+// WallClock is the host-backed perf.Clock. It lives in harness — not
+// in the profiler or the engine — because cawalint bans wall-clock
+// reads in the simulation packages; the harness is the outermost layer
+// allowed to know what time it is, and injects it downward.
+func WallClock() int64 { return int64(time.Since(wallBase)) }
+
+// NewWallProfiler builds a perf.Profiler over the host clock with
+// counter-track checkpoints every sampleEvery epochs (<= 0 disables
+// checkpoints; perf.DefaultSampleEvery is the CLIs' choice).
+func NewWallProfiler(sampleEvery int64) *perf.Profiler {
+	return perf.New(WallClock, sampleEvery)
+}
 
 // PaperApps lists the twelve benchmarks in the paper's Table 2 order:
 // the seven scheduler/cache-sensitive applications first.
@@ -73,11 +93,18 @@ type Session struct {
 	// simulating, and fresh results are written through, so restarts and
 	// repeated campaigns skip re-simulation (see DiskCache).
 	Disk *DiskCache
+	// BarrierSpins overrides the parallel engine's epoch-barrier spin
+	// budget for every run the session launches (0 = default; see
+	// gpu.GPU.BarrierSpins). Results are byte-identical at any value,
+	// so the result cache is deliberately not keyed on it.
+	BarrierSpins int
 
 	mu       sync.Mutex
 	cache    map[string]*flight
 	sem      chan struct{}
 	smpar    int // target SM-domain goroutines per run (<=1: serial)
+	profile  bool
+	perfAgg  *perf.Profiler // merged profile across runs; nil until profiling enabled
 	records  []obs.RunRecord
 	hits     uint64 // Run requests served from the in-memory cache
 	misses   uint64 // Run requests that missed the in-memory cache
@@ -154,6 +181,35 @@ func (s *Session) SMParallel(n int) *Session {
 	return s
 }
 
+// EnableProfiling turns on engine self-profiling for every subsequent
+// run: each simulation gets a private wall-clock perf.Profiler (no
+// cross-run sharing — domain workers of concurrent runs must never
+// write one accumulator) whose totals merge into a session-wide
+// profile when the run finishes. Chainable. Profiling is observational
+// only — results stay byte-identical — so the result cache is not
+// keyed on it; note that cache and disk hits skip simulation entirely
+// and therefore contribute nothing to the profile.
+func (s *Session) EnableProfiling() *Session {
+	s.mu.Lock()
+	s.profile = true
+	if s.perfAgg == nil {
+		s.perfAgg = NewWallProfiler(0)
+	}
+	s.mu.Unlock()
+	return s
+}
+
+// PerfReport snapshots the session-wide merged engine profile, or nil
+// when EnableProfiling was never called.
+func (s *Session) PerfReport() *perf.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.perfAgg == nil {
+		return nil
+	}
+	return s.perfAgg.Report()
+}
+
 // SetRunFunc replaces the simulation executor with fn (nil restores
 // the default, RunContext). This is a seam for harness- and
 // service-level tests that need injected failures or runs whose
@@ -200,6 +256,10 @@ func (s *Session) acquire(ctx context.Context, extra int) (held int, release fun
 func (s *Session) simulate(ctx context.Context, opt RunOptions) (*Result, error) {
 	s.mu.Lock()
 	smpar := s.smpar
+	profile := s.profile
+	if opt.BarrierSpins == 0 {
+		opt.BarrierSpins = s.BarrierSpins
+	}
 	s.mu.Unlock()
 	extra := 0
 	if smpar > 1 && opt.SMWorkers == 0 {
@@ -215,6 +275,12 @@ func (s *Session) simulate(ctx context.Context, opt RunOptions) (*Result, error)
 		// width, so the cache never keys on it.
 		opt.SMWorkers = held
 	}
+	if profile && opt.Profiler == nil {
+		// One private profiler per run: concurrent runs must not share
+		// an accumulator (domain workers write per-shard slots). The
+		// totals merge into the session profile below.
+		opt.Profiler = NewWallProfiler(perf.DefaultSampleEvery)
+	}
 	s.mu.Lock()
 	run := s.runFn
 	s.mu.Unlock()
@@ -225,6 +291,13 @@ func (s *Session) simulate(ctx context.Context, opt RunOptions) (*Result, error)
 	r, err := run(ctx, opt)
 	elapsed := time.Since(start)
 	release()
+	if profile && opt.Profiler != nil {
+		s.mu.Lock()
+		if s.perfAgg != nil {
+			s.perfAgg.Merge(opt.Profiler)
+		}
+		s.mu.Unlock()
+	}
 	rec := obs.RunRecord{
 		App:     opt.Workload,
 		System:  opt.System.Label(),
@@ -419,7 +492,12 @@ func (s *Session) DiskHits() uint64 {
 func (s *Session) Manifest() *obs.Manifest {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var perfReport *perf.Report
+	if s.perfAgg != nil {
+		perfReport = s.perfAgg.Report()
+	}
 	return &obs.Manifest{
+		Perf:         perfReport,
 		Architecture: s.Config.Name,
 		NumSMs:       s.Config.NumSMs,
 		Scale:        s.Params.Scale,

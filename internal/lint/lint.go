@@ -6,7 +6,10 @@
 //
 //   - wall-clock: time.Now/Since/Until/Sleep/Tick/After/AfterFunc/
 //     NewTicker/NewTimer in simulation packages (simulation time is the
-//     cycle counter, never the host clock)
+//     cycle counter, never the host clock). The observability tree
+//     (internal/obs, including the obs/perf profiler) is held to this
+//     rule alone: wall time reaches the profiler only through an
+//     injected perf.Clock, constructed in the harness or a CLI.
 //   - global-rand: math/rand's global-source functions (rand.Intn,
 //     rand.Seed, ...) in simulation packages; rand.New(rand.NewSource(
 //     seed)) with an explicit seed is the allowed form
@@ -71,6 +74,14 @@ type Options struct {
 	// SimPaths are import-path prefixes where the wall-clock,
 	// global-rand, and map-range rules apply.
 	SimPaths []string
+	// WallClockPaths are import-path prefixes where ONLY the wall-clock
+	// rule applies. The observability tree lives here: it may range
+	// maps and allocate freely (it is outside the simulated-timing
+	// core), but it must never read the host clock itself — profiling
+	// time enters exclusively through an injected perf.Clock, so that
+	// the engine equivalence tests can drive the profiler with a
+	// counting fake and the sim packages' time.Now ban stays airtight.
+	WallClockPaths []string
 	// GoroutineAllowed are import-path prefixes where `go` statements
 	// are permitted.
 	GoroutineAllowed []string
@@ -103,6 +114,9 @@ func DefaultOptions() Options {
 			"cawa/internal/core", "cawa/internal/cache", "cawa/internal/memsys",
 			"cawa/internal/stats",
 		},
+		// Prefix-matches cawa/internal/obs/perf too: the profiler's
+		// injected-clock seam is the only way wall time reaches it.
+		WallClockPaths:        []string{"cawa/internal/obs"},
 		GoroutineAllowed:      []string{"cawa/internal/harness", "cawa/internal/serve"},
 		GoroutineAllowedFiles: []string{"cawa/internal/gpu/domains.go"},
 		StagedMemsysPaths:     []string{"cawa/internal/sm"},
@@ -294,6 +308,8 @@ type fileLinter struct {
 	info     *types.Info
 	imports  map[string]string
 	ignores  map[int]bool
+	sim      bool            // full determinism rule set applies
+	wall     bool            // at least the wall-clock rule applies
 	sysNames map[string]bool // identifiers declared with type memsys.System
 	findings []Finding
 }
@@ -308,6 +324,8 @@ func (l *fileLinter) add(pos token.Pos, rule, msg string) {
 
 func (l *fileLinter) file(f *ast.File) {
 	sim := hasPrefix(l.pkgPath, l.opts.SimPaths)
+	l.sim = sim
+	l.wall = sim || hasPrefix(l.pkgPath, l.opts.WallClockPaths)
 	staged := hasPrefix(l.pkgPath, l.opts.StagedMemsysPaths)
 	if staged {
 		l.collectSystemNames(f)
@@ -324,7 +342,7 @@ func (l *fileLinter) file(f *ast.File) {
 				l.systemCall(n)
 			}
 		case *ast.SelectorExpr:
-			if sim {
+			if l.wall {
 				l.selector(n)
 			}
 		case *ast.BlockStmt:
@@ -461,7 +479,9 @@ func (l *fileLinter) systemCall(call *ast.CallExpr) {
 }
 
 // selector flags wall-clock and global-rand references. The receiver
-// must resolve to the imported package, not a shadowing local.
+// must resolve to the imported package, not a shadowing local. In
+// packages covered only by WallClockPaths (l.wall without l.sim) the
+// global-rand half is skipped.
 func (l *fileLinter) selector(sel *ast.SelectorExpr) {
 	id, ok := sel.X.(*ast.Ident)
 	if !ok {
@@ -483,7 +503,7 @@ func (l *fileLinter) selector(sel *ast.SelectorExpr) {
 				fmt.Sprintf("time.%s reads the host clock; simulation time is the cycle counter", sel.Sel.Name))
 		}
 	case "math/rand", "math/rand/v2":
-		if !allowedRand[sel.Sel.Name] {
+		if l.sim && !allowedRand[sel.Sel.Name] {
 			l.add(sel.Pos(), RuleGlobalRand,
 				fmt.Sprintf("rand.%s uses the global source; seed an explicit rand.New(rand.NewSource(seed))", sel.Sel.Name))
 		}

@@ -73,6 +73,38 @@ func f() { _ = time.Now() }
 	}
 }
 
+// TestWallClockOnlyInObsTree: the observability tree — including the
+// obs/perf profiler, matched by prefix — must not read the host clock
+// directly (the profiler's injected Clock seam is the only entry
+// point), but it is exempt from the other determinism rules: it may
+// range maps and use seedless rand, since it never feeds simulated
+// timing.
+func TestWallClockOnlyInObsTree(t *testing.T) {
+	clockSrc := `package perf
+import "time"
+func now() int64 { return time.Now().UnixNano() }
+`
+	for _, pkg := range []string{"cawa/internal/obs", "cawa/internal/obs/perf"} {
+		fs := lintSrc(t, pkg, clockSrc)
+		wantOnly(t, fs, RuleWallClock, 1)
+	}
+
+	// Map ranges and global rand stay legal there: wall-clock only.
+	fs := lintSrc(t, "cawa/internal/obs", `package obs
+import "math/rand"
+func f(m map[int]int) int {
+	s := rand.Intn(3)
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("non-wall-clock rules applied to obs: %v", fs)
+	}
+}
+
 func TestGlobalRandFlagged(t *testing.T) {
 	fs := lintSrc(t, simPkg, `package sm
 import "math/rand"
@@ -235,6 +267,7 @@ func TestRepoIsClean(t *testing.T) {
 		"../sched": "cawa/internal/sched", "../core": "cawa/internal/core",
 		"../cache": "cawa/internal/cache", "../memsys": "cawa/internal/memsys",
 		"../stats": "cawa/internal/stats", "../workloads": "cawa/internal/workloads",
+		"../obs": "cawa/internal/obs", "../obs/perf": "cawa/internal/obs/perf",
 	}
 	for dir, pkg := range dirs {
 		fs, err := Dir(dir, pkg, DefaultOptions())

@@ -1,0 +1,101 @@
+package obs
+
+import "sync"
+
+// histBounds are the fixed log-spaced upper bounds (seconds) every
+// HistogramMetric uses: 1ms doubling up to ~524s, plus the implicit
+// +Inf bucket. A fixed layout keeps Observe cheap (no per-metric
+// configuration) and makes any two histograms mergeable bucket-wise —
+// the property a fleet aggregator needs to sum per-worker scrapes.
+const numHistBounds = 20
+
+var histBounds = func() [numHistBounds]float64 {
+	var out [numHistBounds]float64
+	b := 0.001
+	for i := range out {
+		out[i] = b
+		b *= 2
+	}
+	return out
+}()
+
+// HistogramBounds returns a copy of the fixed bucket upper bounds in
+// seconds (exclusive of the implicit +Inf bucket).
+func HistogramBounds() []float64 {
+	return append([]float64(nil), histBounds[:]...)
+}
+
+// HistogramMetric is a concurrency-safe latency histogram with the
+// registry's fixed log-spaced buckets. Unlike the probe-based kinds
+// (Gauge/Rate/Ratio), a histogram is push-driven: callers Observe
+// durations as they happen, and WritePrometheus renders the cumulative
+// _bucket/_sum/_count series. The cycle-cadence Sampler ignores
+// histograms — they live on the wall-clock (serving) axis, not the
+// simulated-cycle axis.
+type HistogramMetric struct {
+	mu      sync.Mutex
+	buckets [numHistBounds + 1]uint64 // last slot is +Inf
+	count   uint64
+	sum     float64
+}
+
+// Observe records one value (seconds). Values beyond the last bound
+// land in the +Inf bucket; negative values clamp to zero.
+func (h *HistogramMetric) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	i := 0
+	for i < len(histBounds) && v > histBounds[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Merge folds another histogram into h bucket-wise.
+func (h *HistogramMetric) Merge(o *HistogramMetric) {
+	o.mu.Lock()
+	buckets, count, sum := o.buckets, o.count, o.sum
+	o.mu.Unlock()
+	h.mu.Lock()
+	for i := range h.buckets {
+		h.buckets[i] += buckets[i]
+	}
+	h.count += count
+	h.sum += sum
+	h.mu.Unlock()
+}
+
+// Count returns how many observations the histogram holds.
+func (h *HistogramMetric) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed values (seconds).
+func (h *HistogramMetric) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot returns a consistent copy for rendering.
+func (h *HistogramMetric) snapshot() (buckets [numHistBounds + 1]uint64, count uint64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.buckets, h.count, h.sum
+}
+
+// Histogram registers a push-driven latency histogram and returns it
+// for the caller to Observe into. Scope follows the other kinds (smID
+// or GPUScope).
+func (r *Registry) Histogram(name string, smID int) *HistogramMetric {
+	h := &HistogramMetric{}
+	r.metrics = append(r.metrics, Metric{Name: name, SM: smID, Kind: Histogram, hist: h})
+	return h
+}

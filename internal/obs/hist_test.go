@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusHistogram golden-pins the histogram exposition:
+// cumulative buckets in ascending bound order, the +Inf terminal equal
+// to _count, _sum/_count trailers, per-SM histograms carrying sm
+// alongside le, name sanitization, and mixing with scalar families.
+func TestWritePrometheusHistogram(t *testing.T) {
+	r := &Registry{}
+	r.Gauge("ipc", GPUScope, func() float64 { return 1.5 })
+	reqs := r.Histogram("req.latency-s", GPUScope)
+	reqs.Observe(0.0005)
+	reqs.Observe(0.003)
+	reqs.Observe(2.0)
+	reqs.Observe(1000) // beyond the last bound: +Inf bucket
+	qw := r.Histogram("queue_wait", 1)
+	qw.Observe(0.05)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, "cawa", r); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE cawa_ipc gauge
+cawa_ipc 1.5
+# TYPE cawa_queue_wait histogram
+cawa_queue_wait_bucket{sm="1",le="0.001"} 0
+cawa_queue_wait_bucket{sm="1",le="0.002"} 0
+cawa_queue_wait_bucket{sm="1",le="0.004"} 0
+cawa_queue_wait_bucket{sm="1",le="0.008"} 0
+cawa_queue_wait_bucket{sm="1",le="0.016"} 0
+cawa_queue_wait_bucket{sm="1",le="0.032"} 0
+cawa_queue_wait_bucket{sm="1",le="0.064"} 1
+cawa_queue_wait_bucket{sm="1",le="0.128"} 1
+cawa_queue_wait_bucket{sm="1",le="0.256"} 1
+cawa_queue_wait_bucket{sm="1",le="0.512"} 1
+cawa_queue_wait_bucket{sm="1",le="1.024"} 1
+cawa_queue_wait_bucket{sm="1",le="2.048"} 1
+cawa_queue_wait_bucket{sm="1",le="4.096"} 1
+cawa_queue_wait_bucket{sm="1",le="8.192"} 1
+cawa_queue_wait_bucket{sm="1",le="16.384"} 1
+cawa_queue_wait_bucket{sm="1",le="32.768"} 1
+cawa_queue_wait_bucket{sm="1",le="65.536"} 1
+cawa_queue_wait_bucket{sm="1",le="131.072"} 1
+cawa_queue_wait_bucket{sm="1",le="262.144"} 1
+cawa_queue_wait_bucket{sm="1",le="524.288"} 1
+cawa_queue_wait_bucket{sm="1",le="+Inf"} 1
+cawa_queue_wait_sum{sm="1"} 0.05
+cawa_queue_wait_count{sm="1"} 1
+# TYPE cawa_req_latency_s histogram
+cawa_req_latency_s_bucket{le="0.001"} 1
+cawa_req_latency_s_bucket{le="0.002"} 1
+cawa_req_latency_s_bucket{le="0.004"} 2
+cawa_req_latency_s_bucket{le="0.008"} 2
+cawa_req_latency_s_bucket{le="0.016"} 2
+cawa_req_latency_s_bucket{le="0.032"} 2
+cawa_req_latency_s_bucket{le="0.064"} 2
+cawa_req_latency_s_bucket{le="0.128"} 2
+cawa_req_latency_s_bucket{le="0.256"} 2
+cawa_req_latency_s_bucket{le="0.512"} 2
+cawa_req_latency_s_bucket{le="1.024"} 2
+cawa_req_latency_s_bucket{le="2.048"} 3
+cawa_req_latency_s_bucket{le="4.096"} 3
+cawa_req_latency_s_bucket{le="8.192"} 3
+cawa_req_latency_s_bucket{le="16.384"} 3
+cawa_req_latency_s_bucket{le="32.768"} 3
+cawa_req_latency_s_bucket{le="65.536"} 3
+cawa_req_latency_s_bucket{le="131.072"} 3
+cawa_req_latency_s_bucket{le="262.144"} 3
+cawa_req_latency_s_bucket{le="524.288"} 3
+cawa_req_latency_s_bucket{le="+Inf"} 4
+cawa_req_latency_s_sum 1002.0035
+cawa_req_latency_s_count 4
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestHistogramMergeAndBounds: bucket-wise merge preserves the
+// cumulative invariants, and the fixed bounds are ascending.
+func TestHistogramMergeAndBounds(t *testing.T) {
+	bounds := HistogramBounds()
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not ascending at %d: %v <= %v", i, bounds[i], bounds[i-1])
+		}
+	}
+
+	var a, b HistogramMetric
+	a.Observe(0.01)
+	a.Observe(-3) // clamps to zero, lands in the first bucket
+	b.Observe(5)
+	b.Observe(9999)
+	a.Merge(&b)
+	if a.Count() != 4 {
+		t.Fatalf("merged count = %d, want 4", a.Count())
+	}
+	if got, want := a.Sum(), 0.01+0+5+9999; got != want {
+		t.Fatalf("merged sum = %v, want %v", got, want)
+	}
+
+	// The rendered +Inf bucket must equal _count after the merge.
+	r := &Registry{}
+	h := r.Histogram("m", GPUScope)
+	h.Merge(&a)
+	var out strings.Builder
+	if err := WritePrometheus(&out, "x", r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `x_m_bucket{le="+Inf"} 4`) {
+		t.Errorf("+Inf bucket != count:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), fmt.Sprintf("x_m_count %d", 4)) {
+		t.Errorf("missing count:\n%s", out.String())
+	}
+}

@@ -30,6 +30,12 @@ const (
 	// (hits over accesses become a hit rate). Intervals where den does
 	// not move sample as zero.
 	Ratio
+	// Histogram is a push-driven latency histogram (fixed log-spaced
+	// buckets, see hist.go): callers Observe values as they happen
+	// instead of the registry polling a probe, and WritePrometheus
+	// renders cumulative _bucket/_sum/_count series. The cycle-cadence
+	// Sampler skips histograms.
+	Histogram
 )
 
 // GPUScope marks a metric as device-wide rather than per-SM.
@@ -43,8 +49,9 @@ type Metric struct {
 	SM   int
 	Kind Kind
 
-	probe    func() float64 // Gauge and Rate
-	num, den func() float64 // Ratio
+	probe    func() float64   // Gauge and Rate
+	num, den func() float64   // Ratio
+	hist     *HistogramMetric // Histogram
 }
 
 // Label renders the canonical series name: "sm3/ipc" or "gpu/ipc".

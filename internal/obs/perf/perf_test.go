@@ -1,0 +1,268 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// fakeClock is a deterministic nanosecond counter advanced manually.
+type fakeClock struct{ ns int64 }
+
+func (c *fakeClock) now() int64       { return c.ns }
+func (c *fakeClock) advance(ns int64) { c.ns += ns }
+
+func TestHistObserveBuckets(t *testing.T) {
+	var h Hist
+	cases := []struct {
+		ns     int64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {1023, 10}, {1024, 11},
+		{-5, 0}, // negative clamps to zero
+	}
+	for _, c := range cases {
+		h.Observe(c.ns)
+	}
+	for _, c := range cases {
+		if h.Buckets[c.bucket] == 0 {
+			t.Errorf("Observe(%d): bucket %d empty", c.ns, c.bucket)
+		}
+	}
+	if h.Count != uint64(len(cases)) {
+		t.Fatalf("Count = %d, want %d", h.Count, len(cases))
+	}
+	wantSum := int64(0 + 1 + 2 + 3 + 4 + 1023 + 1024 + 0)
+	if h.SumNS != wantSum {
+		t.Fatalf("SumNS = %d, want %d", h.SumNS, wantSum)
+	}
+
+	// Overflow clamps to the last bucket instead of indexing out.
+	var big Hist
+	big.Observe(math.MaxInt64)
+	if big.Buckets[histBuckets-1] != 1 {
+		t.Fatalf("MaxInt64 not clamped to last bucket")
+	}
+}
+
+func TestHistMergeAndQuantile(t *testing.T) {
+	var a, b Hist
+	for i := 0; i < 90; i++ {
+		a.Observe(10) // bucket 4, bound 16
+	}
+	for i := 0; i < 10; i++ {
+		b.Observe(1000) // bucket 10, bound 1024
+	}
+	a.Merge(&b)
+	if a.Count != 100 {
+		t.Fatalf("merged Count = %d, want 100", a.Count)
+	}
+	if got := a.QuantileNS(0.50); got != 16 {
+		t.Errorf("p50 = %d, want 16", got)
+	}
+	if got := a.QuantileNS(0.99); got != 1024 {
+		t.Errorf("p99 = %d, want 1024", got)
+	}
+	if got := a.MeanNS(); got != (90*10+10*1000)/100.0 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestObserveEpochShardAccounting(t *testing.T) {
+	clk := &fakeClock{}
+	p := New(clk.now, 0)
+	p.EnsureShards(2)
+
+	// Epoch of 100ns; shard 0 computed 80ns, shard 1 computed 30ns.
+	p.RecordShardCompute(0, 80)
+	p.RecordShardCompute(1, 30)
+	p.ObserveEpoch(0, 100, 2)
+
+	// A shard reporting more compute than the epoch span clamps.
+	p.RecordShardCompute(0, 500)
+	p.RecordShardCompute(1, 200)
+	p.ObserveEpoch(100, 300, 2)
+
+	clk.advance(300)
+	r := p.Report()
+	if r.Epochs != 2 {
+		t.Fatalf("Epochs = %d, want 2", r.Epochs)
+	}
+	if len(r.Shards) != 2 {
+		t.Fatalf("Shards = %d, want 2", len(r.Shards))
+	}
+	// shard 0: 80 + 200(clamped) compute, 20 + 0 wait.
+	if r.Shards[0].ComputeNS != 280 || r.Shards[0].WaitNS != 20 {
+		t.Errorf("shard0 = %+v, want compute 280 wait 20", r.Shards[0])
+	}
+	// shard 1: 30 + 200 compute, 70 + 0 wait.
+	if r.Shards[1].ComputeNS != 230 || r.Shards[1].WaitNS != 70 {
+		t.Errorf("shard1 = %+v, want compute 230 wait 70", r.Shards[1])
+	}
+	if r.Imbalance == nil {
+		t.Fatal("no imbalance summary")
+	}
+	// total wait 90, total wall 280+230+90 = 600.
+	if want := 90.0 / 600.0; math.Abs(r.Imbalance.BarrierWaitFrac-want) > 1e-9 {
+		t.Errorf("BarrierWaitFrac = %v, want %v", r.Imbalance.BarrierWaitFrac, want)
+	}
+	if want := 280.0 / 255.0; math.Abs(r.Imbalance.Spread-want) > 1e-9 {
+		t.Errorf("Spread = %v, want %v", r.Imbalance.Spread, want)
+	}
+	if r.PhaseTotalNS("domain_compute") != 300 {
+		t.Errorf("domain_compute total = %d, want 300", r.PhaseTotalNS("domain_compute"))
+	}
+	if r.PhaseTotalNS("barrier_wait") != 90 {
+		t.Errorf("barrier_wait total = %d, want 90", r.PhaseTotalNS("barrier_wait"))
+	}
+	if r.WallNS != 300 {
+		t.Errorf("WallNS = %d, want 300", r.WallNS)
+	}
+}
+
+func TestProfilerMerge(t *testing.T) {
+	clkA, clkB := &fakeClock{}, &fakeClock{}
+	a, b := New(clkA.now, 0), New(clkB.now, 0)
+	a.ObservePhase(PhaseMemsysDrain, 10)
+	b.ObservePhase(PhaseMemsysDrain, 20)
+	b.ObservePhase(PhaseDispatch, 5)
+	b.EnsureShards(1)
+	b.RecordShardCompute(0, 7)
+	b.ObserveEpoch(0, 10, 1)
+
+	a.Merge(b)
+	r := a.Report()
+	if r.PhaseTotalNS("memsys_drain") != 30 {
+		t.Errorf("merged memsys_drain = %d, want 30", r.PhaseTotalNS("memsys_drain"))
+	}
+	if r.PhaseTotalNS("dispatch") != 5 {
+		t.Errorf("merged dispatch = %d, want 5", r.PhaseTotalNS("dispatch"))
+	}
+	if len(r.Shards) != 1 || r.Shards[0].ComputeNS != 7 || r.Shards[0].WaitNS != 3 {
+		t.Errorf("merged shards = %+v", r.Shards)
+	}
+	if r.Epochs != 1 {
+		t.Errorf("merged epochs = %d, want 1", r.Epochs)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	clk := &fakeClock{}
+	p := New(clk.now, 1) // checkpoint every epoch
+	p.EnsureShards(1)
+	p.RecordShardCompute(0, 40)
+	p.ObserveEpoch(0, 50, 1)
+	clk.advance(50)
+	r := p.Report()
+	if r.SchemaVersion != ReportSchemaVersion {
+		t.Fatalf("SchemaVersion = %d", r.SchemaVersion)
+	}
+	if len(r.Samples) != 1 {
+		t.Fatalf("Samples = %d, want 1", len(r.Samples))
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.Epochs != r.Epochs || back.SchemaVersion != r.SchemaVersion {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", back, r)
+	}
+	if back.Imbalance == nil || back.Imbalance.BarrierWaitFrac != r.Imbalance.BarrierWaitFrac {
+		t.Fatal("imbalance lost in round-trip")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	clk := &fakeClock{}
+	p := New(clk.now, 1)
+	p.EnsureShards(2)
+	for e := 0; e < 3; e++ {
+		p.RecordShardCompute(0, 60)
+		p.RecordShardCompute(1, 40)
+		start := clk.ns
+		clk.advance(100)
+		p.ObserveEpoch(start, clk.ns, 2)
+	}
+	r := p.Report()
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	var counters, shardTracks int
+	for _, ev := range doc.TraceEvents {
+		if ev.PID != perfPID {
+			t.Errorf("event %q pid %d, want %d", ev.Name, ev.PID, perfPID)
+		}
+		switch ev.Phase {
+		case "C":
+			counters++
+			if ev.Name == "shard_ms" {
+				shardTracks++
+				if _, ok := ev.Args["compute"]; !ok {
+					t.Error("shard counter missing compute arg")
+				}
+			}
+			if ev.Name == "phase_ms" {
+				if _, ok := ev.Args["barrier_wait"]; !ok {
+					t.Error("phase counter missing barrier_wait arg")
+				}
+			}
+		case "M":
+		default:
+			t.Errorf("unexpected phase %q", ev.Phase)
+		}
+	}
+	// 3 checkpoints × (1 phase track + 2 shard tracks).
+	if counters != 9 || shardTracks != 6 {
+		t.Fatalf("counters = %d shardTracks = %d, want 9 and 6", counters, shardTracks)
+	}
+	if !strings.Contains(buf.String(), "cawa engine profile") {
+		t.Error("missing process_name metadata")
+	}
+}
+
+func TestPhaseNamesStable(t *testing.T) {
+	want := []string{"domain_compute", "barrier_wait", "staged_commit", "memsys_drain", "fast_forward", "dispatch"}
+	for i, w := range want {
+		if got := Phase(i).String(); got != w {
+			t.Errorf("Phase(%d) = %q, want %q", i, got, w)
+		}
+	}
+	if int(NumPhases) != len(want) {
+		t.Errorf("NumPhases = %d, want %d (update report consumers)", NumPhases, len(want))
+	}
+}
+
+func TestObservePhaseAllocFree(t *testing.T) {
+	clk := &fakeClock{}
+	p := New(clk.now, 0)
+	p.EnsureShards(4)
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.ObservePhase(PhaseMemsysDrain, 123)
+		p.RecordShardCompute(2, 50)
+		p.ObserveEpoch(0, 100, 4)
+	})
+	if allocs != 0 {
+		t.Fatalf("hot path allocates: %v allocs/op", allocs)
+	}
+}

@@ -17,6 +17,10 @@ import (
 //   - Ratio probes expose their numerator and denominator as two
 //     counters with a _num / _den suffix, so the scraper can build the
 //     exact interval ratio instead of a lossy pre-divided gauge.
+//   - Histogram metrics render the full prometheus histogram contract:
+//     cumulative <name>_bucket{le="..."} series in ascending bound
+//     order ending at le="+Inf" (equal to <name>_count), plus
+//     <name>_sum and <name>_count.
 //
 // Metric names are prefixed ("cawa" -> cawa_ipc) and sanitized to the
 // [a-zA-Z0-9_] identifier set; per-SM metrics carry an sm="N" label.
@@ -32,9 +36,16 @@ func WritePrometheus(w io.Writer, prefix string, r *Registry) error {
 		sm    int
 		value float64
 	}
+	type histSample struct {
+		sm      int
+		buckets [numHistBounds + 1]uint64
+		count   uint64
+		sum     float64
+	}
 	families := map[string]struct {
 		typ     string
 		samples []sample
+		hists   []histSample
 	}{}
 	var order []string
 	add := func(name, typ string, sm int, v float64) {
@@ -57,6 +68,16 @@ func WritePrometheus(w io.Writer, prefix string, r *Registry) error {
 		case Ratio:
 			add(name+"_num", "counter", m.SM, m.num())
 			add(name+"_den", "counter", m.SM, m.den())
+		case Histogram:
+			f, ok := families[name]
+			if !ok {
+				f.typ = "histogram"
+				order = append(order, name)
+			}
+			hs := histSample{sm: m.SM}
+			hs.buckets, hs.count, hs.sum = m.hist.snapshot()
+			f.hists = append(f.hists, hs)
+			families[name] = f
 		}
 	}
 	sort.Strings(order)
@@ -64,6 +85,15 @@ func WritePrometheus(w io.Writer, prefix string, r *Registry) error {
 		f := families[name]
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
 			return err
+		}
+		if f.typ == "histogram" {
+			sort.Slice(f.hists, func(i, j int) bool { return f.hists[i].sm < f.hists[j].sm })
+			for _, h := range f.hists {
+				if err := writeHistogram(w, name, h.sm, h.buckets, h.count, h.sum); err != nil {
+					return err
+				}
+			}
+			continue
 		}
 		sort.Slice(f.samples, func(i, j int) bool { return f.samples[i].sm < f.samples[j].sm })
 		for _, s := range f.samples {
@@ -79,6 +109,39 @@ func WritePrometheus(w io.Writer, prefix string, r *Registry) error {
 		}
 	}
 	return nil
+}
+
+// writeHistogram renders one histogram series set: cumulative buckets
+// in ascending bound order ending at +Inf, then _sum and _count. A
+// per-SM histogram carries the sm label alongside le on every bucket.
+func writeHistogram(w io.Writer, name string, sm int, buckets [numHistBounds + 1]uint64, count uint64, sum float64) error {
+	smLabel := ""
+	if sm != GPUScope {
+		smLabel = fmt.Sprintf("sm=\"%d\",", sm)
+	}
+	var cum uint64
+	for i, b := range buckets {
+		cum += b
+		le := "+Inf"
+		if i < len(histBounds) {
+			le = fmt.Sprintf("%g", histBounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"%s\"} %d\n", name, smLabel, le, cum); err != nil {
+			return err
+		}
+	}
+	if sm != GPUScope {
+		if _, err := fmt.Fprintf(w, "%s_sum{sm=\"%d\"} %g\n", name, sm, sum); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count{sm=\"%d\"} %d\n", name, sm, count)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %g\n", name, sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, count)
+	return err
 }
 
 // promName sanitizes prefix_name to the metric identifier charset.

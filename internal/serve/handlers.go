@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"time"
 
 	"cawa/internal/obs"
 	"cawa/internal/sched"
@@ -37,7 +39,56 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/apps", s.handleApps)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.trace(mux)
+}
+
+// requestIDHeader carries the client-chosen request id; the server
+// mints one when absent and echoes it on every response either way.
+const requestIDHeader = "X-Request-ID"
+
+// statusWriter captures the response code for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// trace is the outermost middleware: it assigns (or propagates) the
+// request id, stores it in the request context for the submit path,
+// echoes it on the response, and emits one structured access-log line
+// per request with its HTTP latency. (The serve_request_seconds
+// histogram tracks job submit->finish, not individual HTTP exchanges —
+// polls would drown the signal.)
+func (s *Server) trace(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := s.requestID(r.Header.Get(requestIDHeader))
+		w.Header().Set(requestIDHeader, reqID)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r.WithContext(withRequestID(r.Context(), reqID)))
+		s.log.Info("http request",
+			slog.String("request_id", reqID),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.code),
+			slog.Float64("seconds", time.Since(t0).Seconds()))
+	})
+}
+
+// reqIDKey keys the request id in a request context.
+type reqIDKey struct{}
+
+func withRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
 }
 
 // apiError is the uniform error payload.
@@ -66,7 +117,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) *job {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return nil
 	}
-	j, err := s.submit(req)
+	j, err := s.submit(req, requestIDFrom(r.Context()))
 	switch err {
 	case nil:
 		return j

@@ -5,9 +5,11 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -448,6 +450,17 @@ func TestServeMetricsAndApps(t *testing.T) {
 		"cawa_session_cache_misses_total 1",
 		"cawa_session_runs_total 1",
 		"cawa_serve_workers 2",
+		// The three latency histograms speak the full prometheus
+		// histogram contract after one completed job.
+		"# TYPE cawa_serve_queue_wait_seconds histogram",
+		"# TYPE cawa_serve_run_seconds histogram",
+		"# TYPE cawa_serve_request_seconds histogram",
+		`cawa_serve_queue_wait_seconds_bucket{le="+Inf"} 1`,
+		"cawa_serve_queue_wait_seconds_count 1",
+		`cawa_serve_run_seconds_bucket{le="+Inf"} 1`,
+		"cawa_serve_run_seconds_count 1",
+		`cawa_serve_request_seconds_bucket{le="+Inf"} 1`,
+		"cawa_serve_request_seconds_count 1",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q\n%s", want, text)
@@ -471,6 +484,130 @@ func TestServeMetricsAndApps(t *testing.T) {
 	if len(apps["schedulers"]) == 0 {
 		t.Error("apps listing has no schedulers")
 	}
+}
+
+// TestServeRequestTracing: the server propagates a client X-Request-ID
+// (or mints one), echoes it on responses and in JobStatus, exposes a
+// machine-readable timeline once the job finishes, and writes a
+// structured request log whose lifecycle lines join on the request id.
+func TestServeRequestTracing(t *testing.T) {
+	var logBuf syncBuffer
+	srv := New(Config{
+		Session: testSession(),
+		Logger:  slog.New(slog.NewJSONHandler(&logBuf, nil)),
+	})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Client-supplied request id: echoed on the response and the status.
+	doc, _ := json.Marshal(RunRequest{App: "bfs"})
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "trace-me-42")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "trace-me-42" {
+		t.Errorf("response request id = %q, want trace-me-42", got)
+	}
+	st := decode[JobStatus](t, resp)
+	if st.RequestID != "trace-me-42" {
+		t.Errorf("status request id = %q, want trace-me-42", st.RequestID)
+	}
+	if st.SubmittedAt == "" {
+		t.Error("submitted_at missing on fresh job")
+	}
+	waitState(t, ts, st.ID, StateDone)
+
+	// Terminal status carries the full timeline.
+	resp, err = ts.Client().Get(ts.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("poll response missing a minted request id")
+	}
+	final := decode[JobStatus](t, resp)
+	for name, v := range map[string]string{
+		"submitted_at": final.SubmittedAt,
+		"started_at":   final.StartedAt,
+		"finished_at":  final.FinishedAt,
+	} {
+		if v == "" {
+			t.Errorf("terminal status missing %s: %+v", name, final)
+			continue
+		}
+		if _, err := time.Parse(time.RFC3339Nano, v); err != nil {
+			t.Errorf("%s = %q is not RFC3339: %v", name, v, err)
+		}
+	}
+	if final.QueueSeconds < 0 || final.RunSeconds <= 0 {
+		t.Errorf("timeline durations queue=%v run=%v", final.QueueSeconds, final.RunSeconds)
+	}
+
+	// The request log: submitted, started and finished lines all carry
+	// the client's request id and the job id; the finished line carries
+	// the outcome and durations.
+	lines := map[string]map[string]any{}
+	for _, raw := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(raw), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", raw, err)
+		}
+		if rec["request_id"] == "trace-me-42" {
+			lines[rec["msg"].(string)] = rec
+		}
+	}
+	for _, msg := range []string{"job submitted", "job started", "job finished"} {
+		rec, ok := lines[msg]
+		if !ok {
+			t.Errorf("request log missing %q line for trace-me-42\n%s", msg, logBuf.String())
+			continue
+		}
+		if rec["job_id"] != st.ID || rec["app"] != "bfs" {
+			t.Errorf("%q line has wrong identity: %v", msg, rec)
+		}
+	}
+	if fin, ok := lines["job finished"]; ok {
+		if fin["outcome"] != StateDone {
+			t.Errorf("finished outcome = %v, want done", fin["outcome"])
+		}
+		if rs, ok := fin["run_seconds"].(float64); !ok || rs <= 0 {
+			t.Errorf("finished run_seconds = %v", fin["run_seconds"])
+		}
+	}
+
+	// No header: the server mints req-N ids.
+	resp = postJSON(t, ts.Client(), ts.URL+"/v1/jobs", RunRequest{App: "kmeans"})
+	minted := decode[JobStatus](t, resp)
+	if !strings.HasPrefix(minted.RequestID, "req-") {
+		t.Errorf("minted request id = %q, want req-N", minted.RequestID)
+	}
+	waitState(t, ts, minted.ID, StateDone)
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the slog handler writes
+// from worker goroutines while the test reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }
 
 // TestServeResultStates: result fetch on unfinished/failed jobs has

@@ -17,8 +17,11 @@ package serve
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cawa/internal/core"
@@ -48,6 +51,11 @@ type Config struct {
 	// RetryAfter is the backoff hint attached to 429 responses.
 	// Default 1s.
 	RetryAfter time.Duration
+	// Logger receives the structured request log: one line per
+	// lifecycle transition (submitted, started, done/failed/canceled)
+	// carrying the request id, job id, app, system, outcome and
+	// queue/run durations. Nil discards the log.
+	Logger *slog.Logger
 }
 
 // RunRequest is the submit payload: one application on one design
@@ -106,9 +114,10 @@ const (
 
 // job is one submitted run and its lifecycle.
 type job struct {
-	id  string
-	req RunRequest
-	sys core.SystemConfig
+	id    string
+	reqID string // client's X-Request-ID, or a generated req-N
+	req   RunRequest
+	sys   core.SystemConfig
 
 	ctx      context.Context
 	cancel   context.CancelFunc
@@ -124,16 +133,31 @@ type job struct {
 	finished  time.Time
 }
 
-// JobStatus is the poll view of a job.
+// JobStatus is the poll view of a job. Beyond the state machine it
+// carries a machine-readable timeline — absolute RFC3339 transition
+// stamps plus derived queue/run durations — so a client can reconstruct
+// where a request spent its time without scraping the request log.
 type JobStatus struct {
-	ID     string `json:"id"`
-	App    string `json:"app"`
-	System string `json:"system"`
-	State  string `json:"state"`
-	Error  string `json:"error,omitempty"`
+	ID        string `json:"id"`
+	RequestID string `json:"request_id,omitempty"`
+	App       string `json:"app"`
+	System    string `json:"system"`
+	State     string `json:"state"`
+	Error     string `json:"error,omitempty"`
 	// Seconds the job has spent in its current lifecycle (queued wait
 	// for queued jobs, run time for running/terminal jobs).
 	Seconds float64 `json:"seconds"`
+
+	// Timeline: SubmittedAt is always set; StartedAt once a worker
+	// picked the job up (never for a queued-cancel); FinishedAt at any
+	// terminal state. QueueSeconds covers submitted->started (or
+	// submitted->finished for queued cancels); RunSeconds covers
+	// started->finished.
+	SubmittedAt  string  `json:"submitted_at"`
+	StartedAt    string  `json:"started_at,omitempty"`
+	FinishedAt   string  `json:"finished_at,omitempty"`
+	QueueSeconds float64 `json:"queue_seconds,omitempty"`
+	RunSeconds   float64 `json:"run_seconds,omitempty"`
 }
 
 // Server is the HTTP simulation service.
@@ -141,6 +165,15 @@ type Server struct {
 	cfg  Config
 	sess *harness.Session
 	reg  *obs.Registry
+	log  *slog.Logger
+
+	// Latency histograms, observed at job lifecycle transitions and
+	// rendered by /metrics with the full _bucket/_sum/_count contract.
+	queueWait *obs.HistogramMetric // submitted -> started
+	runDur    *obs.HistogramMetric // started -> finished
+	reqDur    *obs.HistogramMetric // submitted -> finished (end-to-end)
+
+	nextReqID atomic.Uint64
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
@@ -177,10 +210,14 @@ func New(cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,
 		sess:      cfg.Session,
+		log:       cfg.Logger,
 		baseCtx:   ctx,
 		cancelAll: cancel,
 		started:   time.Now(),
@@ -223,6 +260,9 @@ func (s *Server) buildRegistry() *obs.Registry {
 	reg.Rate("serve_jobs_completed_total", obs.GPUScope, locked(func() float64 { return float64(s.completed) }))
 	reg.Rate("serve_jobs_failed_total", obs.GPUScope, locked(func() float64 { return float64(s.failed) }))
 	reg.Rate("serve_jobs_canceled_total", obs.GPUScope, locked(func() float64 { return float64(s.canceled) }))
+	s.queueWait = reg.Histogram("serve_queue_wait_seconds", obs.GPUScope)
+	s.runDur = reg.Histogram("serve_run_seconds", obs.GPUScope)
+	s.reqDur = reg.Histogram("serve_request_seconds", obs.GPUScope)
 	return reg
 }
 
@@ -233,10 +273,32 @@ var (
 	errDraining  = fmt.Errorf("server is draining")
 )
 
+// requestID returns the caller-supplied id unchanged, or mints a
+// server-local one so every log line and timeline is traceable.
+func (s *Server) requestID(supplied string) string {
+	if supplied != "" {
+		return supplied
+	}
+	return fmt.Sprintf("req-%06d", s.nextReqID.Add(1))
+}
+
+// jobAttrs are the slog attributes shared by every lifecycle line of
+// one job, keeping the request log joinable on either id.
+func jobAttrs(j *job) []any {
+	return []any{
+		slog.String("request_id", j.reqID),
+		slog.String("job_id", j.id),
+		slog.String("app", j.req.App),
+		slog.String("system", j.sys.Label()),
+	}
+}
+
 // submit validates and enqueues a job. The returned job is owned by
 // the server; callers observe it through its done channel and Status.
-func (s *Server) submit(req RunRequest) (*job, error) {
+func (s *Server) submit(req RunRequest, reqID string) (*job, error) {
 	if err := req.Validate(); err != nil {
+		s.log.Warn("job rejected", slog.String("request_id", reqID),
+			slog.String("app", req.App), slog.String("reason", err.Error()))
 		return nil, err
 	}
 	timeout := s.cfg.DefaultTimeout
@@ -247,11 +309,14 @@ func (s *Server) submit(req RunRequest) (*job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
+		s.log.Warn("job rejected", slog.String("request_id", reqID),
+			slog.String("app", req.App), slog.String("reason", errDraining.Error()))
 		return nil, errDraining
 	}
 	s.nextID++
 	j := &job{
 		id:        fmt.Sprintf("job-%06d", s.nextID),
+		reqID:     reqID,
 		req:       req,
 		sys:       req.System(),
 		done:      make(chan struct{}),
@@ -267,10 +332,13 @@ func (s *Server) submit(req RunRequest) (*job, error) {
 	case s.queue <- j:
 		s.jobs[j.id] = j
 		s.submitted++
+		s.log.Info("job submitted", jobAttrs(j)...)
 		return j, nil
 	default:
 		s.rejected++
 		j.cancel()
+		s.log.Warn("job rejected", slog.String("request_id", reqID),
+			slog.String("app", req.App), slog.String("reason", errQueueFull.Error()))
 		return nil, errQueueFull
 	}
 }
@@ -283,7 +351,8 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob drives one job through the session and records its outcome.
+// runJob drives one job through the session and records its outcome,
+// observing queue-wait, run and end-to-end latencies on the way.
 func (s *Server) runJob(j *job) {
 	s.mu.Lock()
 	if j.state != StateQueued { // canceled while queued
@@ -294,6 +363,10 @@ func (s *Server) runJob(j *job) {
 	j.started = time.Now()
 	s.busy++
 	s.mu.Unlock()
+
+	wait := j.started.Sub(j.submitted).Seconds()
+	s.queueWait.Observe(wait)
+	s.log.Info("job started", append(jobAttrs(j), slog.Float64("queue_seconds", wait))...)
 
 	res, err := s.sess.RunContext(j.ctx, j.req.App, j.sys)
 
@@ -314,9 +387,24 @@ func (s *Server) runJob(j *job) {
 		j.err = err.Error()
 		s.failed++
 	}
+	outcome, errText := j.state, j.err
 	close(j.done)
 	s.mu.Unlock()
 	j.cancel() // release the deadline timer
+
+	run := j.finished.Sub(j.started).Seconds()
+	total := j.finished.Sub(j.submitted).Seconds()
+	s.runDur.Observe(run)
+	s.reqDur.Observe(total)
+	attrs := append(jobAttrs(j),
+		slog.String("outcome", outcome),
+		slog.Float64("queue_seconds", wait),
+		slog.Float64("run_seconds", run),
+		slog.Float64("request_seconds", total))
+	if errText != "" {
+		attrs = append(attrs, slog.String("error", errText))
+	}
+	s.log.Info("job finished", attrs...)
 }
 
 // cancelJob requests cancellation. Queued jobs terminate immediately;
@@ -330,7 +418,8 @@ func (s *Server) cancelJob(id string) bool {
 		return false
 	}
 	j.canceled = true
-	if j.state == StateQueued {
+	queuedCancel := j.state == StateQueued
+	if queuedCancel {
 		j.state = StateCanceled
 		j.err = context.Canceled.Error()
 		j.finished = time.Now()
@@ -339,6 +428,17 @@ func (s *Server) cancelJob(id string) bool {
 	}
 	s.mu.Unlock()
 	j.cancel()
+	if queuedCancel {
+		// Never started: the whole request was queue wait.
+		total := j.finished.Sub(j.submitted).Seconds()
+		s.reqDur.Observe(total)
+		s.log.Info("job finished", append(jobAttrs(j),
+			slog.String("outcome", StateCanceled),
+			slog.Float64("queue_seconds", total),
+			slog.Float64("request_seconds", total))...)
+	} else {
+		s.log.Info("job cancel requested", jobAttrs(j)...)
+	}
 	return true
 }
 
@@ -355,11 +455,25 @@ func (s *Server) status(id string) (JobStatus, bool) {
 
 func (s *Server) statusLocked(j *job) JobStatus {
 	st := JobStatus{
-		ID:     j.id,
-		App:    j.req.App,
-		System: j.sys.Label(),
-		State:  j.state,
-		Error:  j.err,
+		ID:          j.id,
+		RequestID:   j.reqID,
+		App:         j.req.App,
+		System:      j.sys.Label(),
+		State:       j.state,
+		Error:       j.err,
+		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		st.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+		st.QueueSeconds = j.started.Sub(j.submitted).Seconds()
+	}
+	if !j.finished.IsZero() {
+		st.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+		if j.started.IsZero() {
+			st.QueueSeconds = j.finished.Sub(j.submitted).Seconds()
+		} else {
+			st.RunSeconds = j.finished.Sub(j.started).Seconds()
+		}
 	}
 	switch j.state {
 	case StateQueued:
@@ -411,8 +525,12 @@ func (s *Server) Draining() bool {
 // jobs. Idempotent.
 func (s *Server) BeginDrain() {
 	s.mu.Lock()
+	already := s.draining
 	s.draining = true
 	s.mu.Unlock()
+	if !already {
+		s.log.Info("admission stopped")
+	}
 }
 
 // Drain gracefully shuts the service down: stop admitting, let the

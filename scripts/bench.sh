@@ -18,6 +18,13 @@
 # engine scales with cores, so reports are only comparable at matching
 # GOMAXPROCS.
 #
+# The smpar-prof-15sm sub-benchmark runs the parallel engine with the
+# self-profiler attached, so the report also carries barrier_wait_frac
+# (fraction of shard wall-clock spent waiting at the epoch barrier) and
+# shard_spread (max/mean per-shard compute) — the shard-imbalance
+# summary. The delta gate ignores them (profiled throughput is not the
+# headline number); they are echoed after the report is written.
+#
 # Delta mode (-delta): after writing the report, compare the serial
 # SimulatorThroughput sim_cycles_s against the committed baseline (the
 # newest BENCH_*.json in the repo root, or $BASELINE) and exit non-zero
@@ -74,6 +81,25 @@ END { printf "\n  ]\n}\n" }
 
 echo "wrote $out"
 
+# Extract one numeric metric of one benchmark from a report.
+extract() {
+    awk -v name="$2" -v metric="$3" '
+        $0 ~ "\"name\": \"" name "\"" && match($0, "\"" metric "\": *[0-9.eE+-]+") {
+            v = substr($0, RSTART, RLENGTH)
+            sub(/.*: */, "", v)
+            print v
+            exit
+        }' "$1"
+}
+
+# Shard-imbalance summary from the profiled parallel run, when the
+# pattern included it.
+bwf=$(extract "$out" "SimulatorThroughput/smpar-prof-15sm" barrier_wait_frac)
+spread=$(extract "$out" "SimulatorThroughput/smpar-prof-15sm" shard_spread)
+if [ -n "$bwf" ]; then
+    echo "engine profile: barrier_wait_frac=$bwf shard_spread=$spread"
+fi
+
 if [ "$delta" = 1 ]; then
     # Newest committed baseline unless the caller pinned one. The
     # just-written outfile must not shadow the baseline.
@@ -82,16 +108,6 @@ if [ "$delta" = 1 ]; then
         echo "delta: no committed BENCH_*.json baseline found" >&2
         exit 1
     fi
-    # Extract one numeric metric of one benchmark from a report.
-    extract() {
-        awk -v name="$2" -v metric="$3" '
-            $0 ~ "\"name\": \"" name "\"" && match($0, "\"" metric "\": *[0-9.eE+-]+") {
-                v = substr($0, RSTART, RLENGTH)
-                sub(/.*: */, "", v)
-                print v
-                exit
-            }' "$1"
-    }
     # Serial headline: the historical flat name (pre-split baselines)
     # or the serial-2sm sub-benchmark. Engine-independent, so it always
     # gates.
