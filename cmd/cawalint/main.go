@@ -1,21 +1,36 @@
 // Command cawalint enforces the simulator's determinism invariants
-// over its Go source (see internal/lint): no wall-clock reads or
-// global math/rand in simulation packages, no raw map iteration
-// feeding simulation state or output, no goroutines outside
-// internal/harness, internal/serve and the gpu domain runner, and no
-// direct memsys.System mutation from SM-domain code.
+// over its Go source (see internal/lint).
+//
+// The default per-file mode checks each package in isolation: no
+// wall-clock reads or global math/rand in simulation packages, no raw
+// map iteration feeding simulation state or output, no goroutines
+// outside the sanctioned packages, and no direct memsys.System
+// mutation from SM-domain code.
+//
+// With -interproc the tool type-checks the whole module, builds a
+// CHA-style call graph, and additionally enforces the transitive
+// rules: the 0-allocs/cycle budget on everything the cycle roots
+// reach, the staged-memsys discipline across helper chains, the
+// no-synchronization rule for domain-goroutine-reachable code, the
+// package-global write ban, and the reachability-based wall-clock
+// ban. Accepted findings live in a committed baseline keyed by stable
+// finding IDs; -baseline applies it, -update-baseline regenerates it.
 //
 // Usage:
 //
-//	cawalint [dirs...]   # default: ./internal
+//	cawalint [dirs...]                 # per-file mode (default ./internal)
+//	cawalint -interproc [-dir root] [-json out.json] [-baseline file]
+//	cawalint -interproc -baseline file -update-baseline
 //
 // Findings print as file:line:col: rule: message; the exit status is
-// 1 when any finding exists, 2 on usage or I/O errors.
+// 0 when clean, 1 when any finding exists, 2 on usage, load, or I/O
+// errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -25,52 +40,174 @@ import (
 )
 
 func main() {
-	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: cawalint [dirs...]  (default ./internal)")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, executes the
+// requested mode, and returns the process exit code (0 clean, 1
+// findings, 2 usage/load errors).
+func run(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("cawalint", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	interproc := fl.Bool("interproc", false, "whole-module interprocedural analysis (call-graph rules + baseline)")
+	dir := fl.String("dir", ".", "module root directory (must contain go.mod)")
+	jsonOut := fl.String("json", "", "write findings as JSON to this file ('-' for stdout); requires -interproc")
+	baselinePath := fl.String("baseline", "", "baseline file of accepted finding IDs; requires -interproc")
+	updateBaseline := fl.Bool("update-baseline", false, "rewrite -baseline accepting all current findings, then exit 0; requires -interproc and -baseline")
+	fl.Usage = func() {
+		fmt.Fprintln(stderr, "usage: cawalint [dirs...]                  (per-file mode, default ./internal)")
+		fmt.Fprintln(stderr, "       cawalint -interproc [-dir root] [-json out] [-baseline file] [-update-baseline]")
+		fl.PrintDefaults()
 	}
-	flag.Parse()
-	roots := flag.Args()
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+
+	if !*interproc {
+		if *jsonOut != "" || *baselinePath != "" || *updateBaseline {
+			fmt.Fprintln(stderr, "cawalint: -json, -baseline and -update-baseline require -interproc")
+			return 2
+		}
+		return runPerFile(fl.Args(), *dir, stdout, stderr)
+	}
+	if fl.NArg() > 0 {
+		fmt.Fprintln(stderr, "cawalint: -interproc analyzes the whole module; positional directories are per-file mode only")
+		return 2
+	}
+	if *updateBaseline && *baselinePath == "" {
+		fmt.Fprintln(stderr, "cawalint: -update-baseline requires -baseline to name the file to write")
+		return 2
+	}
+	return runInterproc(*dir, *jsonOut, *baselinePath, *updateBaseline, stdout, stderr)
+}
+
+// runInterproc loads the whole module, runs AnalyzeModule, and applies
+// or regenerates the baseline.
+func runInterproc(dir, jsonOut, baselinePath string, updateBaseline bool, stdout, stderr io.Writer) int {
+	m, err := lint.LoadModule(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "cawalint: %v\n", err)
+		return 2
+	}
+	findings, err := lint.AnalyzeModule(m, lint.DefaultInterOptions())
+	if err != nil {
+		fmt.Fprintf(stderr, "cawalint: %v\n", err)
+		return 2
+	}
+
+	if updateBaseline {
+		var prev *lint.Baseline
+		if _, statErr := os.Stat(baselinePath); statErr == nil {
+			prev, err = lint.LoadBaseline(baselinePath)
+			if err != nil {
+				fmt.Fprintf(stderr, "cawalint: %v\n", err)
+				return 2
+			}
+		}
+		b := lint.UpdateBaseline(findings, prev)
+		if err := lint.SaveBaseline(baselinePath, b); err != nil {
+			fmt.Fprintf(stderr, "cawalint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "cawalint: wrote %d baseline entr%s to %s\n",
+			len(b.Entries), plural(len(b.Entries), "y", "ies"), baselinePath)
+		return 0
+	}
+
+	if baselinePath != "" {
+		b, err := lint.LoadBaseline(baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "cawalint: %v\n", err)
+			return 2
+		}
+		findings = b.Apply(findings)
+	}
+
+	if jsonOut != "" {
+		w := stdout
+		if jsonOut != "-" {
+			f, err := os.Create(jsonOut)
+			if err != nil {
+				fmt.Fprintf(stderr, "cawalint: %v\n", err)
+				return 2
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := lint.WriteFindingsJSON(w, findings); err != nil {
+			fmt.Fprintf(stderr, "cawalint: %v\n", err)
+			return 2
+		}
+	}
+
+	// With -json - the stdout stream IS the JSON document; keep the
+	// human-readable lines off it.
+	if jsonOut != "-" {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "cawalint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+// runPerFile is the original single-package mode: lint each directory's
+// package in isolation, with types resolved per file only.
+func runPerFile(roots []string, dir string, stdout, stderr io.Writer) int {
 	if len(roots) == 0 {
 		roots = []string{"internal"}
 	}
-
-	module, err := moduleName()
+	module, err := moduleName(dir)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cawalint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "cawalint: %v\n", err)
+		return 2
 	}
 	opts := lint.DefaultOptions()
 
 	total := 0
 	for _, root := range roots {
-		dirs, err := goDirs(root)
+		dirs, err := goDirs(filepath.Join(dir, root))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cawalint: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "cawalint: %v\n", err)
+			return 2
 		}
-		for _, dir := range dirs {
-			pkgPath := module + "/" + filepath.ToSlash(filepath.Clean(dir))
-			findings, err := lint.Dir(dir, pkgPath, opts)
+		for _, d := range dirs {
+			rel, err := filepath.Rel(dir, d)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "cawalint: %s: %v\n", dir, err)
-				os.Exit(2)
+				rel = d
+			}
+			pkgPath := module + "/" + filepath.ToSlash(filepath.Clean(rel))
+			findings, err := lint.Dir(d, pkgPath, opts)
+			if err != nil {
+				fmt.Fprintf(stderr, "cawalint: %s: %v\n", d, err)
+				return 2
 			}
 			for _, f := range findings {
-				fmt.Println(f)
+				fmt.Fprintln(stdout, f)
 			}
 			total += len(findings)
 		}
 	}
 	if total > 0 {
-		fmt.Fprintf(os.Stderr, "cawalint: %d finding(s)\n", total)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "cawalint: %d finding(s)\n", total)
+		return 1
 	}
+	return 0
 }
 
-// moduleName reads the module path from go.mod in the current
-// directory (cawalint runs from the repository root, as check.sh does).
-func moduleName() (string, error) {
-	data, err := os.ReadFile("go.mod")
+// moduleName reads the module path from go.mod under dir.
+func moduleName(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes run with captured streams and returns the exit code
+// plus both outputs.
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// badSyntaxModule writes a module with a parse error to a temp dir
+// (committing one would trip gofmt over the repo).
+func badSyntaxModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module cawa\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte("package broken\n\nfunc oops( {\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestExitCodes pins the documented contract: 0 clean, 1 findings,
+// 2 usage or load errors.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean under baseline", []string{"-interproc", "-dir", "testdata/mod", "-baseline", "testdata/baseline.json"}, 0},
+		{"findings", []string{"-interproc", "-dir", "testdata/mod"}, 1},
+		{"stale baseline entry", []string{"-interproc", "-dir", "testdata/mod", "-baseline", "testdata/baseline_stale.json"}, 1},
+		{"json without interproc", []string{"-json", "out.json", "internal"}, 2},
+		{"baseline without interproc", []string{"-baseline", "testdata/baseline.json", "internal"}, 2},
+		{"update-baseline without baseline", []string{"-interproc", "-update-baseline", "-dir", "testdata/mod"}, 2},
+		{"positional dirs with interproc", []string{"-interproc", "internal"}, 2},
+		{"unknown flag", []string{"-no-such-flag"}, 2},
+		{"syntax error in module", []string{"-interproc", "-dir", badSyntaxModule(t)}, 2},
+		{"module without the engine roots", []string{"-interproc", "-dir", "testdata/notcawa"}, 2},
+		{"missing module dir", []string{"-interproc", "-dir", "testdata/no-such-dir"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, tc.args...)
+			if code != tc.want {
+				t.Fatalf("exit code = %d, want %d (stderr: %s)", code, tc.want, stderr)
+			}
+		})
+	}
+}
+
+// TestFindingsOutput checks the human-readable mode names the rule and
+// carries the witness path.
+func TestFindingsOutput(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-interproc", "-dir", "testdata/mod")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stdout, "hotpath-alloc") {
+		t.Errorf("stdout missing rule name:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "[(*cawa/internal/sm.SM).Cycle]") {
+		t.Errorf("stdout missing witness path:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "1 finding(s)") {
+		t.Errorf("stderr missing summary:\n%s", stderr)
+	}
+}
+
+// TestStaleBaselineSurfaces checks an unmatched baseline entry comes
+// back as a stale-baseline finding rather than being ignored.
+func TestStaleBaselineSurfaces(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-interproc", "-dir", "testdata/mod", "-baseline", "testdata/baseline_stale.json")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "stale-baseline") {
+		t.Errorf("stdout missing stale-baseline finding:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "hotpath-alloc:") {
+		t.Errorf("baselined finding leaked through:\n%s", stdout)
+	}
+}
+
+// TestJSONGolden pins the -json byte format: sorted, indented,
+// stable IDs, module-relative paths. Regenerate with
+// CAWALINT_UPDATE_GOLDEN=1 go test cawa/cmd/cawalint -run TestJSONGolden.
+var updateGolden = os.Getenv("CAWALINT_UPDATE_GOLDEN") != ""
+
+func TestJSONGolden(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-interproc", "-dir", "testdata/mod", "-json", "-")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+	}
+	golden := filepath.Join("testdata", "findings.golden.json")
+	if updateGolden {
+		if err := os.WriteFile(golden, []byte(stdout), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout != string(want) {
+		t.Errorf("JSON output differs from %s:\ngot:\n%s\nwant:\n%s", golden, stdout, want)
+	}
+}
+
+// TestJSONDeterministic runs the analysis twice and requires identical
+// bytes: map iteration anywhere in the pipeline would flake here.
+func TestJSONDeterministic(t *testing.T) {
+	_, first, _ := runCLI(t, "-interproc", "-dir", "testdata/mod", "-json", "-")
+	_, second, _ := runCLI(t, "-interproc", "-dir", "testdata/mod", "-json", "-")
+	if first != second {
+		t.Errorf("two runs produced different JSON:\n%s\nvs:\n%s", first, second)
+	}
+}
+
+// TestUpdateBaselineRoundTrip regenerates a baseline into a temp file
+// and checks the next run is clean under it, with reasons carried over
+// from a previous baseline and placeholders for new entries.
+func TestUpdateBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+
+	code, _, stderr := runCLI(t, "-interproc", "-dir", "testdata/mod", "-baseline", path, "-update-baseline")
+	if code != 0 {
+		t.Fatalf("update-baseline exit code = %d (stderr: %s)", code, stderr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "TODO: justify this acceptance") {
+		t.Errorf("new baseline entry missing placeholder reason:\n%s", data)
+	}
+
+	code, stdout, stderr := runCLI(t, "-interproc", "-dir", "testdata/mod", "-baseline", path)
+	if code != 0 {
+		t.Fatalf("run under fresh baseline: exit code = %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+
+	// Updating again over the existing file must keep its reasons.
+	if err := os.WriteFile(path, bytes.Replace(data,
+		[]byte("TODO: justify this acceptance"), []byte("a real reviewed reason"), 1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runCLI(t, "-interproc", "-dir", "testdata/mod", "-baseline", path, "-update-baseline")
+	if code != 0 {
+		t.Fatalf("second update-baseline exit code = %d (stderr: %s)", code, stderr)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "a real reviewed reason") {
+		t.Errorf("update-baseline dropped the reviewed reason:\n%s", data)
+	}
+}
+
+// TestPerFileModeStillWorks runs the legacy mode against the fixture
+// module (whose packages are clean under the per-file rules).
+func TestPerFileModeStillWorks(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-dir", "testdata/mod", "internal")
+	if code != 0 {
+		t.Fatalf("exit code = %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+}

@@ -1,0 +1,3 @@
+module cawa
+
+go 1.22

@@ -1,0 +1,23 @@
+// Package gpu is a stub so the engine-loop roots resolve.
+package gpu
+
+import "cawa/internal/sm"
+
+// GPU is the stub engine.
+type GPU struct {
+	sms []*sm.SM
+}
+
+func (g *GPU) stepSMs() {
+	for _, s := range g.sms {
+		s.Cycle()
+	}
+}
+
+func (g *GPU) fastForward() {}
+
+// Run drives the stub engine.
+func (g *GPU) Run() {
+	g.stepSMs()
+	g.fastForward()
+}

@@ -1,0 +1,15 @@
+// Package sm is a stub of the real engine layout, just large enough
+// for cawalint's default root set to resolve. The deliberate append in
+// Cycle is the fixture's one finding.
+package sm
+
+// SM is the stub streaming multiprocessor.
+type SM struct {
+	buf []int
+}
+
+// Cycle simulates one cycle; the append is a deliberate hot-path
+// allocation the CLI tests assert on.
+func (s *SM) Cycle() {
+	s.buf = append(s.buf, 1)
+}

@@ -1,0 +1,3 @@
+module other
+
+go 1.22

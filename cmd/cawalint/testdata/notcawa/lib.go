@@ -1,0 +1,6 @@
+// Package lib compiles fine but defines none of cawalint's roots, so
+// interprocedural analysis must fail loudly rather than pass vacuously.
+package lib
+
+// Answer is the only symbol.
+func Answer() int { return 42 }

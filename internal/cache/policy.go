@@ -90,9 +90,20 @@ func LRUVictimAmong(c *Cache, set int, ways []int) int {
 func SRRIPVictimAmong(c *Cache, set int, ways []int) int {
 	lines := c.Set(set)
 	if ways == nil {
-		ways = make([]int, len(lines))
-		for i := range ways {
-			ways[i] = i
+		// Unrestricted scan: iterate the set directly rather than
+		// materializing an index slice — this runs on the per-fill hot
+		// path, which must not allocate.
+		for {
+			for w := range lines {
+				if lines[w].RRPV >= RRPVMax {
+					return w
+				}
+			}
+			for w := range lines {
+				if lines[w].RRPV < RRPVMax {
+					lines[w].RRPV++
+				}
+			}
 		}
 	}
 	for {

@@ -95,7 +95,7 @@ func (p *CCWSProvider) onMiss(gid int, addr int64) {
 			// Lost locality detected: the warp re-references a line it
 			// recently lost.
 			w.lls += ccwsHitGain
-			w.victims = append(w.victims[:i], w.victims[i+1:]...)
+			w.victims = append(w.victims[:i], w.victims[i+1:]...) //cawalint:alloc-ok in-place removal within the victim ring's existing capacity
 			return
 		}
 	}
@@ -152,6 +152,9 @@ func (p *CCWSProvider) IsCritical(slot int) bool {
 // score is above the base level.
 type CCWSPolicy struct {
 	lrr sched.LRR
+	// topK is the reused scratch buffer for the per-cycle throttled
+	// ready-set selection; Select would otherwise allocate every call.
+	topK []int
 }
 
 // Name implements sched.Policy.
@@ -180,7 +183,8 @@ func (p *CCWSPolicy) Select(ctx *sched.Context) int {
 			k = 1
 		}
 		if k < n {
-			allowed = topKByScore(ctx, k)
+			p.topK = topKByScore(ctx, k, p.topK[:0])
+			allowed = p.topK
 		}
 	}
 	sub := *ctx
@@ -188,8 +192,8 @@ func (p *CCWSPolicy) Select(ctx *sched.Context) int {
 	return p.lrr.Select(&sub)
 }
 
-func topKByScore(ctx *sched.Context, k int) []int {
-	out := append([]int(nil), ctx.Ready...)
+func topKByScore(ctx *sched.Context, k int, scratch []int) []int {
+	out := append(scratch, ctx.Ready...) //cawalint:alloc-ok amortized growth of the caller's reused scratch buffer
 	// Partial selection sort: small n (<=24 per scheduler).
 	for i := 0; i < k; i++ {
 		best := i

@@ -380,7 +380,7 @@ func (g *GPU) fastForward(ctx context.Context, smWake, startCycle int64) error {
 	// the whole run of dead cycles, so one bulk AccountSkipped call
 	// equals per-cycle accounting.
 	pending := int64(0)
-	flush := func() {
+	flush := func() { //cawalint:alloc-ok one closure per fastForward call, amortized over the skipped span
 		if pending > 0 {
 			for _, s := range g.sms {
 				s.AccountSkipped(pending)

@@ -1,0 +1,850 @@
+package lint
+
+// A CHA-style call graph over the whole module, for the
+// interprocedural rules (interproc.go).
+//
+// Nodes are declared functions and methods plus function literals
+// (named <parent>$N in creation order, so their identity survives line
+// shifts). Edges come from four resolution strategies, each an
+// overapproximation — the graph may contain calls that never happen at
+// run time, never the reverse (within the documented caveats):
+//
+//   - static: direct calls to declared functions and methods.
+//   - interface: a call through an interface method links to that
+//     method on every named type in the module whose type (or pointer)
+//     implements the interface — class-hierarchy analysis.
+//   - function values: a call through a func-typed variable, field, or
+//     parameter links to every module function or literal whose address
+//     is taken somewhere in the module and whose signature matches.
+//   - creation: a function links to every literal it lexically creates
+//     (making a closure in hot code means it may well run hot).
+//
+// Soundness caveats (documented in DESIGN.md): calls made via
+// reflection, and function values that enter the module from outside
+// (no address-taken site in module source) are invisible. The module
+// does not use either on the guarded paths.
+//
+// While walking bodies the builder also collects per-function *facts* —
+// allocation sites, channel operations, sync/atomic usage, wall-clock
+// calls, writes to package-level variables — which the rules later
+// combine with reachability.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// site is one fact occurrence inside a function body.
+type site struct {
+	pos    token.Pos
+	detail string // stable, human-readable discriminator for finding IDs
+}
+
+// nodeFacts are the rule-relevant observations of one function body.
+type nodeFacts struct {
+	allocs       []site // make/new/append/literals/boxing/closures/concat
+	chanOps      []site // send, receive, close, select, make(chan), range
+	goStmts      []site
+	syncOps      []site // sync.Mutex et al. methods, sync/atomic calls
+	wallClock    []site // time.Now-class calls (detail "time.Now")
+	globalWrites []site // writes to module package-level variables
+}
+
+// cgNode is one function, method, or function literal.
+type cgNode struct {
+	name string // canonical: types.Func.FullName(), or parent$N for literals
+	fn   *types.Func
+	pkg  *Pkg
+	sig  *types.Signature
+	pos  token.Pos
+	file string // base file name, for per-file allowlists
+
+	callees []cgEdge
+	edgeSet map[*cgNode]bool
+	facts   nodeFacts
+
+	litSeq int // literals created so far (names children)
+}
+
+// cgEdge is a call edge with the position of (one of) its call sites.
+type cgEdge struct {
+	to  *cgNode
+	pos token.Pos
+}
+
+// callGraph is the module-wide graph plus the indexes the rules need.
+type callGraph struct {
+	module *Module
+	nodes  map[string]*cgNode
+	byObj  map[*types.Func]*cgNode
+	named  []*types.Named // module named types, for interface resolution
+
+	addrTaken map[string][]*cgNode // normalized signature -> candidates
+	pending   []pendingDynamic
+	chaCache  map[string][]*cgNode
+
+	// varBind tracks, per variable, the function-literal nodes assigned
+	// to it; varEscapes marks variables that also receive non-literal
+	// values, disqualifying them from precise resolution.
+	varBind    map[*types.Var][]*cgNode
+	varEscapes map[*types.Var]bool
+}
+
+type pendingDynamic struct {
+	from *cgNode
+	sig  string
+	pos  token.Pos
+	// localVar, when set, is the variable the call goes through; if its
+	// only assignments are function literals, the call links to exactly
+	// those literals instead of every signature match.
+	localVar *types.Var
+}
+
+// buildCallGraph indexes declarations, walks every body, and resolves
+// dynamic calls.
+func buildCallGraph(m *Module) *callGraph {
+	g := &callGraph{
+		module:     m,
+		nodes:      map[string]*cgNode{},
+		byObj:      map[*types.Func]*cgNode{},
+		addrTaken:  map[string][]*cgNode{},
+		chaCache:   map[string][]*cgNode{},
+		varBind:    map[*types.Var][]*cgNode{},
+		varEscapes: map[*types.Var]bool{},
+	}
+	for _, pkg := range m.Sorted {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
+				if named, ok := tn.Type().(*types.Named); ok {
+					g.named = append(g.named, named)
+				}
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &cgNode{
+					name:    obj.FullName(),
+					fn:      obj,
+					pkg:     pkg,
+					sig:     obj.Type().(*types.Signature),
+					pos:     fd.Pos(),
+					file:    filepath.Base(m.Fset.Position(fd.Pos()).Filename),
+					edgeSet: map[*cgNode]bool{},
+				}
+				g.nodes[n.name] = n
+				g.byObj[obj] = n
+			}
+		}
+	}
+	for _, pkg := range m.Sorted {
+		for _, f := range pkg.Files {
+			g.walkFile(pkg, f)
+		}
+	}
+	for _, p := range g.pending {
+		if v := p.localVar; v != nil && !g.varEscapes[v] && len(g.varBind[v]) > 0 {
+			for _, lit := range g.varBind[v] {
+				g.edge(p.from, lit, p.pos)
+			}
+			continue
+		}
+		for _, cand := range g.addrTaken[p.sig] {
+			g.edge(p.from, cand, p.pos)
+		}
+	}
+	return g
+}
+
+func (g *callGraph) edge(from, to *cgNode, pos token.Pos) {
+	if from == nil || to == nil || from.edgeSet[to] {
+		return
+	}
+	from.edgeSet[to] = true
+	from.callees = append(from.callees, cgEdge{to: to, pos: pos})
+}
+
+// nodeOf maps a function object to its node, unwrapping generic
+// instantiations to their declared origin.
+func (g *callGraph) nodeOf(obj *types.Func) *cgNode {
+	if obj == nil {
+		return nil
+	}
+	return g.byObj[obj.Origin()]
+}
+
+// normSig renders a signature with the receiver stripped: the callable
+// shape a function value of this function would have. Full package
+// paths qualify parameter types, so identically-named types in
+// different packages cannot alias.
+func normSig(sig *types.Signature) string {
+	if sig.Recv() != nil {
+		sig = types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+	}
+	return types.TypeString(sig, nil)
+}
+
+// chaTargets resolves an interface method to every module method that
+// may satisfy it: method name on each named type (or its pointer) that
+// implements the interface.
+func (g *callGraph) chaTargets(iface *types.Interface, name string) []*cgNode {
+	key := types.TypeString(iface, nil) + "." + name
+	if out, ok := g.chaCache[key]; ok {
+		return out
+	}
+	var out []*cgNode
+	for _, named := range g.named {
+		if types.IsInterface(named) {
+			continue
+		}
+		var recv types.Type = named
+		if !types.Implements(recv, iface) {
+			recv = types.NewPointer(named)
+			if !types.Implements(recv, iface) {
+				continue
+			}
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, named.Obj().Pkg(), name)
+		if fn, ok := obj.(*types.Func); ok {
+			if n := g.nodeOf(fn); n != nil {
+				out = append(out, n)
+			}
+		}
+	}
+	g.chaCache[key] = out
+	return out
+}
+
+// fileWalker tracks the enclosing-function stack through one file's
+// pre-order traversal (ast.Inspect calls f(nil) once after each node's
+// children, so depth counting recovers the nesting).
+type fileWalker struct {
+	g     *callGraph
+	pkg   *Pkg
+	info  *types.Info
+	depth int
+	stack []walkFrame
+
+	// calleeExprs marks expressions in call-operator position, so a
+	// function referenced there is a call, not an address-taken value.
+	calleeExprs map[ast.Expr]bool
+	// panicSpans are intervals inside panic(...) arguments; allocation
+	// facts there are skipped — a panicking cycle is not the hot path.
+	panicSpans []span
+	// handledLits are composite literals already accounted (under a &).
+	handledLits map[*ast.CompositeLit]bool
+	// litOwner maps a function literal to the variable it is assigned
+	// to; the binding completes when the literal's node is created.
+	litOwner map[*ast.FuncLit]*types.Var
+}
+
+type walkFrame struct {
+	node  *cgNode
+	depth int
+}
+
+type span struct{ lo, hi token.Pos }
+
+func (w *fileWalker) current() *cgNode {
+	if len(w.stack) == 0 {
+		return nil
+	}
+	return w.stack[len(w.stack)-1].node
+}
+
+func (g *callGraph) walkFile(pkg *Pkg, f *ast.File) {
+	w := &fileWalker{
+		g: g, pkg: pkg, info: pkg.Info,
+		calleeExprs: map[ast.Expr]bool{},
+		handledLits: map[*ast.CompositeLit]bool{},
+		litOwner:    map[*ast.FuncLit]*types.Var{},
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			if len(w.stack) > 0 && w.stack[len(w.stack)-1].depth == w.depth {
+				w.stack = w.stack[:len(w.stack)-1]
+			}
+			w.depth--
+			return true
+		}
+		w.depth++
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body == nil {
+				return false
+			}
+			if obj, ok := w.info.Defs[n.Name].(*types.Func); ok {
+				if node := g.byObj[obj]; node != nil {
+					w.stack = append(w.stack, walkFrame{node: node, depth: w.depth})
+				}
+			}
+		case *ast.FuncLit:
+			w.funcLit(n)
+		default:
+			w.visit(n)
+		}
+		return true
+	})
+}
+
+// funcLit creates the literal's node, links it from its creator, and
+// registers it as a dynamic-call candidate unless it is invoked on the
+// spot.
+func (w *fileWalker) funcLit(lit *ast.FuncLit) {
+	parent := w.current()
+	name := w.pkg.Path + ".init"
+	var seq *int
+	if parent != nil {
+		name = parent.name
+		seq = &parent.litSeq
+	} else {
+		seq = new(int) // package-level literal (var initializer)
+	}
+	*seq++
+	node := &cgNode{
+		name:    name + "$" + itoa(*seq),
+		pkg:     w.pkg,
+		pos:     lit.Pos(),
+		file:    filepath.Base(w.g.module.Fset.Position(lit.Pos()).Filename),
+		edgeSet: map[*cgNode]bool{},
+	}
+	if sig, ok := w.info.Types[lit].Type.(*types.Signature); ok {
+		node.sig = sig
+	}
+	// Literal names can collide only if two package-level literals in
+	// different files race the fresh counter; suffix until free.
+	for w.g.nodes[node.name] != nil {
+		*seq++
+		node.name = name + "$" + itoa(*seq)
+	}
+	w.g.nodes[node.name] = node
+	if parent != nil {
+		w.g.edge(parent, node, lit.Pos())
+	}
+	if !w.calleeExprs[lit] {
+		if node.sig != nil {
+			w.g.addrTaken[normSig(node.sig)] = append(w.g.addrTaken[normSig(node.sig)], node)
+		}
+		if parent != nil {
+			w.addAlloc(parent, lit.Pos(), "func literal (closure)")
+		}
+	}
+	if v, ok := w.litOwner[lit]; ok {
+		w.g.varBind[v] = append(w.g.varBind[v], node)
+	}
+	w.stack = append(w.stack, walkFrame{node: node, depth: w.depth})
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func (w *fileWalker) inPanic(pos token.Pos) bool {
+	for _, s := range w.panicSpans {
+		if pos >= s.lo && pos < s.hi {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *fileWalker) addAlloc(node *cgNode, pos token.Pos, detail string) {
+	if node == nil || w.inPanic(pos) {
+		return
+	}
+	node.facts.allocs = append(node.facts.allocs, site{pos: pos, detail: detail})
+}
+
+func (w *fileWalker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := w.info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := w.info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := w.info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// boxes reports whether assigning a value of type from to a location of
+// type to converts a concrete value into an interface — the allocation
+// the escape analyzer cannot always elide.
+func boxes(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	if !types.IsInterface(to) || types.IsInterface(from) {
+		return false
+	}
+	if b, ok := from.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+func (w *fileWalker) visit(n ast.Node) {
+	node := w.current()
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		w.call(node, n)
+	case *ast.GoStmt:
+		if node != nil {
+			node.facts.goStmts = append(node.facts.goStmts, site{pos: n.Pos(), detail: "go statement"})
+		}
+	case *ast.SendStmt:
+		w.chanOp(node, n.Pos(), "channel send")
+	case *ast.SelectStmt:
+		w.chanOp(node, n.Pos(), "select")
+	case *ast.UnaryExpr:
+		switch n.Op {
+		case token.ARROW:
+			w.chanOp(node, n.Pos(), "channel receive")
+		case token.AND:
+			if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				w.handledLits[lit] = true
+				w.addAlloc(node, n.Pos(), "&composite literal")
+			}
+		}
+	case *ast.RangeStmt:
+		if t := w.typeOf(n.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				w.chanOp(node, n.Pos(), "range over channel")
+			}
+		}
+	case *ast.CompositeLit:
+		if w.handledLits[n] {
+			break
+		}
+		t := w.typeOf(n)
+		if t == nil {
+			break
+		}
+		switch t.Underlying().(type) {
+		case *types.Slice:
+			w.addAlloc(node, n.Pos(), "slice literal")
+		case *types.Map:
+			w.addAlloc(node, n.Pos(), "map literal")
+		}
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && isString(w.typeOf(n)) {
+			w.addAlloc(node, n.Pos(), "string concatenation")
+		}
+	case *ast.AssignStmt:
+		w.assign(node, n)
+	case *ast.IncDecStmt:
+		w.globalWrite(node, n.X, n.Pos())
+	case *ast.ValueSpec:
+		if len(n.Names) == len(n.Values) {
+			for i := range n.Names {
+				w.bindFunc(n.Names[i], n.Values[i])
+			}
+		} else if len(n.Values) > 0 {
+			for _, name := range n.Names {
+				w.bindFunc(name, nil)
+			}
+		}
+		if node != nil && n.Type != nil {
+			declared := w.typeOf(n.Type)
+			for _, v := range n.Values {
+				if boxes(declared, w.typeOf(v)) {
+					w.addAlloc(node, v.Pos(), "interface conversion")
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		if node == nil || node.sig == nil {
+			break
+		}
+		res := node.sig.Results()
+		if len(n.Results) != res.Len() {
+			break
+		}
+		for i, r := range n.Results {
+			if boxes(res.At(i).Type(), w.typeOf(r)) {
+				w.addAlloc(node, r.Pos(), "interface conversion")
+			}
+		}
+	case *ast.Ident:
+		w.maybeAddrTaken(n, n)
+	case *ast.SelectorExpr:
+		w.maybeAddrTaken(n, n.Sel)
+	}
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func (w *fileWalker) chanOp(node *cgNode, pos token.Pos, detail string) {
+	if node != nil {
+		node.facts.chanOps = append(node.facts.chanOps, site{pos: pos, detail: detail})
+	}
+}
+
+// maybeAddrTaken registers a module function referenced outside call
+// position as a dynamic-call candidate under its normalized signature.
+func (w *fileWalker) maybeAddrTaken(e ast.Expr, id *ast.Ident) {
+	if w.calleeExprs[e] {
+		return
+	}
+	obj, ok := w.info.Uses[id].(*types.Func)
+	if !ok {
+		return
+	}
+	n := w.g.nodeOf(obj)
+	if n == nil || n.sig == nil {
+		return
+	}
+	sig := normSig(n.sig)
+	for _, have := range w.g.addrTaken[sig] {
+		if have == n {
+			return
+		}
+	}
+	w.g.addrTaken[sig] = append(w.g.addrTaken[sig], n)
+}
+
+// assign collects global writes, string +=, interface boxing, and
+// function-literal bindings.
+func (w *fileWalker) assign(node *cgNode, n *ast.AssignStmt) {
+	if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(w.typeOf(n.Lhs[0])) {
+		w.addAlloc(node, n.Pos(), "string concatenation")
+	}
+	if len(n.Lhs) == len(n.Rhs) {
+		for i := range n.Lhs {
+			w.bindFunc(n.Lhs[i], n.Rhs[i])
+		}
+	} else {
+		for _, lhs := range n.Lhs {
+			w.bindFunc(lhs, nil)
+		}
+	}
+	if n.Tok != token.DEFINE {
+		for _, lhs := range n.Lhs {
+			w.globalWrite(node, lhs, lhs.Pos())
+		}
+		if len(n.Lhs) == len(n.Rhs) {
+			for i := range n.Lhs {
+				if boxes(w.typeOf(n.Lhs[i]), w.typeOf(n.Rhs[i])) {
+					w.addAlloc(node, n.Rhs[i].Pos(), "interface conversion")
+				}
+			}
+		}
+	}
+}
+
+// bindFunc records a function-literal assignment to a variable, or
+// marks the variable escaped when it receives anything else. rhs nil
+// means an unknown value (multi-value assignment).
+func (w *fileWalker) bindFunc(lhs, rhs ast.Expr) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	var v *types.Var
+	if d, ok := w.info.Defs[id].(*types.Var); ok {
+		v = d
+	} else if u, ok := w.info.Uses[id].(*types.Var); ok {
+		v = u
+	}
+	if v == nil {
+		return
+	}
+	if _, isFunc := v.Type().Underlying().(*types.Signature); !isFunc {
+		return
+	}
+	if rhs != nil {
+		if lit, ok := ast.Unparen(rhs).(*ast.FuncLit); ok {
+			w.litOwner[lit] = v
+			return
+		}
+	}
+	w.g.varEscapes[v] = true
+}
+
+// globalWrite records a write whose base resolves to a package-level
+// variable of a module package.
+func (w *fileWalker) globalWrite(node *cgNode, lhs ast.Expr, pos token.Pos) {
+	if node == nil {
+		return
+	}
+	base := lhs
+	for {
+		switch e := base.(type) {
+		case *ast.ParenExpr:
+			base = e.X
+		case *ast.IndexExpr:
+			base = e.X
+		case *ast.StarExpr:
+			base = e.X
+		case *ast.SelectorExpr:
+			// pkg.Var: resolve the selected object; expr.Field: walk to
+			// the root expression (writes through pointers stop here —
+			// a documented approximation).
+			if id, ok := e.X.(*ast.Ident); ok {
+				if _, isPkg := w.info.Uses[id].(*types.PkgName); isPkg {
+					base = e.Sel
+					continue
+				}
+			}
+			base = e.X
+		default:
+			goto resolved
+		}
+	}
+resolved:
+	id, ok := base.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	v, ok := w.info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return
+	}
+	pkg, inModule := w.g.module.Pkgs[v.Pkg().Path()]
+	if !inModule || v.Parent() != pkg.Types.Scope() {
+		return
+	}
+	node.facts.globalWrites = append(node.facts.globalWrites,
+		site{pos: pos, detail: v.Pkg().Path() + "." + v.Name()})
+}
+
+// call resolves one call expression into edges and facts.
+func (w *fileWalker) call(node *cgNode, call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+	w.calleeExprs[fun] = true
+	w.calleeExprs[call.Fun] = true
+
+	tv, hasTV := w.info.Types[fun]
+	if hasTV && tv.IsType() {
+		w.conversion(node, call, tv.Type)
+		return
+	}
+
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch obj := w.info.Uses[f].(type) {
+		case *types.Builtin:
+			w.builtin(node, call, obj.Name())
+			return
+		case *types.Func:
+			w.staticCall(node, call, obj)
+		case *types.Var:
+			w.dynamicCall(node, call)
+		default:
+			w.dynamicCall(node, call)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := w.info.Selections[f]; ok {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				w.methodCall(node, call, f, sel)
+			case types.FieldVal:
+				w.dynamicCall(node, call) // func-valued field
+			}
+		} else if obj, ok := w.info.Uses[f.Sel].(*types.Func); ok {
+			w.staticCall(node, call, obj) // qualified pkg.Fun
+		} else {
+			w.dynamicCall(node, call) // pkg-level func var, etc.
+		}
+	case *ast.FuncLit:
+		// Immediately-invoked literal: the creation edge covers it.
+	default:
+		w.dynamicCall(node, call) // call of a call result, index, ...
+	}
+	w.callArgBoxing(node, call)
+}
+
+// conversion handles T(x): interface boxing and string<->byte/rune
+// slice copies are allocation facts.
+func (w *fileWalker) conversion(node *cgNode, call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	argT := w.typeOf(call.Args[0])
+	if boxes(target, argT) {
+		w.addAlloc(node, call.Pos(), "interface conversion")
+		return
+	}
+	if argT == nil {
+		return
+	}
+	toStr, fromStr := isString(target), isString(argT)
+	_, toSlice := target.Underlying().(*types.Slice)
+	_, fromSlice := argT.Underlying().(*types.Slice)
+	if (toStr && fromSlice) || (toSlice && fromStr) {
+		w.addAlloc(node, call.Pos(), "string conversion")
+	}
+}
+
+func (w *fileWalker) builtin(node *cgNode, call *ast.CallExpr, name string) {
+	switch name {
+	case "make":
+		if t := w.typeOf(call); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				w.chanOp(node, call.Pos(), "make(chan)")
+			}
+		}
+		w.addAlloc(node, call.Pos(), "make")
+	case "new":
+		w.addAlloc(node, call.Pos(), "new")
+	case "append":
+		w.addAlloc(node, call.Pos(), "append")
+	case "close":
+		w.chanOp(node, call.Pos(), "close")
+	case "panic":
+		w.panicSpans = append(w.panicSpans, span{lo: call.Pos(), hi: call.End()})
+	}
+}
+
+// staticCall links a direct call and records external-package facts.
+func (w *fileWalker) staticCall(node *cgNode, call *ast.CallExpr, obj *types.Func) {
+	if target := w.g.nodeOf(obj); target != nil {
+		w.g.edge(node, target, call.Pos())
+		return
+	}
+	w.externalFacts(node, call, obj)
+}
+
+// methodCall links a method call: interface receivers resolve via CHA,
+// concrete receivers statically.
+func (w *fileWalker) methodCall(node *cgNode, call *ast.CallExpr, selExpr *ast.SelectorExpr, sel *types.Selection) {
+	obj, ok := sel.Obj().(*types.Func)
+	if !ok {
+		return
+	}
+	recv := sel.Recv()
+	if sel.Kind() == types.MethodVal && types.IsInterface(recv) {
+		if iface, ok := recv.Underlying().(*types.Interface); ok {
+			for _, target := range w.g.chaTargets(iface, obj.Name()) {
+				w.g.edge(node, target, call.Pos())
+			}
+		}
+		w.externalFacts(node, call, obj)
+		return
+	}
+	w.staticCall(node, call, obj)
+}
+
+// externalFacts classifies calls leaving the module: wall-clock reads
+// and synchronization primitives.
+func (w *fileWalker) externalFacts(node *cgNode, call *ast.CallExpr, obj *types.Func) {
+	if node == nil || obj.Pkg() == nil {
+		return
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		if bannedTime[obj.Name()] {
+			node.facts.wallClock = append(node.facts.wallClock,
+				site{pos: call.Pos(), detail: "time." + obj.Name()})
+		}
+	case "sync/atomic":
+		detail := "sync/atomic." + obj.Name()
+		if recv := obj.Type().(*types.Signature).Recv(); recv != nil {
+			detail = "sync/atomic." + recvTypeName(recv.Type()) + "." + obj.Name()
+		}
+		node.facts.syncOps = append(node.facts.syncOps, site{pos: call.Pos(), detail: detail})
+	case "sync":
+		detail := "sync." + obj.Name()
+		if recv := obj.Type().(*types.Signature).Recv(); recv != nil {
+			detail = "sync." + recvTypeName(recv.Type()) + "." + obj.Name()
+		}
+		node.facts.syncOps = append(node.facts.syncOps, site{pos: call.Pos(), detail: detail})
+	}
+}
+
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return strings.TrimPrefix(types.TypeString(t, nil), "*")
+}
+
+// dynamicCall defers a call through a function value until every
+// address-taken candidate is known.
+func (w *fileWalker) dynamicCall(node *cgNode, call *ast.CallExpr) {
+	if node == nil {
+		return
+	}
+	t := w.typeOf(ast.Unparen(call.Fun))
+	if t == nil {
+		return
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	p := pendingDynamic{from: node, sig: normSig(sig), pos: call.Pos()}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if v, ok := w.info.Uses[id].(*types.Var); ok {
+			p.localVar = v
+		}
+	}
+	w.g.pending = append(w.g.pending, p)
+}
+
+// callArgBoxing flags concrete arguments passed to interface
+// parameters.
+func (w *fileWalker) callArgBoxing(node *cgNode, call *ast.CallExpr) {
+	if node == nil {
+		return
+	}
+	t := w.typeOf(ast.Unparen(call.Fun))
+	if t == nil {
+		return
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // arg... passes the slice through
+			}
+			if s, ok := sig.Params().At(np - 1).Type().(*types.Slice); ok {
+				param = s.Elem()
+			}
+		case i < np:
+			param = sig.Params().At(i).Type()
+		}
+		if boxes(param, w.typeOf(arg)) {
+			w.addAlloc(node, arg.Pos(), "interface conversion")
+		}
+	}
+}

@@ -49,20 +49,45 @@ import (
 	"strings"
 )
 
-// Rules reported by the linter.
+// Rules reported by the per-file linter.
 const (
-	RuleWallClock      = "wall-clock"
-	RuleGlobalRand     = "global-rand"
-	RuleMapRange       = "map-range"
-	RuleGoroutine      = "goroutine"
-	RuleMemsysMutation = "memsys-mutation"
+	RuleWallClock       = "wall-clock"
+	RuleGlobalRand      = "global-rand"
+	RuleMapRange        = "map-range"
+	RuleGoroutine       = "goroutine"
+	RuleMemsysMutation  = "memsys-mutation"
+	RuleIgnoreDirective = "ignore-directive"
 )
+
+// Rules reported by the interprocedural analyzer (interproc.go).
+const (
+	RuleHotPathAlloc     = "hotpath-alloc"
+	RuleMemsysTransitive = "memsys-mutation-transitive"
+	RuleDomainUnsafe     = "domain-unsafe"
+	RuleGlobalWrite      = "global-write"
+	RuleWallClockTrans   = "wall-clock-transitive"
+	RuleStaleIgnore      = "stale-ignore"
+	RuleStaleBaseline    = "stale-baseline"
+)
+
+// metaRules are findings about the lint configuration itself, not the
+// analyzed code; they can never be baselined away.
+var metaRules = map[string]bool{
+	RuleIgnoreDirective: true,
+	RuleStaleIgnore:     true,
+	RuleStaleBaseline:   true,
+}
 
 // Finding is one determinism violation.
 type Finding struct {
 	Pos  token.Position
 	Rule string
 	Msg  string
+	// ID is a stable identifier for interprocedural findings, of the
+	// form rule@function#detail (plus ~N for repeats). It names the
+	// function and the kind of violation rather than the line, so it
+	// survives unrelated edits; per-file findings have no ID.
+	ID string
 }
 
 func (f Finding) String() string {
@@ -116,8 +141,10 @@ func DefaultOptions() Options {
 		},
 		// Prefix-matches cawa/internal/obs/perf too: the profiler's
 		// injected-clock seam is the only way wall time reaches it.
-		WallClockPaths:        []string{"cawa/internal/obs"},
-		GoroutineAllowed:      []string{"cawa/internal/harness", "cawa/internal/serve"},
+		WallClockPaths: []string{"cawa/internal/obs"},
+		// CLIs sit outside the deterministic core (cawaserve hosts the
+		// HTTP server in a goroutine); whole-module mode scans them too.
+		GoroutineAllowed:      []string{"cawa/internal/harness", "cawa/internal/serve", "cawa/cmd"},
 		GoroutineAllowedFiles: []string{"cawa/internal/gpu/domains.go"},
 		StagedMemsysPaths:     []string{"cawa/internal/sm"},
 	}
@@ -188,25 +215,39 @@ func Files(fset *token.FileSet, pkgPath string, files []*ast.File, opts Options)
 	info := typeInfo(fset, pkgPath, files)
 	var out []Finding
 	for _, f := range files {
-		covered, bare := ignoreLines(fset, f)
-		fl := &fileLinter{
-			fset:    fset,
-			pkgPath: pkgPath,
-			opts:    opts,
-			info:    info,
-			imports: importNames(f),
-			ignores: covered,
-		}
-		for _, line := range bare {
-			fl.findings = append(fl.findings, Finding{
-				Pos:  token.Position{Filename: fset.Position(f.Pos()).Filename, Line: line},
-				Rule: "ignore-directive",
-				Msg:  "cawalint:ignore directive needs a reason",
-			})
-		}
-		fl.file(f)
-		out = append(out, fl.findings...)
+		dirs, bare := scanDirectives(fset, f)
+		out = append(out, lintFile(fset, pkgPath, f, opts, info, dirs, bare)...)
 	}
+	sortFindings(out)
+	return out
+}
+
+// lintFile runs the per-file rules over one file. The directives are
+// shared with the caller so interprocedural mode can account usage
+// across both passes before deciding staleness.
+func lintFile(fset *token.FileSet, pkgPath string, f *ast.File, opts Options, info *types.Info, dirs []*directive, bare []int) []Finding {
+	fl := &fileLinter{
+		fset:    fset,
+		pkgPath: pkgPath,
+		opts:    opts,
+		info:    info,
+		imports: importNames(f),
+		dirs:    dirs,
+	}
+	for _, line := range bare {
+		fl.findings = append(fl.findings, Finding{
+			Pos:  token.Position{Filename: fset.Position(f.Pos()).Filename, Line: line},
+			Rule: RuleIgnoreDirective,
+			Msg:  "cawalint suppression directive needs a reason",
+		})
+	}
+	fl.file(f)
+	return fl.findings
+}
+
+// sortFindings orders findings by file, line, then rule — the one
+// deterministic order every output mode shares.
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -215,9 +256,11 @@ func Files(fset *token.FileSet, pkgPath string, files []*ast.File, opts Options)
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Pos.Column < b.Pos.Column
 	})
-	return out
 }
 
 // typeInfo type-checks the files against stub imports so that
@@ -277,28 +320,62 @@ func importNames(f *ast.File) map[string]string {
 	return out
 }
 
-// ignoreLines collects the lines covered by a `//cawalint:ignore
-// <reason>` directive (the directive's own line and the next, so both
-// trailing and standalone placements work). Directives without a
-// reason are returned separately so they can be reported.
-func ignoreLines(fset *token.FileSet, f *ast.File) (covered map[int]bool, bare []int) {
-	covered = map[int]bool{}
+// Directive kinds.
+const (
+	dirIgnore  = "ignore"   // //cawalint:ignore <reason>: suppresses any rule
+	dirAllocOK = "alloc-ok" // //cawalint:alloc-ok <reason>: suppresses only hotpath-alloc
+)
+
+// directive is one suppression comment. It covers its own line and the
+// next (so both trailing and standalone placements work) and records
+// whether anything was actually suppressed — a directive that outlives
+// its finding becomes a stale-ignore finding in interprocedural mode.
+type directive struct {
+	file   string // position filename, as the fset renders it
+	line   int
+	kind   string
+	reason string
+	used   bool
+}
+
+// covers reports whether the directive suppresses rule at file:line.
+func (d *directive) covers(file string, line int, rule string) bool {
+	if d.file != file || (line != d.line && line != d.line+1) {
+		return false
+	}
+	if d.kind == dirAllocOK {
+		return rule == RuleHotPathAlloc
+	}
+	return true
+}
+
+// scanDirectives collects the suppression directives of one file.
+// Directives without a reason are returned separately so they can be
+// reported: an escape hatch with no justification is itself a finding.
+func scanDirectives(fset *token.FileSet, f *ast.File) (dirs []*directive, bare []int) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			rest, ok := strings.CutPrefix(c.Text, "//cawalint:ignore")
-			if !ok {
+			kind := ""
+			rest := ""
+			if r, ok := strings.CutPrefix(c.Text, "//cawalint:ignore"); ok {
+				kind, rest = dirIgnore, r
+			} else if r, ok := strings.CutPrefix(c.Text, "//cawalint:alloc-ok"); ok {
+				kind, rest = dirAllocOK, r
+			} else {
 				continue
 			}
-			line := fset.Position(c.Pos()).Line
-			if strings.TrimSpace(rest) == "" {
-				bare = append(bare, line)
+			pos := fset.Position(c.Pos())
+			reason := strings.TrimSpace(rest)
+			if reason == "" {
+				bare = append(bare, pos.Line)
 				continue
 			}
-			covered[line] = true
-			covered[line+1] = true
+			dirs = append(dirs, &directive{
+				file: pos.Filename, line: pos.Line, kind: kind, reason: reason,
+			})
 		}
 	}
-	return covered, bare
+	return dirs, bare
 }
 
 type fileLinter struct {
@@ -307,7 +384,7 @@ type fileLinter struct {
 	opts     Options
 	info     *types.Info
 	imports  map[string]string
-	ignores  map[int]bool
+	dirs     []*directive
 	sim      bool            // full determinism rule set applies
 	wall     bool            // at least the wall-clock rule applies
 	sysNames map[string]bool // identifiers declared with type memsys.System
@@ -316,8 +393,11 @@ type fileLinter struct {
 
 func (l *fileLinter) add(pos token.Pos, rule, msg string) {
 	p := l.fset.Position(pos)
-	if l.ignores[p.Line] {
-		return
+	for _, d := range l.dirs {
+		if d.kind == dirIgnore && d.covers(p.Filename, p.Line, rule) {
+			d.used = true
+			return
+		}
 	}
 	l.findings = append(l.findings, Finding{Pos: p, Rule: rule, Msg: msg})
 }

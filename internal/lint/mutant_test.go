@@ -1,0 +1,328 @@
+package lint
+
+// Seeded-mutant suite: each test writes a small module shaped like the
+// real engine (module cawa, the default root set resolvable), injects
+// one deliberate violation, and asserts the interprocedural analyzer
+// reports it under its expected stable ID. These are the proofs that
+// the gate actually fires — a refactor that silently disconnects a
+// rule from the call graph fails here, not in production.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// mutantBase is the clean fixture module. Every mutant overrides one
+// or two of these files.
+var mutantBase = map[string]string{
+	"go.mod": "module cawa\n\ngo 1.22\n",
+	"internal/memsys/memsys.go": `// Package memsys is the staged-memory stub for the mutant suite.
+package memsys
+
+// System is the protected shared memory system.
+type System struct {
+	n int
+}
+
+// Cycle processes due events.
+func (s *System) Cycle() {}
+
+// Schedule enqueues an event; staged SM-domain code must not reach it.
+func (s *System) Schedule(t int64) { s.n++ }
+`,
+	"internal/sm/sm.go": `// Package sm is the SM stub for the mutant suite.
+package sm
+
+import (
+	"cawa/internal/core"
+	"cawa/internal/memsys"
+	"cawa/internal/util"
+)
+
+// SM is the stub streaming multiprocessor.
+type SM struct {
+	n   int
+	sys *memsys.System
+	ch  chan int
+}
+
+// Cycle runs one cycle through the helper packages.
+func (s *SM) Cycle() {
+	s.n = util.Bump(s.n)
+	core.Note()
+}
+`,
+	"internal/util/util.go": `// Package util holds helpers outside the sim-path scope.
+package util
+
+// Bump is the clean helper the mutants replace.
+func Bump(n int) int { return n + 1 }
+`,
+	"internal/core/core.go": `// Package core is a sim-path package for the global-write mutant.
+package core
+
+// Note records issue activity.
+func Note() {}
+`,
+	"internal/gpu/gpu.go": `// Package gpu is a stub so the engine-loop roots resolve.
+package gpu
+
+import "cawa/internal/sm"
+
+// GPU is the stub engine.
+type GPU struct {
+	sms []*sm.SM
+}
+
+func (g *GPU) stepSMs() {
+	for _, s := range g.sms {
+		s.Cycle()
+	}
+}
+
+func (g *GPU) fastForward() {}
+
+// Run drives the stub engine.
+func (g *GPU) Run() {
+	g.stepSMs()
+	g.fastForward()
+}
+`,
+	"internal/obs/perf/perf.go": `// Package perf is a stub so the profiler roots resolve.
+package perf
+
+// Profiler is the stub self-profiler.
+type Profiler struct {
+	now int64
+}
+
+// Now returns the stub clock.
+func (p *Profiler) Now() int64 { return p.now }
+
+// RecordShardCompute accounts one shard's compute time.
+func (p *Profiler) RecordShardCompute(shard int, cycles int64) { p.now += cycles }
+`,
+}
+
+// analyzeMutant materializes the base module with overrides applied
+// and runs the full interprocedural analysis on it.
+func analyzeMutant(t *testing.T, overrides map[string]string) []Finding {
+	t.Helper()
+	files := map[string]string{}
+	for name, src := range mutantBase {
+		files[name] = src
+	}
+	for name, src := range overrides {
+		files[name] = src
+	}
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	findings, err := AnalyzeModule(m, DefaultInterOptions())
+	if err != nil {
+		t.Fatalf("AnalyzeModule: %v", err)
+	}
+	return findings
+}
+
+func assertFindingID(t *testing.T, findings []Finding, wantID string) {
+	t.Helper()
+	for _, f := range findings {
+		if f.ID == wantID {
+			return
+		}
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.ID+" ("+f.String()+")")
+	}
+	t.Errorf("expected finding %s, got %d findings:\n%s",
+		wantID, len(findings), strings.Join(got, "\n"))
+}
+
+// TestMutantBaseClean proves the fixture itself carries no findings,
+// so each mutant's finding is attributable to its seeded violation.
+func TestMutantBaseClean(t *testing.T) {
+	findings := analyzeMutant(t, nil)
+	if len(findings) != 0 {
+		var got []string
+		for _, f := range findings {
+			got = append(got, f.String())
+		}
+		t.Fatalf("base module should be clean, got:\n%s", strings.Join(got, "\n"))
+	}
+}
+
+// TestMutantMemsysTransitive seeds a System mutation reached through a
+// helper package: SM.Cycle -> util.Drain -> System.Schedule. The
+// per-file rule cannot see it (the call is not in SM source); the
+// transitive rule must.
+func TestMutantMemsysTransitive(t *testing.T) {
+	findings := analyzeMutant(t, map[string]string{
+		"internal/util/util.go": `package util
+
+import "cawa/internal/memsys"
+
+// Bump is the clean helper.
+func Bump(n int) int { return n + 1 }
+
+// Drain bypasses the staged L1 interface (seeded violation).
+func Drain(s *memsys.System) { s.Schedule(3) }
+`,
+		"internal/sm/sm.go": `package sm
+
+import (
+	"cawa/internal/core"
+	"cawa/internal/memsys"
+	"cawa/internal/util"
+)
+
+// SM is the stub streaming multiprocessor.
+type SM struct {
+	n   int
+	sys *memsys.System
+	ch  chan int
+}
+
+// Cycle launders the System mutation through the helper package.
+func (s *SM) Cycle() {
+	s.n = util.Bump(s.n)
+	util.Drain(s.sys)
+	core.Note()
+}
+`,
+	})
+	assertFindingID(t, findings,
+		"memsys-mutation-transitive@cawa/internal/util.Drain#System.Schedule")
+}
+
+// TestMutantHotPathAllocTwoDeep seeds an allocation two calls below the
+// cycle root: SM.Cycle -> util.Bump -> util.pad -> make.
+func TestMutantHotPathAllocTwoDeep(t *testing.T) {
+	findings := analyzeMutant(t, map[string]string{
+		"internal/util/util.go": `package util
+
+// Bump now allocates two calls below the cycle root (seeded violation).
+func Bump(n int) int { return len(pad(n)) }
+
+func pad(n int) []int { return make([]int, n) }
+`,
+	})
+	assertFindingID(t, findings, "hotpath-alloc@cawa/internal/util.pad#make")
+}
+
+// TestMutantDomainChannel seeds a channel send in code a domain worker
+// goroutine reaches: SM.Cycle -> util.Notify -> ch<-.
+func TestMutantDomainChannel(t *testing.T) {
+	findings := analyzeMutant(t, map[string]string{
+		"internal/util/util.go": `package util
+
+// Bump is the clean helper.
+func Bump(n int) int { return n + 1 }
+
+// Notify pushes on a channel (seeded violation).
+func Notify(ch chan int) { ch <- 1 }
+`,
+		"internal/sm/sm.go": `package sm
+
+import (
+	"cawa/internal/core"
+	"cawa/internal/memsys"
+	"cawa/internal/util"
+)
+
+// SM is the stub streaming multiprocessor.
+type SM struct {
+	n   int
+	sys *memsys.System
+	ch  chan int
+}
+
+// Cycle reaches a channel send through the helper package.
+func (s *SM) Cycle() {
+	s.n = util.Bump(s.n)
+	util.Notify(s.ch)
+	core.Note()
+}
+`,
+	})
+	assertFindingID(t, findings, "domain-unsafe@cawa/internal/util.Notify#channel send")
+}
+
+// TestMutantGlobalWrite seeds a write to package-level mutable state in
+// a deterministic (sim-path) package, reached from the cycle root.
+func TestMutantGlobalWrite(t *testing.T) {
+	findings := analyzeMutant(t, map[string]string{
+		"internal/core/core.go": `package core
+
+// Issued is package-level mutable state (seeded violation).
+var Issued int
+
+// Note records issue activity.
+func Note() { Issued++ }
+`,
+	})
+	assertFindingID(t, findings, "global-write@cawa/internal/core.Note#cawa/internal/core.Issued")
+}
+
+// TestMutantAllocOKSuppresses proves the escape hatch works end to end:
+// the same two-deep allocation annotated //cawalint:alloc-ok is not a
+// finding, and the directive counts as used (no stale-ignore).
+func TestMutantAllocOKSuppresses(t *testing.T) {
+	findings := analyzeMutant(t, map[string]string{
+		"internal/util/util.go": `package util
+
+// Bump allocates, but the site is annotated.
+func Bump(n int) int { return len(pad(n)) }
+
+func pad(n int) []int {
+	return make([]int, n) //cawalint:alloc-ok mutant fixture: annotated on purpose
+}
+`,
+	})
+	if len(findings) != 0 {
+		var got []string
+		for _, f := range findings {
+			got = append(got, f.String())
+		}
+		t.Fatalf("annotated allocation should produce no findings, got:\n%s",
+			strings.Join(got, "\n"))
+	}
+}
+
+// TestMutantStaleIgnore proves a directive that suppresses nothing is
+// itself a finding.
+func TestMutantStaleIgnore(t *testing.T) {
+	findings := analyzeMutant(t, map[string]string{
+		"internal/util/util.go": `package util
+
+// Bump is clean; the annotation below it suppresses nothing.
+func Bump(n int) int {
+	return n + 1 //cawalint:alloc-ok nothing here allocates
+}
+`,
+	})
+	found := false
+	for _, f := range findings {
+		if f.Rule == RuleStaleIgnore {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a %s finding for the useless directive, got %d findings",
+			RuleStaleIgnore, len(findings))
+	}
+}

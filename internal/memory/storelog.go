@@ -29,7 +29,7 @@ func NewStoreLog(mem *Memory) *StoreLog {
 // word like Memory.Store would, so forwarding matches on the same
 // cells a direct store would have written.
 func (l *StoreLog) Store(addr, v int64) {
-	l.addrs = append(l.addrs, addr&^(WordBytes-1))
+	l.addrs = append(l.addrs, addr&^(WordBytes-1)) //cawalint:alloc-ok amortized: cleared by Flush, capacity reused across epochs
 	l.vals = append(l.vals, v)
 }
 

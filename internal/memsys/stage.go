@@ -61,7 +61,7 @@ func (l *L1D) Staged() bool { return l.stage != nil }
 // installed (parallel epoch), scheduled directly otherwise.
 func (l *L1D) emitL2(t int64, addr int64, req cache.Request) {
 	if l.stage != nil {
-		l.stage.pending = append(l.stage.pending, stagedAccess{time: t, addr: addr, l1: l, req: req})
+		l.stage.pending = append(l.stage.pending, stagedAccess{time: t, addr: addr, l1: l, req: req}) //cawalint:alloc-ok amortized growth of the reused epoch stage buffer
 		return
 	}
 	l.sys.schedule(t, evL2Arrive, addr, l, req)

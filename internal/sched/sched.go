@@ -172,7 +172,10 @@ type TwoLevel struct {
 	groupSize int
 	active    []int
 	pending   []int
-	rr        LRR
+	// ready is the reused scratch buffer for the per-cycle
+	// ready∩active filter; Select would otherwise allocate every call.
+	ready []int
+	rr    LRR
 }
 
 // NewTwoLevel returns a two-level policy with the given active-set size.
@@ -194,9 +197,9 @@ func (p *TwoLevel) Select(ctx *Context) int {
 	kept := p.active[:0]
 	for _, s := range p.active {
 		if ctx.WaitingMem(s) {
-			p.pending = append(p.pending, s)
+			p.pending = append(p.pending, s) //cawalint:alloc-ok amortized growth of the persistent pending set (bounded by warp slots)
 		} else {
-			kept = append(kept, s)
+			kept = append(kept, s) //cawalint:alloc-ok in-place filter within the active set's existing capacity
 		}
 	}
 	p.active = kept
@@ -204,18 +207,20 @@ func (p *TwoLevel) Select(ctx *Context) int {
 		s := p.pending[0]
 		p.pending = p.pending[1:]
 		if ctx.WaitingMem(s) {
-			p.pending = append(p.pending, s)
+			p.pending = append(p.pending, s) //cawalint:alloc-ok amortized growth of the persistent pending set (bounded by warp slots)
 			continue
 		}
-		p.active = append(p.active, s)
+		p.active = append(p.active, s) //cawalint:alloc-ok amortized growth of the persistent active set (bounded by warp slots)
 	}
-	// Round-robin among ready warps restricted to the active set.
-	readyActive := make([]int, 0, len(ctx.Ready))
+	// Round-robin among ready warps restricted to the active set,
+	// collected into the policy's reused scratch buffer.
+	readyActive := p.ready[:0]
 	for _, s := range ctx.Ready {
 		if p.inActive(s) {
-			readyActive = append(readyActive, s)
+			readyActive = append(readyActive, s) //cawalint:alloc-ok amortized growth of the reused ready-scratch buffer
 		}
 	}
+	p.ready = readyActive
 	sub := *ctx
 	sub.Ready = readyActive
 	return p.rr.Select(&sub)
@@ -249,7 +254,7 @@ func remove(s []int, v int) []int {
 	out := s[:0]
 	for _, x := range s {
 		if x != v {
-			out = append(out, x)
+			out = append(out, x) //cawalint:alloc-ok in-place filter within the slice's existing capacity
 		}
 	}
 	return out

@@ -105,7 +105,7 @@ func ExecInto(w *Warp, prog *isa.Program, ctx *ExecContext, out *Step) {
 			st.Divergent = true
 			rpc := in.Rpc
 			e.PC = rpc
-			w.stack = append(w.stack,
+			w.stack = append(w.stack, //cawalint:alloc-ok amortized growth of the reconvergence stack (depth bounded by divergence nesting)
 				StackEntry{PC: pc + 1, RPC: rpc, Mask: mask &^ taken},
 				StackEntry{PC: in.Target(), RPC: rpc, Mask: taken},
 			)
@@ -128,7 +128,7 @@ func ExecInto(w *Warp, prog *isa.Program, ctx *ExecContext, out *Step) {
 				continue
 			}
 			addr := w.regs[lane][in.A] + in.Imm
-			st.Accesses = append(st.Accesses, MemAccess{Lane: lane, Addr: addr})
+			st.Accesses = append(st.Accesses, MemAccess{Lane: lane, Addr: addr}) //cawalint:alloc-ok amortized growth of the reused per-slot access buffer
 			switch {
 			case st.IsLoad && ctx.Log != nil:
 				w.regs[lane][in.Dst] = ctx.Log.Load(addr)
@@ -155,7 +155,7 @@ func ExecInto(w *Warp, prog *isa.Program, ctx *ExecContext, out *Step) {
 				panic(fmt.Sprintf("simt: %s: shared-memory address %#x out of range (block %d, lane %d, pc %d)",
 					prog.Name, addr, ctx.BlockID, lane, pc))
 			}
-			st.Accesses = append(st.Accesses, MemAccess{Lane: lane, Addr: addr})
+			st.Accesses = append(st.Accesses, MemAccess{Lane: lane, Addr: addr}) //cawalint:alloc-ok amortized growth of the reused per-slot access buffer
 			if st.IsLoad {
 				w.regs[lane][in.Dst] = ctx.Shared[idx]
 			} else {

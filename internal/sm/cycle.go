@@ -115,7 +115,7 @@ func (m *SM) retireWritebacks(now int64) {
 			if e.time <= now {
 				s.busyALU &^= 1 << e.reg
 			} else {
-				kept = append(kept, e)
+				kept = append(kept, e) //cawalint:alloc-ok in-place filter within the writeback queue's existing capacity
 				if e.time < next {
 					next = e.time
 				}
@@ -129,7 +129,7 @@ func (m *SM) retireWritebacks(now int64) {
 // pushWB schedules a register writeback and keeps the earliest-pending
 // cache current.
 func (m *SM) pushWB(s *slot, t int64, reg isa.Reg) {
-	s.wb = append(s.wb, wbEvent{time: t, reg: reg})
+	s.wb = append(s.wb, wbEvent{time: t, reg: reg}) //cawalint:alloc-ok amortized growth of the per-slot writeback queue (bounded by pipe depth)
 	if t < m.wbNext {
 		m.wbNext = t
 	}
@@ -187,7 +187,7 @@ func (m *SM) issueFrom(u *schedUnit, now int64) bool {
 	u.ready = u.ready[:0]
 	for _, i := range u.slots {
 		if m.readiness(i, now) {
-			u.ready = append(u.ready, i)
+			u.ready = append(u.ready, i) //cawalint:alloc-ok amortized growth of the reused ready buffer
 		}
 	}
 	if len(u.ready) == 0 {
@@ -248,12 +248,12 @@ func (m *SM) tryIssue(i int, now int64) bool {
 	in := m.prog.At(pc)
 	if m.meta[pc].GlobalLoad {
 		if s.peekPC == pc && s.peekInstr == s.rec.Instructions && len(s.peekBuf) > 0 {
-			m.lineBuf = append(m.lineBuf[:0], s.peekBuf...)
+			m.lineBuf = append(m.lineBuf[:0], s.peekBuf...) //cawalint:alloc-ok reuses lineBuf's backing array in place
 		} else {
 			m.peekLines(s, in)
 			s.peekPC = pc
 			s.peekInstr = s.rec.Instructions
-			s.peekBuf = append(s.peekBuf[:0], m.lineBuf...)
+			s.peekBuf = append(s.peekBuf[:0], m.lineBuf...) //cawalint:alloc-ok reuses peekBuf's backing array in place
 		}
 		if !m.l1d.CanAccept(m.lineBuf) {
 			return false
@@ -351,7 +351,7 @@ func (m *SM) peekLines(s *slot, in isa.Instr) {
 			continue
 		}
 		if !containsInt64(m.lineBuf, addr) {
-			m.lineBuf = append(m.lineBuf, addr)
+			m.lineBuf = append(m.lineBuf, addr) //cawalint:alloc-ok amortized growth of the reused line-coalescing buffer
 		}
 	}
 }
@@ -376,7 +376,7 @@ func (m *SM) issueGlobal(slotIdx int, s *slot, st *simt.Step, now int64) {
 		for _, a := range st.Accesses {
 			la := a.Addr &^ (lineSize - 1)
 			if !containsInt64(m.lineBuf, la) {
-				m.lineBuf = append(m.lineBuf, la)
+				m.lineBuf = append(m.lineBuf, la) //cawalint:alloc-ok amortized growth of the reused line-coalescing buffer
 			}
 		}
 	}
@@ -456,7 +456,7 @@ func (m *SM) finishWarp(i int, now int64) {
 	s := &m.slots[i]
 	s.done = true
 	s.rec.FinishCycle = now
-	m.Finished = append(m.Finished, s.rec)
+	m.Finished = append(m.Finished, s.rec) //cawalint:alloc-ok bounded by warps per launch; drained and reused at launch end
 	blk := s.block
 
 	m.units[i%len(m.units)].policy.OnWarpFinished(i)

@@ -3,9 +3,13 @@
 #
 #   gofmt -l      every file is gofmt-clean
 #   go vet        static checks
-#   cawalint      determinism lint over the simulator source
+#   cawalint      whole-module determinism analysis: per-file rules
 #                 (no wall clock / global rand / raw map iteration in
-#                 simulation packages, goroutines only in the harness)
+#                 simulation packages, goroutines only in sanctioned
+#                 packages) plus the interprocedural rules (hot-path
+#                 allocations, staged-memsys discipline, domain-safe
+#                 synchronization, global writes) against the committed
+#                 baseline .cawalint-baseline.json
 #   cawadis -lint the twelve workload kernels verify clean
 #   go build      everything compiles
 #   go test       full unit + experiment smoke suite
@@ -33,8 +37,8 @@ if [ -n "$unformatted" ]; then
 fi
 echo "== go vet =="
 go vet ./...
-echo "== cawalint =="
-go run ./cmd/cawalint ./internal
+echo "== cawalint (whole-module, interprocedural) =="
+go run ./cmd/cawalint -interproc -baseline .cawalint-baseline.json
 echo "== cawadis -lint (workload kernels) =="
 go run ./cmd/cawadis -lint -workload all
 echo "== go build =="
