@@ -156,10 +156,18 @@ func BenchmarkParallelSweep(b *testing.B) {
 //	smpar-prof-15sm  the same parallel run with the engine self-profiler
 //	             attached (harness.NewWallProfiler): reports
 //	             barrier_wait_frac (fraction of shard wall-clock spent
-//	             waiting at the epoch barrier) and shard_spread (max/mean
-//	             per-shard compute) so scripts/bench.sh can fold shard-
-//	             imbalance into BENCH_*.json. Kept separate from
-//	             smpar-15sm so the delta gate tracks an unprofiled run.
+//	             waiting at the epoch barrier), shard_spread (max/mean
+//	             per-shard compute) and barriers_per_kcycle (epochs per
+//	             simulated kilocycle on the one-cycle-epoch engine) so
+//	             scripts/bench.sh can fold shard-imbalance into
+//	             BENCH_*.json. Kept separate from smpar-15sm so the
+//	             delta gate tracks an unprofiled run.
+//
+//	smpar-la-15sm  the profiled parallel run with -lookahead: multi-cycle
+//	             safe-horizon epochs. Its barriers_per_kcycle against
+//	             smpar-prof-15sm's is the amortization headline (the
+//	             lookahead engine targets a >= 5x reduction); its
+//	             sim_cycles/s against smpar-15sm's is the wall-clock win.
 //
 // The go-test name suffix (-N) records GOMAXPROCS; scripts/bench.sh
 // extracts it into the JSON report so deltas only compare like with
@@ -188,7 +196,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 		bench(b, GTX480(), workers)
 	})
-	b.Run("smpar-prof-15sm", func(b *testing.B) {
+	profiled := func(b *testing.B, lookahead bool) {
 		workers := runtime.GOMAXPROCS(0)
 		if workers < 2 {
 			workers = 2
@@ -199,7 +207,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			res, err := RunWith(RunOptions{
 				Workload: "kmeans", Params: Params{Scale: 0.125, Seed: 7},
 				System: CAWA(), Config: GTX480(), SMWorkers: workers,
-				Profiler: prof,
+				Profiler: prof, Lookahead: lookahead,
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -210,5 +218,8 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		rep := prof.Report()
 		b.ReportMetric(rep.BarrierWaitFrac(), "barrier_wait_frac")
 		b.ReportMetric(rep.Spread(), "shard_spread")
-	})
+		b.ReportMetric(rep.BarriersPerKcycle, "barriers_per_kcycle")
+	}
+	b.Run("smpar-prof-15sm", func(b *testing.B) { profiled(b, false) })
+	b.Run("smpar-la-15sm", func(b *testing.B) { profiled(b, true) })
 }

@@ -25,8 +25,10 @@
 // profiles the engine's own wall-clock phases (domain compute, barrier
 // wait, staged commit, memsys drain, fast-forward planning) across
 // every simulation in the sweep and writes the aggregated PerfReport
-// JSON — results stay byte-identical with it on. -barrier-spins tunes
-// the parallel engine's epoch barrier.
+// JSON — results stay byte-identical with it on. -barrier-spins pins
+// the parallel engine's barrier spin budget (default adaptive), and
+// -lookahead batches multi-cycle safe-horizon epochs between barriers
+// (byte-identical results, fewer barriers).
 package main
 
 import (
@@ -80,7 +82,8 @@ func main() {
 		fastfwd = flag.Bool("fastforward", true, "event-driven idle-cycle fast-forwarding (results are byte-identical either way)")
 
 		perfOut      = flag.String("perf", "", "profile the engine's wall-clock phases across the sweep and write the PerfReport JSON to this file (\"-\" = stderr)")
-		barrierSpins = flag.Int("barrier-spins", 0, "parallel-engine barrier spin count before parking (0 = default)")
+		barrierSpins = flag.Int("barrier-spins", 0, "pin the parallel-engine barrier spin budget (0 = adaptive)")
+		lookahead    = flag.Bool("lookahead", false, "multi-cycle safe-horizon epochs on the parallel engine (byte-identical results)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -148,6 +151,7 @@ func main() {
 		SetWorkers(*workers).SMParallel(*smpar)
 	session.DisableFastForward = !*fastfwd
 	session.BarrierSpins = *barrierSpins
+	session.Lookahead = *lookahead
 	if *perfOut != "" {
 		session.EnableProfiling()
 	}

@@ -16,8 +16,33 @@ func (g *GPU) stepSMs() {
 
 func (g *GPU) fastForward() {}
 
+// planHorizon is the stub lookahead horizon planner.
+func (g *GPU) planHorizon() int64 { return 1 }
+
+// runBatch is the stub lookahead batch path.
+func (g *GPU) runBatch() {
+	_ = g.planHorizon()
+	g.stepSMs()
+}
+
+// domainWorker is the stub span worker.
+type domainWorker struct {
+	sms []*sm.SM
+}
+
+// stepSpan is the stub worker span body.
+func (w *domainWorker) stepSpan(from, to int64) {
+	for t := from; t <= to; t++ {
+		for _, s := range w.sms {
+			s.Cycle()
+		}
+	}
+}
+
 // Run drives the stub engine.
 func (g *GPU) Run() {
 	g.stepSMs()
 	g.fastForward()
+	g.runBatch()
+	(&domainWorker{sms: g.sms}).stepSpan(0, 1)
 }

@@ -28,8 +28,11 @@
 //	                       stay byte-identical
 //	-perf-trace FILE       also write the profile as Chrome trace-event
 //	                       counter tracks (Perfetto / chrome://tracing)
-//	-barrier-spins N       spin iterations before the parallel engine's
-//	                       epoch barrier parks a worker (0 = default)
+//	-barrier-spins N       pin the parallel engine's barrier spin budget
+//	                       (0 = adaptive)
+//	-lookahead             multi-cycle safe-horizon epochs on the
+//	                       parallel engine (byte-identical results;
+//	                       fewer barriers per simulated kilocycle)
 package main
 
 import (
@@ -74,7 +77,8 @@ func main() {
 
 		perfJSON     = flag.String("perf", "", "profile the engine's wall-clock phases and write the PerfReport JSON to this file")
 		perfTrace    = flag.String("perf-trace", "", "write the engine profile as Chrome trace-event counter tracks")
-		barrierSpins = flag.Int("barrier-spins", 0, "parallel-engine barrier spin count before parking (0 = default)")
+		barrierSpins = flag.Int("barrier-spins", 0, "pin the parallel-engine barrier spin budget (0 = adaptive)")
+		lookahead    = flag.Bool("lookahead", false, "multi-cycle safe-horizon epochs on the parallel engine (byte-identical results)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -122,6 +126,7 @@ func main() {
 		// across SMs) back onto the serial engine.
 		SMWorkers:    smWorkers,
 		BarrierSpins: *barrierSpins,
+		Lookahead:    *lookahead,
 	}
 
 	// Engine self-profiling: purely observational — the profiler reads

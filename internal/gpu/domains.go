@@ -5,12 +5,16 @@ package gpu
 // The serial engine steps every SM on the caller's goroutine; the
 // parallel engine shards the SMs across a small pool of persistent
 // worker goroutines — the *domain runner* — and advances them in
-// lockstep epochs of exactly one cycle. One cycle, not more, because
-// the orchestrator's serial duties (the shared memory system's event
+// lockstep epochs. PR 6 pinned epochs to exactly one cycle because the
+// orchestrator's serial duties (the shared memory system's event
 // drain, block dispatch, the PerCycle hook, staged-access commit and
 // store-log flush) are interleaved with SM execution at cycle
 // granularity by the serial engine, and the refactor's contract is
-// byte-identical output.
+// byte-identical output. The lookahead engine (lookahead.go) keeps
+// that contract while batching many cycles per barrier: an epoch is
+// now a *span* [from, to], and the barrier-time replay re-serializes
+// the span's staged traffic cycle by cycle, so the one-cycle epoch is
+// just the span from == to.
 //
 // Invariants that make the parallel engine deterministic:
 //
@@ -19,16 +23,21 @@ package gpu
 //     L1D tag array and MSHRs. Shared structures are reached through
 //     two staging channels drained by the orchestrator at the barrier:
 //     outbound memory-system requests (memsys.StageBuffer) and
-//     functional global-memory stores (memory.StoreLog). The linter's
-//     memsys-mutation rule enforces the first statically.
+//     functional global-memory stores (memory.StoreLog), both stamped
+//     with their emitting cycle. The linter's memsys-mutation rule
+//     enforces the first statically.
 //  2. Deterministic merge. Both staging channels are committed in
 //     (cycle, SM id, program order) — exactly the order the serial
 //     engine generates them — so the event heap's sequence numbers and
 //     the functional memory image evolve identically.
 //  3. Serial orchestration. Everything that reads or writes cross-SM
 //     state (System.Cycle with its L1 fill delivery, dispatch, the
-//     PerCycle hook, fast-forward planning) runs on the orchestrator
-//     between barriers, unchanged from the serial engine.
+//     PerCycle hook, fast-forward and horizon planning) runs on the
+//     orchestrator between barriers, unchanged from the serial engine.
+//  4. Fill-free spans. A multi-cycle span is only scheduled when the
+//     memory system guarantees no L1 fill can land inside it
+//     (memsys.SafeHorizon), so an SM's evolution across the span
+//     depends on nothing outside its own state.
 //
 // The barrier is a hybrid spin/park design: both sides yield-spin for
 // a bounded number of rounds (cheap when all cores are busy advancing
@@ -37,8 +46,16 @@ package gpu
 // capacity 1 and are written with non-blocking sends: a stale token
 // costs one spurious wakeup — the waiter re-checks its atomic and
 // parks again — and never a lost one.
+//
+// The spin budget adapts: the orchestrator observes how many yield
+// rounds each barrier took in a small log2 histogram and periodically
+// resets the budget to twice the observed p90 (clamped to
+// [minBarrierSpins, maxBarrierSpins]), so short busy epochs keep
+// spinning while park-heavy phases shrink the wasted yields. A
+// positive GPU.BarrierSpins / -barrier-spins pins the budget instead.
 
 import (
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -47,13 +64,29 @@ import (
 	"cawa/internal/sm"
 )
 
-// DefaultBarrierSpins bounds how many scheduler yields a waiter burns
-// before parking on its channel, when the caller does not choose a
-// value (GPU.BarrierSpins / RunOptions.BarrierSpins). Yield-spinning
-// keeps barrier latency in the tens of nanoseconds while every worker
-// has cycles to run; parking caps the cost when the machine is
-// oversubscribed or the run idles.
+// DefaultBarrierSpins is the adaptive spin controller's starting
+// budget: how many scheduler yields a waiter burns before parking on
+// its channel. Yield-spinning keeps barrier latency in the tens of
+// nanoseconds while every worker has cycles to run; parking caps the
+// cost when the machine is oversubscribed or the run idles. A positive
+// GPU.BarrierSpins / RunOptions.BarrierSpins pins the budget and
+// disables adaptation. Purely a host-performance knob: results are
+// byte-identical at any setting.
 const DefaultBarrierSpins = 64
+
+const (
+	// minBarrierSpins / maxBarrierSpins clamp the adaptive budget.
+	minBarrierSpins = 16
+	maxBarrierSpins = 4096
+	// spinRetuneEvery is the observation cadence: the budget is
+	// recomputed from the histogram after this many barriers, and the
+	// window resets.
+	spinRetuneEvery = 64
+	// spinHistBuckets bounds the log2 spin-round histogram; bucket i
+	// holds observations with bit length i, so 16 buckets cover rounds
+	// up to 32768 — far beyond maxBarrierSpins.
+	spinHistBuckets = 16
+)
 
 // domainWorker is one goroutine's share of the SMs plus its epoch
 // output: the minimum wake bound across the SMs it stepped.
@@ -70,14 +103,24 @@ type domainWorker struct {
 // its workers.
 type domainRunner struct {
 	workers []*domainWorker
-	cycle   int64 // epoch input; written before epoch is published
-	spins   int   // barrier spin budget before parking
+	// from/to delimit the epoch's cycle span (inclusive); written
+	// before the epoch is published. One-cycle epochs have from == to.
+	from, to int64
 	// prof, when non-nil, receives each shard's per-epoch compute span
 	// (RecordShardCompute from the shard's own worker; the barrier's
 	// release/acquire pair orders those writes before the
 	// orchestrator's ObserveEpoch fold). Purely observational: no
 	// control flow reads a profiled duration.
 	prof *perf.Profiler
+
+	// Adaptive spin controller. spinBudget is read by workers and the
+	// orchestrator each barrier; only the orchestrator writes it, from
+	// the spin-round histogram it alone maintains. fixedSpins > 0 pins
+	// the budget (the -barrier-spins override).
+	fixedSpins int
+	spinBudget atomic.Int64
+	spinHist   [spinHistBuckets]uint32
+	spinObs    int
 
 	epoch   atomic.Int64 // epoch counter; incremented to start an epoch
 	pending atomic.Int64 // workers that have not finished the epoch
@@ -87,8 +130,9 @@ type domainRunner struct {
 }
 
 // newDomainRunner partitions sms contiguously across workers goroutines
-// (workers is clamped to len(sms)) and starts them parked. spins <= 0
-// selects DefaultBarrierSpins; prof may be nil.
+// (workers is clamped to len(sms)) and starts them parked. spins > 0
+// pins the barrier spin budget; <= 0 selects the adaptive controller
+// starting at DefaultBarrierSpins. prof may be nil.
 func newDomainRunner(sms []*sm.SM, workers, spins int, prof *perf.Profiler) *domainRunner {
 	if workers > len(sms) {
 		workers = len(sms)
@@ -96,10 +140,13 @@ func newDomainRunner(sms []*sm.SM, workers, spins int, prof *perf.Profiler) *dom
 	if workers < 1 {
 		workers = 1
 	}
-	if spins <= 0 {
-		spins = DefaultBarrierSpins
+	r := &domainRunner{doneCh: make(chan struct{}, 1), prof: prof}
+	if spins > 0 {
+		r.fixedSpins = spins
+		r.spinBudget.Store(int64(spins))
+	} else {
+		r.spinBudget.Store(DefaultBarrierSpins)
 	}
-	r := &domainRunner{doneCh: make(chan struct{}, 1), spins: spins, prof: prof}
 	if prof != nil {
 		prof.EnsureShards(workers)
 	}
@@ -119,13 +166,20 @@ func newDomainRunner(sms []*sm.SM, workers, spins int, prof *perf.Profiler) *dom
 	return r
 }
 
-// step runs one epoch: every SM executes one cycle at c, in parallel,
+// step runs a one-cycle epoch: every SM executes cycle c, in parallel,
 // and step returns the minimum wake bound across all SMs (the same
-// value the serial engine's min-fold computes). On return all workers
-// have finished the epoch, so the orchestrator may touch any SM state
-// until it starts the next epoch.
-func (r *domainRunner) step(c int64) int64 {
-	r.cycle = c
+// value the serial engine's min-fold computes).
+func (r *domainRunner) step(c int64) int64 { return r.stepSpan(c, c) }
+
+// stepSpan runs one epoch covering cycles from..to (inclusive): every
+// worker advances its SM shard across the whole span, staging all
+// outbound traffic, and stepSpan returns the minimum wake bound across
+// all SMs after their last cycle. On return all workers have finished,
+// so the orchestrator may touch any SM state until the next epoch.
+// Multi-cycle spans are only legal when no L1 fill, dispatch, or hook
+// can land inside the span — the lookahead planner's contract.
+func (r *domainRunner) stepSpan(from, to int64) int64 {
+	r.from, r.to = from, to
 	r.pending.Store(int64(len(r.workers)))
 	r.epoch.Add(1)
 	for _, w := range r.workers {
@@ -134,14 +188,19 @@ func (r *domainRunner) step(c int64) int64 {
 		default:
 		}
 	}
-	spins := 0
+	budget := int(r.spinBudget.Load())
+	spins, parked := 0, false
 	for r.pending.Load() != 0 {
-		if spins < r.spins {
+		if spins < budget {
 			spins++
 			runtime.Gosched()
 			continue
 		}
+		parked = true
 		<-r.doneCh // park; a stale token just re-checks the counter
+	}
+	if r.fixedSpins == 0 {
+		r.observeSpins(spins, parked, budget)
 	}
 	wake := sm.NoWake
 	for _, w := range r.workers {
@@ -150,6 +209,45 @@ func (r *domainRunner) step(c int64) int64 {
 		}
 	}
 	return wake
+}
+
+// observeSpins feeds the adaptive controller: one barrier took the
+// given number of yield rounds (a parked wait votes for twice the
+// budget it exhausted — the wait outlasted it by an unknown amount).
+// Every spinRetuneEvery observations the budget resets to twice the
+// window's p90, clamped, and the window restarts.
+func (r *domainRunner) observeSpins(spins int, parked bool, budget int) {
+	v := spins
+	if parked {
+		v = budget * 2
+	}
+	b := bits.Len(uint(v))
+	if b >= spinHistBuckets {
+		b = spinHistBuckets - 1
+	}
+	r.spinHist[b]++
+	r.spinObs++
+	if r.spinObs < spinRetuneEvery {
+		return
+	}
+	target := (r.spinObs*9 + 9) / 10 // ceil(0.9 * n): the p90 observation
+	seen, bound := 0, 0
+	for i, c := range r.spinHist {
+		seen += int(c)
+		r.spinHist[i] = 0
+		if bound == 0 && seen >= target {
+			bound = 1 << uint(i) // upper edge of the p90 bucket
+		}
+	}
+	r.spinObs = 0
+	next := 2 * bound
+	if next < minBarrierSpins {
+		next = minBarrierSpins
+	}
+	if next > maxBarrierSpins {
+		next = maxBarrierSpins
+	}
+	r.spinBudget.Store(int64(next))
 }
 
 // stop terminates the workers and waits for them to exit. Safe to call
@@ -168,17 +266,18 @@ func (r *domainRunner) stop() {
 }
 
 // run is a worker's loop: wait for an epoch (or stop), step the owned
-// SMs, fold their wake bounds, and report completion.
+// SMs across the epoch's span, fold their wake bounds, and report
+// completion.
 func (r *domainRunner) run(w *domainWorker) {
 	defer r.wg.Done()
 	last := int64(0)
 	for {
-		spins := 0
+		spins, budget := 0, int(r.spinBudget.Load())
 		for r.epoch.Load() == last {
 			if r.stopped.Load() {
 				return
 			}
-			if spins < r.spins {
+			if spins < budget {
 				spins++
 				runtime.Gosched()
 				continue
@@ -186,21 +285,15 @@ func (r *domainRunner) run(w *domainWorker) {
 			<-w.wakeCh // park; a stale token just re-checks the epoch
 		}
 		last++
-		c := r.cycle
+		from, to := r.from, r.to
 		var t0 int64
 		if r.prof != nil {
 			t0 = r.prof.Now()
 		}
-		wake := sm.NoWake
-		for _, s := range w.sms {
-			if v := s.Cycle(c); v < wake {
-				wake = v
-			}
-		}
+		w.wake = w.stepSpan(from, to)
 		if r.prof != nil {
 			r.prof.RecordShardCompute(w.id, r.prof.Now()-t0)
 		}
-		w.wake = wake
 		if r.pending.Add(-1) == 0 {
 			select {
 			case r.doneCh <- struct{}{}:
@@ -208,4 +301,76 @@ func (r *domainRunner) run(w *domainWorker) {
 			}
 		}
 	}
+}
+
+// stepSpan advances every owned SM from cycle from through to
+// (inclusive) and returns the minimum wake bound after the span. The
+// span is dispatch-free by the planner's contract and every fill that
+// lands inside it was planned onto the SM's L1 up front, so each SM
+// evolves on state its worker owns: before an SM's cycle at t the
+// worker delivers the planned fills due at t (the serial engine's
+// System.Cycle-before-SM.Cycle order), exactly while the SM still has
+// resident blocks — a drained SM issues nothing, so its remaining
+// fills are left for the barrier replay (memsys spanfill.go).
+//
+// When an SM reports it cannot act before some future cycle, the dead
+// cycles up to the earlier of that wake and the next planned fill are
+// credited to its stall buckets in bulk (AccountSkipped — the same
+// discipline fastForward applies across globally idle spans) and the
+// SM next runs a real cycle there: a fill may unblock a load, so the
+// delivery cycle must be classified for real.
+func (w *domainWorker) stepSpan(from, to int64) int64 {
+	wake := sm.NoWake
+	for _, s := range w.sms {
+		l1 := s.L1D()
+		live := !s.Idle()
+		nf := sm.NoWake
+		if live {
+			if f := l1.NextSpanFill(); f >= 0 {
+				nf = f
+			}
+		}
+		t := from
+		var v int64
+		for {
+			if nf <= t {
+				l1.DeliverSpanFills(t)
+				nf = sm.NoWake
+				if f := l1.NextSpanFill(); f >= 0 {
+					nf = f
+				}
+			}
+			v = s.Cycle(t)
+			if live && s.Idle() {
+				// The last resident block retired during cycle t: stop
+				// delivering — the replay owns the rest of the plan.
+				live, nf = false, sm.NoWake
+			}
+			next := v
+			if nf < next {
+				next = nf
+			}
+			if next <= t {
+				// The SM acted (or could have) at t: the next cycle
+				// must run for real too.
+				if t == to {
+					break
+				}
+				t++
+				continue
+			}
+			if next > to {
+				// Dead through the end of the span.
+				s.AccountSkipped(to - t)
+				break
+			}
+			// Dead until next: bulk-credit the skipped stalls, jump there.
+			s.AccountSkipped(next - t - 1)
+			t = next
+		}
+		if v < wake {
+			wake = v
+		}
+	}
+	return wake
 }

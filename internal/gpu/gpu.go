@@ -85,11 +85,28 @@ type GPU struct {
 	// runs automatically.
 	SMWorkers int
 
-	// BarrierSpins overrides the parallel engine's barrier spin budget
+	// BarrierSpins pins the parallel engine's barrier spin budget
 	// (scheduler yields before a waiter parks; see domains.go). Values
-	// <= 0 select DefaultBarrierSpins. Purely a host-performance knob:
-	// results are byte-identical at any setting.
+	// <= 0 (the default) select the adaptive controller, which retunes
+	// the budget from observed barrier waits starting at
+	// DefaultBarrierSpins. Purely a host-performance knob: results are
+	// byte-identical at any setting.
 	BarrierSpins int
+
+	// Lookahead enables multi-cycle epochs on the parallel engine: once
+	// dispatch is exhausted, each barrier plans a safe horizon from the
+	// memory system's fill-free guarantee and runs the whole span as one
+	// epoch, replaying the staged traffic cycle by cycle at the barrier
+	// (see lookahead.go). Results stay byte-identical to every other
+	// engine; the switch only changes how often the engine barriers.
+	// Ignored by the serial engine (SMWorkers <= 1).
+	Lookahead bool
+
+	// horizonSlack widens every planned horizon by this many cycles.
+	// Test hook only: a slack of +1 lets a test prove the byte-identity
+	// guard is non-vacuous (the first fill cycle lands in-span and
+	// equivalence breaks).
+	horizonSlack int64
 
 	// Perf, when non-nil, self-profiles the engine: Launch brackets its
 	// orchestrator seams (memsys drain, dispatch, SM stepping, staged
@@ -249,9 +266,17 @@ func (g *GPU) Launch(ctx context.Context, k *simt.Kernel) (*stats.Launch, error)
 	// and the orchestrator folds them between epochs (the barrier
 	// orders the accesses). The serial engine uses the same shape.
 	retiredBy := make([]int, len(g.sms))
+	// lastRetire records each SM's most recent block-retirement cycle:
+	// when a kernel completes inside a lookahead batch, the replay stops
+	// at the max — the serial engine's final cycle (see lookahead.go).
+	lastRetire := make([]int64, len(g.sms))
 	for i, s := range g.sms {
 		counter := &retiredBy[i]
-		s.OnBlockDone = func(int, int64) { *counter++ }
+		at := &lastRetire[i]
+		s.OnBlockDone = func(_ int, cycle int64) {
+			*counter++
+			*at = cycle
+		}
 	}
 	retired := func() int {
 		n := 0
@@ -319,9 +344,27 @@ func (g *GPU) Launch(ctx context.Context, k *simt.Kernel) (*stats.Launch, error)
 			if err != nil {
 				return nil, fmt.Errorf("gpu: kernel %s aborted at cycle %d: %w", k.Name, g.cycle, err)
 			}
+		} else if g.Lookahead && g.runner != nil && nextBlock >= total && retired() < total {
+			// Busy span on the parallel engine with dispatch exhausted:
+			// batch the cycles up to the next safe horizon into one
+			// epoch (lookahead.go). Brackets the whole call, planning
+			// plus epoch plus replay; nested seams record too.
+			if prof != nil {
+				t0 = prof.Now()
+			}
+			err := g.runBatch(ctx, startCycle, lastRetire, retired, total)
+			if prof != nil {
+				prof.ObservePhase(perf.PhaseLookahead, prof.Now()-t0)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("gpu: kernel %s aborted at cycle %d: %w", k.Name, g.cycle, err)
+			}
 		}
 	}
 
+	if prof != nil {
+		prof.AddSimCycles(g.cycle - startCycle)
+	}
 	g.Spans = append(g.Spans, LaunchSpan{Kernel: k.Name, Start: startCycle + 1, End: g.cycle})
 	out := &stats.Launch{Kernel: k.Name, Cycles: g.cycle - startCycle}
 	for i, s := range g.sms {

@@ -1,0 +1,149 @@
+package gpu
+
+// The lookahead engine: multi-cycle epochs under safe horizons.
+//
+// PR 6's parallel engine barriers every cycle, and PR 7's self-profiler
+// measured over half its wall-clock in that barrier. The classic
+// conservative-PDES fix applies because SMs interact only through the
+// shared memory system, and the memory system can split its SM-visible
+// effects (L1 fills) into two classes at planning time: fills already
+// pending in the event heap, whose delivery cycles and line addresses
+// are exact, and fills the span itself could create, which
+// memsys.SafeHorizon proves cannot land before the horizon. The
+// planner hands the first class to the domain workers for delivery at
+// their exact in-span cycles (memsys.PlanSpanFills) and ends the span
+// before the second class can exist, so the workers may run the whole
+// span between two barriers, staging outbound traffic with per-cycle
+// stamps.
+//
+// The barrier then *replays* the span cycle by cycle on the
+// orchestrator: for each cycle t it drains the due memory events
+// (System.Cycle) and commits every SM's staged accesses and deferred
+// stores emitted at t, in SM-id order. That reproduces the serial
+// engine's cycle → SM-id → program order exactly, so the event heap's
+// sequence numbers — the determinism linchpin that tie-breaks
+// same-time events and thereby decides every bank/channel contention
+// outcome — evolve bit-identically to the serial engine. A fill event
+// popping during the replay consumes its worker's delivery record and
+// applies the deferred System-side effects (the FillsDelivered count,
+// the dirty-victim writeback) at exactly the serial pop position;
+// every other event the replay schedules inside the span is internal
+// by construction (L2/DRAM pipeline; the horizon proves no unplanned
+// fill lands in-span) and is processed at its exact cycle.
+//
+// A batch is only planned when dispatch is exhausted (nextBlock ==
+// GridDim): block capacity frees at retirement, which the planner
+// cannot predict, so while blocks remain undispatched the engine
+// sticks to one-cycle epochs. The PerCycle hook and the MaxCycles
+// guard clamp the horizon so samplers fire and the runaway abort
+// triggers at exactly the serial engine's cycles.
+//
+// Kernel completion can land mid-span: workers keep cycling their
+// (now empty) SMs to the span end, recording each SM's last
+// block-retirement cycle. The replay then stops at the last
+// retirement — later staged traffic cannot exist (empty SMs emit
+// none) and later-due events stay pending, matching the serial
+// engine's warm state at its own final cycle — and the cycle counter
+// rewinds to it. Empty-SM cycles beyond that point touch nothing but
+// the SM's own cycle latch and writeback scan cache, both re-derived
+// on the next launch.
+//
+// DESIGN.md ("Lookahead epochs") carries the full safety argument.
+
+import (
+	"context"
+	"fmt"
+
+	"cawa/internal/obs/perf"
+)
+
+// planHorizon returns the first cycle the engine must tick normally:
+// cycles g.cycle+1 .. planHorizon-1 form the next batchable span. The
+// bound folds the memory system's fill-free guarantee, the MaxCycles
+// abort cycle, and the PerCycle hook's next observation point. The
+// test-only horizonSlack widens the result to prove the byte-identity
+// guard is non-vacuous (a +1 slack must break equivalence).
+func (g *GPU) planHorizon(startCycle int64) int64 {
+	f := g.sys.SafeHorizon(g.cycle)
+	if g.cfg.MaxCycles > 0 {
+		if limit := startCycle + g.cfg.MaxCycles + 1; limit < f {
+			f = limit
+		}
+	}
+	if g.PerCycle != nil {
+		if g.PerCycleWake == nil {
+			return g.cycle + 1 // the hook may act on any cycle: never batch
+		}
+		if t := g.PerCycleWake(g.cycle); t < f {
+			f = t
+		}
+	}
+	return f + g.horizonSlack
+}
+
+// runBatch plans one safe horizon and, when the span is worth a
+// barrier (two cycles or more), runs it as a single multi-cycle epoch
+// followed by the cycle-by-cycle replay of the staged traffic. The
+// cycle counter lands on the last replayed cycle; the caller's loop
+// ticks the horizon cycle normally. Cancellation is polled once per
+// batch — the batch bounds the poll cadence the same way fastForward's
+// event boundaries do.
+func (g *GPU) runBatch(ctx context.Context, startCycle int64, lastRetire []int64, retired func() int, total int) error {
+	f := g.planHorizon(startCycle)
+	if f <= g.cycle+2 {
+		return nil // a span of under two cycles amortizes nothing
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	from, end := g.cycle+1, f-1
+	g.sys.PlanSpanFills(f)
+	prof := g.Perf
+	var t0 int64
+	if prof != nil {
+		t0 = prof.Now()
+	}
+	g.runner.stepSpan(from, end)
+	var t1 int64
+	if prof != nil {
+		t1 = prof.Now()
+		prof.ObserveEpoch(t0, t1, len(g.runner.workers))
+	}
+	replayEnd := end
+	if retired() >= total {
+		// The kernel finished mid-span: replay only to the last
+		// retirement and discard the empty overshoot cycles.
+		tr := from
+		for _, t := range lastRetire {
+			if t > tr {
+				tr = t
+			}
+		}
+		replayEnd = tr
+	}
+	for t := from; t <= replayEnd; t++ {
+		g.sys.Cycle(t)
+		for i := range g.sms {
+			g.logs[i].FlushThrough(t)
+			g.sys.CommitThrough(g.stages[i], t)
+		}
+	}
+	g.cycle = replayEnd
+	for _, s := range g.sms {
+		l1 := s.L1D()
+		if !l1.SpanFillsDrained() {
+			// Unreachable by the planner's contract: a worker only
+			// delivers to an SM with resident blocks, so every delivered
+			// fill is due at or before the last retirement cycle and the
+			// replay popped its event.
+			panic(fmt.Sprintf("gpu: sm %d delivered a span fill the replay never reached", s.ID))
+		}
+		l1.ResetSpanFills()
+	}
+	if prof != nil {
+		prof.ObservePhase(perf.PhaseStagedCommit, prof.Now()-t1)
+	}
+	return nil
+}

@@ -1,0 +1,358 @@
+package gpu
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"cawa/internal/config"
+	"cawa/internal/isa"
+	"cawa/internal/memory"
+	"cawa/internal/simt"
+	"cawa/internal/stats"
+)
+
+// thrashKernel builds a memory-bound multi-block kernel: every thread
+// walks a strided read-modify-write loop over a shared buffer, keeping
+// the L1s missing and the event heap full of in-flight fills — the
+// workload shape that exercises in-span fill delivery hardest.
+func thrashKernel(t *testing.T, mem *memory.Memory, grid, block int) *simt.Kernel {
+	t.Helper()
+	buf := mem.Alloc(64 * 1024)
+	b := isa.NewBuilder("thrash")
+	b.SReg(isa.R0, isa.SRGTid)
+	b.RemI(isa.R1, isa.R0, 512)
+	b.MulI(isa.R1, isa.R1, 8)
+	b.Param(isa.R2, 0)
+	b.Add(isa.R1, isa.R1, isa.R2)
+	b.MovI(isa.R5, 0)
+	b.Label("loop")
+	b.Ld(isa.R3, isa.R1, 0)
+	b.AddI(isa.R3, isa.R3, 1)
+	b.St(isa.R1, 0, isa.R3)
+	b.AddI(isa.R1, isa.R1, 1024)
+	b.RemI(isa.R1, isa.R1, 4096)
+	b.Add(isa.R1, isa.R1, isa.R2)
+	b.AddI(isa.R5, isa.R5, 1)
+	b.SetLTI(isa.R4, isa.R5, 6)
+	b.CBra(isa.R4, "loop")
+	b.Exit()
+	return &simt.Kernel{Name: "thrash", Program: b.MustBuild(), GridDim: grid, BlockDim: block,
+		Params: []int64{buf}}
+}
+
+// asymKernel builds the slack-divergence witness: block 0 spins a long
+// compute loop (its SM always has an issuable warp, pinning the engine
+// to the lookahead branch instead of fast-forward) while block 1 loops
+// dependent strided loads. Every in-flight load leaves an internal
+// event at the plan time of some batch, and that event derives a fill
+// at exactly internals[0]+L2Latency-icntLat — SafeHorizon's second
+// bound — so a one-cycle-wide horizon pulls that fill into the span
+// unplanned and the replay delivers it a cycle late.
+func asymKernel(t *testing.T, mem *memory.Memory) *simt.Kernel {
+	t.Helper()
+	buf := mem.Alloc(4096)
+	b := isa.NewBuilder("asym")
+	b.SReg(isa.R0, isa.SRCtaid)
+	b.SetEQI(isa.R6, isa.R0, 0)
+	b.CBra(isa.R6, "compute")
+	// Memory block: dependent single-line loads (every lane reads the
+	// same fresh line, so each iteration is one compulsory miss and its
+	// fill is the one unblocking event the next load waits on). A fill
+	// landing one cycle late is therefore always visible in the warp's
+	// issue timing.
+	b.Param(isa.R2, 0)
+	b.MovI(isa.R5, 0)
+	b.Label("mloop")
+	b.MulI(isa.R7, isa.R5, 128)
+	b.Add(isa.R7, isa.R7, isa.R2)
+	b.Ld(isa.R3, isa.R7, 0)
+	b.AddI(isa.R5, isa.R5, 1)
+	b.SetLTI(isa.R4, isa.R5, 40)
+	b.CBra(isa.R4, "mloop")
+	b.Exit()
+	// Compute block: outlasts the memory block by a wide margin.
+	b.Label("compute")
+	b.MovI(isa.R5, 0)
+	b.Label("cloop")
+	b.AddI(isa.R5, isa.R5, 1)
+	b.SetLTI(isa.R4, isa.R5, 3000)
+	b.CBra(isa.R4, "cloop")
+	b.Exit()
+	return &simt.Kernel{Name: "asym", Program: b.MustBuild(), GridDim: 2, BlockDim: 32,
+		Params: []int64{buf}}
+}
+
+// runEngine launches one kernel on one engine configuration and
+// returns (stats, final memory image prefix).
+func runEngine(t *testing.T, build func(*testing.T, *memory.Memory) *simt.Kernel,
+	workers int, lookahead bool, slack int64) (*stats.Launch, []int64) {
+	t.Helper()
+	mem := memory.New(1 << 20)
+	g, err := New(Options{Config: config.Small(), Memory: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SMWorkers = workers
+	g.Lookahead = lookahead
+	g.horizonSlack = slack
+	launch, err := g.Launch(context.Background(), build(t, mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := make([]int64, 512)
+	for i := range img {
+		img[i] = mem.Load(int64(i) * 8)
+	}
+	return launch, img
+}
+
+// TestLookaheadByteIdentity is the package-local half of the harness
+// equivalence matrix: the lookahead engine must reproduce the serial
+// engine's statistics and memory image exactly, and the horizonSlack
+// test hook must prove the guarantee is non-vacuous — widening every
+// horizon by a single cycle has to break equivalence, otherwise the
+// SafeHorizon bound is slack and the test proves nothing.
+func TestLookaheadByteIdentity(t *testing.T) {
+	for _, build := range []func(*testing.T, *memory.Memory) *simt.Kernel{
+		func(t *testing.T, mem *memory.Memory) *simt.Kernel { return thrashKernel(t, mem, 6, 128) },
+		asymKernel,
+	} {
+		serial, serialImg := runEngine(t, build, 1, false, 0)
+		la, laImg := runEngine(t, build, 2, true, 0)
+		if !reflect.DeepEqual(serial, la) {
+			t.Fatalf("lookahead stats diverge from serial:\nserial: %+v\nla:     %+v", serial, la)
+		}
+		if !reflect.DeepEqual(serialImg, laImg) {
+			t.Fatal("lookahead memory image diverges from serial")
+		}
+	}
+
+	serial, _ := runEngine(t, asymKernel, 1, false, 0)
+	wide, _ := runEngine(t, asymKernel, 2, true, 1)
+	if reflect.DeepEqual(serial, wide) {
+		t.Fatal("horizonSlack=1 did not break equivalence: the SafeHorizon bound is not tight enough for this test to witness anything")
+	}
+}
+
+// TestLookaheadPlanHorizonClamps pins the planner's clamp ladder:
+// SafeHorizon alone, then the MaxCycles abort cycle, then the PerCycle
+// hook (no wake callback → never batch; wake callback → clamp to it).
+func TestLookaheadPlanHorizonClamps(t *testing.T) {
+	mem := memory.New(1 << 16)
+	g, err := New(Options{Config: config.Small(), Memory: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := g.sys.SafeHorizon(g.cycle)
+	if got := g.planHorizon(g.cycle); got != free {
+		t.Fatalf("unclamped horizon %d, want SafeHorizon %d", got, free)
+	}
+
+	g.cfg.MaxCycles = 5
+	if got, want := g.planHorizon(g.cycle), g.cycle+g.cfg.MaxCycles+1; got != want {
+		t.Fatalf("MaxCycles clamp gave %d, want %d", got, want)
+	}
+	// The clamp anchors at the launch's start cycle, not the current one.
+	if got, want := g.planHorizon(g.cycle-3), g.cycle-3+g.cfg.MaxCycles+1; got != want {
+		t.Fatalf("MaxCycles clamp from earlier start gave %d, want %d", got, want)
+	}
+	g.cfg.MaxCycles = 0
+
+	g.PerCycle = func(*GPU, int64) {}
+	if got, want := g.planHorizon(g.cycle), g.cycle+1; got != want {
+		t.Fatalf("PerCycle without PerCycleWake gave %d, want never-batch %d", got, want)
+	}
+	g.PerCycleWake = func(now int64) int64 { return now + 3 }
+	if got, want := g.planHorizon(g.cycle), g.cycle+3; got != want {
+		t.Fatalf("PerCycleWake clamp gave %d, want %d", got, want)
+	}
+	// A wake beyond the fill horizon must not widen the span.
+	g.PerCycleWake = func(now int64) int64 { return now + 1_000_000 }
+	if got := g.planHorizon(g.cycle); got != free {
+		t.Fatalf("distant wake widened the horizon to %d, want %d", got, free)
+	}
+}
+
+// TestLookaheadZeroSpanNoOp proves runBatch refuses spans that
+// amortize nothing: with the horizon clamped to the very next cycle
+// the call must return without touching the cycle counter, the runner,
+// or the span-fill plan (runner and counters are nil/unused here — a
+// touch would panic).
+func TestLookaheadZeroSpanNoOp(t *testing.T) {
+	mem := memory.New(1 << 16)
+	g, err := New(Options{Config: config.Small(), Memory: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.cycle = 42
+	g.PerCycle = func(*GPU, int64) {}
+	g.PerCycleWake = func(now int64) int64 { return now + 1 }
+	if err := g.runBatch(context.Background(), 0, nil, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.cycle != 42 {
+		t.Fatalf("zero-span batch moved the cycle counter to %d", g.cycle)
+	}
+	// A two-cycle horizon is still not worth a barrier.
+	g.PerCycleWake = func(now int64) int64 { return now + 2 }
+	if err := g.runBatch(context.Background(), 0, nil, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.cycle != 42 {
+		t.Fatalf("sub-threshold batch moved the cycle counter to %d", g.cycle)
+	}
+}
+
+// TestLookaheadMaxCyclesTruncation proves the runaway guard fires at
+// the identical cycle under lookahead batching: the horizon clamp
+// truncates the span at the abort cycle, so a spinning kernel dies
+// with the same error and the same final cycle counter as the serial
+// engine.
+func TestLookaheadMaxCyclesTruncation(t *testing.T) {
+	run := func(workers int, lookahead bool) (string, int64) {
+		mem := memory.New(1 << 16)
+		cfg := config.Small()
+		cfg.MaxCycles = 100
+		g, err := New(Options{Config: cfg, Memory: mem})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.SMWorkers = workers
+		g.Lookahead = lookahead
+		b := isa.NewBuilder("spin")
+		b.Label("head")
+		b.Bra("head")
+		b.Exit()
+		k := &simt.Kernel{Name: "spin", Program: b.MustBuild(), GridDim: 1, BlockDim: 32}
+		_, err = g.Launch(context.Background(), k)
+		if err == nil {
+			t.Fatal("runaway kernel not aborted")
+		}
+		return err.Error(), g.Cycle()
+	}
+	serialMsg, serialCycle := run(1, false)
+	laMsg, laCycle := run(2, true)
+	if serialMsg != laMsg {
+		t.Fatalf("abort errors diverge:\nserial: %s\nla:     %s", serialMsg, laMsg)
+	}
+	if serialCycle != laCycle {
+		t.Fatalf("abort cycles diverge: serial %d, lookahead %d", serialCycle, laCycle)
+	}
+}
+
+// flipCtx is a context whose Err flips to Canceled after a fixed
+// number of polls — it measures how often the engine actually checks,
+// with no wall-clock involved.
+type flipCtx struct {
+	context.Context
+	polls int
+	after int
+}
+
+func (c *flipCtx) Err() error {
+	c.polls++
+	if c.polls > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestLookaheadCancellationPolledInBatch proves batching does not
+// starve cancellation: runBatch polls ctx once per batch, so a context
+// that dies mid-kernel aborts the launch long before the ticking
+// path's cancelCheckMask cadence would notice, even though the engine
+// crosses thousands of cycles per barrier.
+func TestLookaheadCancellationPolledInBatch(t *testing.T) {
+	mem := memory.New(1 << 20)
+	g, err := New(Options{Config: config.Small(), Memory: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SMWorkers = 2
+	g.Lookahead = true
+	ctx := &flipCtx{Context: context.Background(), after: 8}
+	_, err = g.Launch(ctx, thrashKernel(t, mem, 6, 128))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled launch returned %v", err)
+	}
+	if g.Cycle() >= cancelCheckMask {
+		t.Fatalf("abort only at cycle %d: batches are not polling ctx (mask cadence is %d)", g.Cycle(), cancelCheckMask+1)
+	}
+}
+
+// TestDomainSpinRetune drives the adaptive controller's histogram
+// directly (no goroutines): the budget must reset to twice the p90
+// bucket edge each retune window, clamped to the documented bounds.
+func TestDomainSpinRetune(t *testing.T) {
+	feed := func(r *domainRunner, spins int, parked bool, n int) {
+		for i := 0; i < n; i++ {
+			r.observeSpins(spins, parked, int(r.spinBudget.Load()))
+		}
+	}
+	r := &domainRunner{}
+	r.spinBudget.Store(DefaultBarrierSpins)
+
+	// All-zero observations retune to the minimum.
+	feed(r, 0, false, spinRetuneEvery)
+	if got := r.spinBudget.Load(); got != minBarrierSpins {
+		t.Fatalf("idle window retuned to %d, want min %d", got, minBarrierSpins)
+	}
+
+	// spins=100 → log2 bucket 7 → edge 128 → budget 256.
+	feed(r, 100, false, spinRetuneEvery)
+	if got := r.spinBudget.Load(); got != 256 {
+		t.Fatalf("p90 retune gave %d, want 256", got)
+	}
+
+	// A parked barrier votes for twice the budget it exhausted:
+	// v = 2*256 = 512 → bucket 10 → edge 1024 → budget 2048.
+	feed(r, 256, true, spinRetuneEvery)
+	if got := r.spinBudget.Load(); got != 2048 {
+		t.Fatalf("parked retune gave %d, want 2048", got)
+	}
+
+	// Huge observations clamp at the ceiling.
+	feed(r, 1<<14, false, spinRetuneEvery)
+	if got := r.spinBudget.Load(); got != maxBarrierSpins {
+		t.Fatalf("oversized retune gave %d, want max %d", got, maxBarrierSpins)
+	}
+
+	// The p90 ignores a small tail of outliers: 58 fast barriers and 6
+	// slow ones retune to the fast bucket.
+	feed(r, 10, false, spinRetuneEvery-6)
+	feed(r, 4000, false, 6)
+	if got := r.spinBudget.Load(); got != 32 {
+		t.Fatalf("outlier-tail retune gave %d, want 32 (2x bucket edge 16)", got)
+	}
+}
+
+// TestDomainSpinFixedOverride proves a pinned budget never adapts:
+// stepSpan (zero workers, so the barrier clears instantly) must skip
+// the controller entirely when fixedSpins is set, and feed it when
+// not.
+func TestDomainSpinFixedOverride(t *testing.T) {
+	pinned := &domainRunner{fixedSpins: 9, doneCh: make(chan struct{}, 1)}
+	pinned.spinBudget.Store(9)
+	for i := 0; i < 2*spinRetuneEvery; i++ {
+		pinned.stepSpan(int64(i), int64(i))
+	}
+	if got := pinned.spinBudget.Load(); got != 9 {
+		t.Fatalf("pinned budget drifted to %d", got)
+	}
+	if pinned.spinObs != 0 {
+		t.Fatalf("pinned runner fed the histogram (%d observations)", pinned.spinObs)
+	}
+
+	adaptive := &domainRunner{doneCh: make(chan struct{}, 1)}
+	adaptive.spinBudget.Store(DefaultBarrierSpins)
+	for i := 0; i < spinRetuneEvery; i++ {
+		adaptive.stepSpan(int64(i), int64(i))
+	}
+	// Zero-worker barriers take zero spin rounds: the budget collapses
+	// to the floor, proving the controller ran.
+	if got := adaptive.spinBudget.Load(); got != minBarrierSpins {
+		t.Fatalf("adaptive budget %d after an idle window, want %d", got, minBarrierSpins)
+	}
+}

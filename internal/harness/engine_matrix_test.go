@@ -31,13 +31,18 @@ var matrixSystems = []struct {
 
 // TestEngineEquivalenceMatrix proves that every execution engine is a
 // pure wall-clock optimization. For each paper application on the
-// baseline, GTO and full-CAWA design points, four engines must produce
-// byte-identical results against the serial-ticked reference:
+// baseline, GTO and full-CAWA design points, every engine combination
+// must produce byte-identical results against the serial-ticked
+// reference:
 //
-//	serial-ticked    one goroutine, every cycle stepped (the reference)
-//	serial-ff        event-driven idle-cycle fast-forwarding
-//	parallel-ticked  per-SM execution domains, every cycle stepped
-//	parallel-ff      execution domains + fast-forwarding
+//	serial-ticked       one goroutine, every cycle stepped (the reference)
+//	serial-ff           event-driven idle-cycle fast-forwarding
+//	serial-la           lookahead requested on a serial session (the
+//	                    switch must be inert without the parallel engine)
+//	parallel-ticked     per-SM execution domains, every cycle stepped
+//	parallel-ff         execution domains + fast-forwarding
+//	parallel-ticked-la  execution domains + multi-cycle lookahead epochs
+//	parallel-ff-la      domains + fast-forwarding + lookahead epochs
 //
 // "Byte-identical" covers cycle counts, launch spans, every aggregate
 // counter, every per-warp record including the stall-cycle buckets
@@ -64,9 +69,10 @@ func TestEngineEquivalenceMatrix(t *testing.T) {
 	cfg := engineMatrixConfig()
 	params := workloads.Params{Scale: 0.05, Seed: 3}
 
-	newEngineSession := func(ticked, parallel bool) *Session {
+	newEngineSession := func(ticked, parallel, lookahead bool) *Session {
 		s := NewSession(cfg, params)
 		s.DisableFastForward = ticked
+		s.Lookahead = lookahead
 		if parallel {
 			// Enough pool slots that every run gets NumSMs domains even
 			// on a single-CPU host (NewSession sizes to runtime.NumCPU).
@@ -74,14 +80,17 @@ func TestEngineEquivalenceMatrix(t *testing.T) {
 		}
 		return s
 	}
-	ref := newEngineSession(true, false)
+	ref := newEngineSession(true, false, false)
 	variants := []struct {
 		name    string
 		session *Session
 	}{
-		{"serial-ff", newEngineSession(false, false)},
-		{"parallel-ticked", newEngineSession(true, true)},
-		{"parallel-ff", newEngineSession(false, true)},
+		{"serial-ff", newEngineSession(false, false, false)},
+		{"serial-la", newEngineSession(true, false, true)},
+		{"parallel-ticked", newEngineSession(true, true, false)},
+		{"parallel-ff", newEngineSession(false, true, false)},
+		{"parallel-ticked-la", newEngineSession(true, true, true)},
+		{"parallel-ff-la", newEngineSession(false, true, true)},
 	}
 
 	var keys []RunKey

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"encoding/json"
+	"testing"
+
+	"cawa/internal/config"
+	"cawa/internal/core"
+	"cawa/internal/obs"
+	"cawa/internal/workloads"
+)
+
+// TestLookaheadSamplerSeriesBytes proves the observability cadence
+// survives multi-cycle epochs: a cadenced obs.Sampler wired through
+// PerCycle/PerCycleWake must produce byte-identical sampled series
+// under the lookahead engine, because the horizon planner clamps every
+// span to the sampler's next wake cycle. A missing clamp would shift
+// or drop samples, not just reorder them, so comparing the marshaled
+// series bytes is the sharpest check available.
+func TestLookaheadSamplerSeriesBytes(t *testing.T) {
+	cfg := config.Small()
+	cfg.NumSMs = 4
+	params := workloads.Params{Scale: 0.05, Seed: 3}
+
+	sample := func(parallel, lookahead bool) []byte {
+		t.Helper()
+		s := obs.NewSampler(nil, 50)
+		opt := RunOptions{
+			Workload:     "bfs",
+			Params:       params,
+			System:       core.Baseline(),
+			Config:       cfg,
+			PerCycle:     s.OnCycle,
+			PerCycleWake: s.NextWake,
+			Lookahead:    lookahead,
+		}
+		if parallel {
+			opt.SMWorkers = cfg.NumSMs
+		}
+		if _, err := Run(opt); err != nil {
+			t.Fatal(err)
+		}
+		series := s.Series()
+		if len(series) == 0 {
+			t.Fatal("sampler bound no series")
+		}
+		total := 0
+		for _, sr := range series {
+			total += len(sr.Samples)
+		}
+		if total == 0 {
+			t.Fatal("sampler took no samples")
+		}
+		b, err := json.Marshal(series)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	ref := sample(false, false)
+	la := sample(true, true)
+	if string(ref) != string(la) {
+		t.Fatal("sampled series diverge between the serial engine and the lookahead engine")
+	}
+	// The parallel engine without lookahead must agree too (regression
+	// anchor: the clamp is in the shared planner, not the batch path).
+	par := sample(true, false)
+	if string(ref) != string(par) {
+		t.Fatal("sampled series diverge between the serial and parallel engines")
+	}
+}

@@ -49,10 +49,16 @@ type RunOptions struct {
 	// closures may share mutable state between SMs, which only the
 	// serial engine may do.
 	SMWorkers int
-	// BarrierSpins overrides the parallel engine's epoch-barrier spin
-	// budget (see gpu.GPU.BarrierSpins). 0 keeps the default. Purely a
-	// host performance knob; results are byte-identical at any value.
+	// BarrierSpins pins the parallel engine's epoch-barrier spin
+	// budget (see gpu.GPU.BarrierSpins). 0 keeps the adaptive
+	// controller. Purely a host performance knob; results are
+	// byte-identical at any value.
 	BarrierSpins int
+	// Lookahead enables multi-cycle safe-horizon epochs on the parallel
+	// engine (see gpu.GPU.Lookahead). Results are byte-identical with
+	// it on or off; the switch only changes barrier frequency. Ignored
+	// by serial runs.
+	Lookahead bool
 	// Profiler, when non-nil, self-profiles the engine's wall-clock
 	// phases into the given accumulator (see gpu.GPU.Perf and
 	// internal/obs/perf). Observational only: simulation results are
@@ -166,6 +172,7 @@ func RunContext(ctx context.Context, opt RunOptions) (*Result, error) {
 	g.PerCycleWake = opt.PerCycleWake
 	g.DisableFastForward = opt.DisableFastForward
 	g.BarrierSpins = opt.BarrierSpins
+	g.Lookahead = opt.Lookahead
 	g.Perf = opt.Profiler
 	// Engine selection. The serial gate is evaluated here, after the
 	// CCWS auto-wiring above, so a ccws run (whose per-SM providers are

@@ -98,6 +98,11 @@ type Session struct {
 	// gpu.GPU.BarrierSpins). Results are byte-identical at any value,
 	// so the result cache is deliberately not keyed on it.
 	BarrierSpins int
+	// Lookahead enables multi-cycle safe-horizon epochs for every
+	// parallel run the session launches (see gpu.GPU.Lookahead).
+	// Results are byte-identical with it on or off, so the result cache
+	// is deliberately not keyed on it.
+	Lookahead bool
 
 	mu       sync.Mutex
 	cache    map[string]*flight
@@ -259,6 +264,9 @@ func (s *Session) simulate(ctx context.Context, opt RunOptions) (*Result, error)
 	profile := s.profile
 	if opt.BarrierSpins == 0 {
 		opt.BarrierSpins = s.BarrierSpins
+	}
+	if s.Lookahead {
+		opt.Lookahead = true
 	}
 	s.mu.Unlock()
 	extra := 0

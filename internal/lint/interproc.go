@@ -76,14 +76,28 @@ func DefaultInterOptions() InterOptions {
 			"(*cawa/internal/memsys.System).Cycle",
 			"(*cawa/internal/gpu.GPU).stepSMs",
 			"(*cawa/internal/gpu.GPU).fastForward",
+			// The lookahead engine's planner and batched-commit path run
+			// once per span, but a span replays every cycle it covered:
+			// the replay loop is as hot as the serial cycle loop.
+			"(*cawa/internal/gpu.GPU).planHorizon",
+			"(*cawa/internal/gpu.GPU).runBatch",
 		},
 		DomainRoots: []string{
 			"(*cawa/internal/sm.SM).Cycle",
 			"(*cawa/internal/obs/perf.Profiler).Now",
 			"(*cawa/internal/obs/perf.Profiler).RecordShardCompute",
+			// The lookahead span body a worker goroutine executes,
+			// including the in-span fill deliveries it performs.
+			"(*cawa/internal/gpu.domainWorker).stepSpan",
 		},
 		StagedRoots: []string{
 			"(*cawa/internal/sm.SM).Cycle",
+			// Horizon planning must stay read-only against the System
+			// (SafeHorizon is the one sanctioned query), and the worker's
+			// span body must defer all System-side effects to the barrier
+			// replay (memsys spanfill.go).
+			"(*cawa/internal/gpu.GPU).planHorizon",
+			"(*cawa/internal/gpu.domainWorker).stepSpan",
 		},
 		MemsysPath: "cawa/internal/memsys",
 	}

@@ -150,11 +150,13 @@ func DefaultOptions() Options {
 	}
 }
 
-// allowedSystemMethods are the memsys.System methods SM-domain code may
-// call directly: construction-time wiring only. Everything that runs
-// per cycle must go through the L1D, which stages its outbound traffic
-// during parallel epochs.
-var allowedSystemMethods = map[string]bool{"NewL1D": true}
+// allowedSystemMethods are the memsys.System methods SM-domain and
+// span-planning code may call directly: construction-time wiring
+// (NewL1D) and the lookahead planner's read-only horizon query
+// (SafeHorizon — it inspects the event heaps and mutates nothing).
+// Everything that runs per cycle must go through the L1D, which stages
+// its outbound traffic during parallel epochs.
+var allowedSystemMethods = map[string]bool{"NewL1D": true, "SafeHorizon": true}
 
 func hasPrefix(path string, prefixes []string) bool {
 	for _, p := range prefixes {

@@ -31,6 +31,10 @@ func (s *System) Cycle() {}
 
 // Schedule enqueues an event; staged SM-domain code must not reach it.
 func (s *System) Schedule(t int64) { s.n++ }
+
+// SafeHorizon is the read-only horizon query the lookahead planner is
+// allowed to call (allowedSystemMethods).
+func (s *System) SafeHorizon(now int64) int64 { return now + 1 }
 `,
 	"internal/sm/sm.go": `// Package sm is the SM stub for the mutant suite.
 package sm
@@ -69,11 +73,15 @@ func Note() {}
 	"internal/gpu/gpu.go": `// Package gpu is a stub so the engine-loop roots resolve.
 package gpu
 
-import "cawa/internal/sm"
+import (
+	"cawa/internal/memsys"
+	"cawa/internal/sm"
+)
 
 // GPU is the stub engine.
 type GPU struct {
 	sms []*sm.SM
+	sys *memsys.System
 }
 
 func (g *GPU) stepSMs() {
@@ -84,10 +92,37 @@ func (g *GPU) stepSMs() {
 
 func (g *GPU) fastForward() {}
 
+// planHorizon mirrors the real lookahead planner: read-only against
+// the System through the sanctioned SafeHorizon query.
+func (g *GPU) planHorizon(now int64) int64 { return g.sys.SafeHorizon(now) }
+
+// runBatch mirrors the real batched-commit path: one span stepped on
+// the workers, then the replay drains the System cycle by cycle.
+func (g *GPU) runBatch(w *domainWorker, now int64) {
+	f := g.planHorizon(now)
+	w.stepSpan(now+1, f-1)
+	g.sys.Cycle()
+}
+
+// domainWorker is the stub span executor.
+type domainWorker struct {
+	sms []*sm.SM
+}
+
+// stepSpan advances the owned SMs across one lookahead span.
+func (w *domainWorker) stepSpan(from, to int64) {
+	for t := from; t <= to; t++ {
+		for _, s := range w.sms {
+			s.Cycle()
+		}
+	}
+}
+
 // Run drives the stub engine.
 func (g *GPU) Run() {
 	g.stepSMs()
 	g.fastForward()
+	g.runBatch(&domainWorker{sms: g.sms}, 0)
 }
 `,
 	"internal/obs/perf/perf.go": `// Package perf is a stub so the profiler roots resolve.
@@ -260,6 +295,140 @@ func (s *SM) Cycle() {
 `,
 	})
 	assertFindingID(t, findings, "domain-unsafe@cawa/internal/util.Notify#channel send")
+}
+
+// TestMutantPlanHorizonMutation seeds a System mutation in the
+// lookahead horizon planner: planning must stay read-only (SafeHorizon
+// is the one sanctioned query), and a direct Schedule call from gpu
+// code is invisible to the per-file rule (scoped to internal/sm), so
+// only the transitive rule rooted at planHorizon can catch it.
+func TestMutantPlanHorizonMutation(t *testing.T) {
+	findings := analyzeMutant(t, map[string]string{
+		"internal/gpu/gpu.go": `// Package gpu is a stub so the engine-loop roots resolve.
+package gpu
+
+import (
+	"cawa/internal/memsys"
+	"cawa/internal/sm"
+)
+
+// GPU is the stub engine.
+type GPU struct {
+	sms []*sm.SM
+	sys *memsys.System
+}
+
+func (g *GPU) stepSMs() {
+	for _, s := range g.sms {
+		s.Cycle()
+	}
+}
+
+func (g *GPU) fastForward() {}
+
+// planHorizon mutates the System while planning (seeded violation).
+func (g *GPU) planHorizon(now int64) int64 {
+	g.sys.Schedule(now)
+	return g.sys.SafeHorizon(now)
+}
+
+// runBatch mirrors the real batched-commit path.
+func (g *GPU) runBatch(w *domainWorker, now int64) {
+	f := g.planHorizon(now)
+	w.stepSpan(now+1, f-1)
+	g.sys.Cycle()
+}
+
+// domainWorker is the stub span executor.
+type domainWorker struct {
+	sms []*sm.SM
+}
+
+// stepSpan advances the owned SMs across one lookahead span.
+func (w *domainWorker) stepSpan(from, to int64) {
+	for t := from; t <= to; t++ {
+		for _, s := range w.sms {
+			s.Cycle()
+		}
+	}
+}
+
+// Run drives the stub engine.
+func (g *GPU) Run() {
+	g.stepSMs()
+	g.fastForward()
+	g.runBatch(&domainWorker{sms: g.sms}, 0)
+}
+`,
+	})
+	assertFindingID(t, findings,
+		"memsys-mutation-transitive@(*cawa/internal/gpu.GPU).planHorizon#System.Schedule")
+}
+
+// TestMutantStepSpanChannel seeds a channel send in the span body a
+// domain worker goroutine executes: the epoch barrier must be the only
+// synchronization, and stepSpan joining the domain-unsafe root set is
+// what makes the gate see worker-side span code at all.
+func TestMutantStepSpanChannel(t *testing.T) {
+	findings := analyzeMutant(t, map[string]string{
+		"internal/gpu/gpu.go": `// Package gpu is a stub so the engine-loop roots resolve.
+package gpu
+
+import (
+	"cawa/internal/memsys"
+	"cawa/internal/sm"
+)
+
+// GPU is the stub engine.
+type GPU struct {
+	sms []*sm.SM
+	sys *memsys.System
+}
+
+func (g *GPU) stepSMs() {
+	for _, s := range g.sms {
+		s.Cycle()
+	}
+}
+
+func (g *GPU) fastForward() {}
+
+// planHorizon mirrors the real lookahead planner.
+func (g *GPU) planHorizon(now int64) int64 { return g.sys.SafeHorizon(now) }
+
+// runBatch mirrors the real batched-commit path.
+func (g *GPU) runBatch(w *domainWorker, now int64) {
+	f := g.planHorizon(now)
+	w.stepSpan(now+1, f-1)
+	g.sys.Cycle()
+}
+
+// domainWorker is the stub span executor.
+type domainWorker struct {
+	sms  []*sm.SM
+	done chan int
+}
+
+// stepSpan signals mid-span progress on a channel (seeded violation).
+func (w *domainWorker) stepSpan(from, to int64) {
+	for t := from; t <= to; t++ {
+		for _, s := range w.sms {
+			s.Cycle()
+		}
+		w.done <- int(t)
+	}
+}
+
+// Run drives the stub engine.
+func (g *GPU) Run() {
+	g.stepSMs()
+	g.fastForward()
+	g.runBatch(&domainWorker{sms: g.sms}, 0)
+}
+`,
+	})
+	assertFindingID(t, findings,
+		"domain-unsafe@(*cawa/internal/gpu.domainWorker).stepSpan#channel send")
 }
 
 // TestMutantGlobalWrite seeds a write to package-level mutable state in

@@ -1,23 +1,30 @@
 package memory
 
-// StoreLog defers one SM domain's global-memory stores until the end
-// of the current cycle's epoch. The parallel engine gives every SM a
+// StoreLog defers one SM domain's global-memory stores until the
+// orchestrator's barrier flush. The parallel engine gives every SM a
 // private log: during an epoch SMs only *read* the shared Memory
-// (concurrent reads are safe), stores append here, and the orchestrator
-// flushes the logs in SM-id order at the epoch barrier — reproducing
-// the serial engine's same-cycle write order exactly.
+// (concurrent reads are safe), stores append here stamped with the
+// emitting cycle, and the orchestrator flushes the logs in SM-id order
+// at the barrier — one-cycle epochs with Flush, multi-cycle lookahead
+// epochs cycle by cycle with FlushThrough — reproducing the serial
+// engine's cycle → SM-id → program write order exactly.
 //
 // Loads forward from the log (newest entry first) before falling back
 // to the backing Memory, so a warp observes its own SM's earlier
-// same-cycle stores just as it would under the serial engine. Stores
-// from *other* SMs in the same cycle become visible one cycle later;
-// DESIGN.md ("Parallel intra-run engine") argues why that relaxation is
-// unobservable for the ported workloads, and the engine-equivalence
-// matrix verifies it byte-for-byte on every app × scheduler cell.
+// unflushed stores just as it would under the serial engine. Stores
+// from *other* SMs become visible only after the barrier — up to a
+// horizon's worth of cycles later under lookahead; DESIGN.md
+// ("Parallel intra-run engine", "Lookahead epochs") argues why that
+// relaxation is unobservable for the ported workloads, and the
+// engine-equivalence matrix verifies it byte-for-byte on every
+// app × scheduler cell.
 type StoreLog struct {
-	mem   *Memory
-	addrs []int64 // word-aligned byte addresses, in store order
-	vals  []int64
+	mem    *Memory
+	cycle  int64   // stamp applied to subsequent Stores (SetCycle)
+	addrs  []int64 // word-aligned byte addresses, in store order
+	vals   []int64
+	cycles []int64 // emitting cycle per entry, non-decreasing
+	head   int     // entries below head are flushed, awaiting reset
 }
 
 // NewStoreLog builds a store log backed by mem.
@@ -25,18 +32,26 @@ func NewStoreLog(mem *Memory) *StoreLog {
 	return &StoreLog{mem: mem}
 }
 
+// SetCycle stamps subsequent Stores with the SM cycle that emits them.
+// The owning SM calls it at the top of every cycle; stamps are
+// therefore non-decreasing, which FlushThrough relies on.
+func (l *StoreLog) SetCycle(c int64) { l.cycle = c }
+
 // Store records a deferred store. The address is canonicalized to its
 // word like Memory.Store would, so forwarding matches on the same
 // cells a direct store would have written.
 func (l *StoreLog) Store(addr, v int64) {
 	l.addrs = append(l.addrs, addr&^(WordBytes-1)) //cawalint:alloc-ok amortized: cleared by Flush, capacity reused across epochs
 	l.vals = append(l.vals, v)
+	l.cycles = append(l.cycles, l.cycle) //cawalint:alloc-ok amortized: cleared by Flush, capacity reused across epochs
 }
 
 // Load returns the value a load at addr observes: the newest deferred
 // store to the same word, or the backing memory's current value. The
-// backward scan is cheap — a log holds at most one cycle's stores from
-// one SM (tens of entries).
+// scan covers the whole log including the flushed prefix — those
+// entries already equal the backing memory, so forwarding from them is
+// harmless — and stays cheap: a log holds at most one epoch's stores
+// from one SM.
 func (l *StoreLog) Load(addr int64) int64 {
 	a := addr &^ (WordBytes - 1)
 	for i := len(l.addrs) - 1; i >= 0; i-- {
@@ -47,15 +62,36 @@ func (l *StoreLog) Load(addr int64) int64 {
 	return l.mem.Load(addr)
 }
 
-// Flush applies the deferred stores to the backing memory in store
-// order and empties the log.
+// Flush applies all remaining deferred stores to the backing memory in
+// store order and empties the log.
 func (l *StoreLog) Flush() {
-	for i, a := range l.addrs {
-		l.mem.Store(a, l.vals[i])
+	for i := l.head; i < len(l.addrs); i++ {
+		l.mem.Store(l.addrs[i], l.vals[i])
 	}
-	l.addrs = l.addrs[:0]
-	l.vals = l.vals[:0]
+	l.reset()
 }
 
-// Len reports the number of deferred stores.
-func (l *StoreLog) Len() int { return len(l.addrs) }
+// FlushThrough applies the deferred stores emitted at cycles <= c and
+// leaves later ones pending. The lookahead engine's barrier replay
+// calls it per simulated cycle, per SM in id order. Once the log
+// drains completely its storage is reset for reuse.
+func (l *StoreLog) FlushThrough(c int64) {
+	for l.head < len(l.addrs) {
+		if l.cycles[l.head] > c {
+			return
+		}
+		l.mem.Store(l.addrs[l.head], l.vals[l.head])
+		l.head++
+	}
+	l.reset()
+}
+
+func (l *StoreLog) reset() {
+	l.addrs = l.addrs[:0]
+	l.vals = l.vals[:0]
+	l.cycles = l.cycles[:0]
+	l.head = 0
+}
+
+// Len reports the number of deferred, unflushed stores.
+func (l *StoreLog) Len() int { return len(l.addrs) - l.head }

@@ -153,6 +153,10 @@ type System struct {
 
 	events eventHeap
 	seq    uint64
+	// internals mirrors the pending non-fill event times so SafeHorizon
+	// can bound the earliest fill a pending internal event could
+	// schedule in O(1) (see horizon.go).
+	internals timeHeap
 
 	icntLat int64 // one-way interconnect latency SM <-> L2
 
@@ -191,6 +195,9 @@ func (s *System) L2() *cache.Cache { return s.l2 }
 func (s *System) schedule(t int64, kind eventKind, addr int64, l1 *L1D, req cache.Request) {
 	s.seq++
 	s.events.push(event{time: t, seq: s.seq, kind: kind, addr: addr, l1: l1, req: req})
+	if kind != evL1Fill {
+		s.internals.push(t)
+	}
 }
 
 // Cycle processes all memory-system events due at or before now.
@@ -199,11 +206,21 @@ func (s *System) Cycle(now int64) {
 		e := s.events.popMin()
 		switch e.kind {
 		case evL2Arrive:
+			s.internals.popMin()
 			s.l2Arrive(e)
 		case evDRAMDone:
+			s.internals.popMin()
 			s.dramDone(e)
 		case evL1Fill:
-			e.l1.handleFill(e.addr, e.time)
+			// A fill a lookahead span already delivered (spanfill.go)
+			// carries a record of its deferred System-side effects;
+			// apply those at exactly this pop position. Everything else
+			// is a full delivery.
+			if rec, ok := e.l1.takeSpanFill(e.time, e.addr); ok {
+				s.commitSpanFill(e.l1, rec)
+			} else {
+				e.l1.handleFill(e.addr, e.time)
+			}
 		}
 	}
 }
@@ -329,6 +346,14 @@ type L1D struct {
 	cfgref config.CacheConfig
 	stage  *StageBuffer // parallel-epoch staging; nil schedules directly
 
+	// Lookahead span-fill state (spanfill.go): fills planned for
+	// in-span delivery by the owning domain worker, and the records of
+	// their deferred System-side effects the barrier replay consumes.
+	plan     []plannedFill
+	planHead int
+	recs     []spanFill
+	recHead  int
+
 	// Stats.
 	LoadAccesses  uint64
 	StoreAccesses uint64
@@ -417,7 +442,7 @@ func (l *L1D) AccessLoad(req cache.Request, token int64, now int64) Outcome {
 		entry.tokens[0] = token
 	}
 	l.mshr[line] = entry
-	l.emitL2(now+l.sys.icntLat, line, req)
+	l.emitL2(now, line, req)
 	if l.AccessListener != nil {
 		l.AccessListener(req, false)
 	}
@@ -440,7 +465,7 @@ func (l *L1D) AccessStore(req cache.Request, now int64) Outcome {
 		return Hit
 	}
 	l.StoreMisses++
-	l.emitL2(now+l.sys.icntLat, line, req)
+	l.emitL2(now, line, req)
 	if l.AccessListener != nil {
 		l.AccessListener(req, false)
 	}

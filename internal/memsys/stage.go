@@ -22,6 +22,13 @@ import "cawa/internal/cache"
 // (verified by TestStagedCommitEquivalence and the harness
 // engine-equivalence matrix).
 //
+// Each staged access carries the SM cycle that emitted it. One-cycle
+// epochs drain whole buffers with Commit; the lookahead engine runs
+// multi-cycle epochs and replays the barrier cycle by cycle, using
+// CommitThrough to interleave each simulated cycle's accesses with the
+// memory events due that cycle — reproducing the serial engine's
+// cycle → SM-id → program order across the whole batched span.
+//
 // Only SM-originated accesses stage. Fill-side traffic — dirty-victim
 // writebacks scheduled by handleFill — runs inside the orchestrator's
 // serial System.Cycle, *before* the cycle's SM accesses, and must keep
@@ -31,22 +38,35 @@ import "cawa/internal/cache"
 // stagedAccess is one captured request. SMs only ever emit L2-arrive
 // events (loads/stores leaving the L1), so the kind is implicit.
 type stagedAccess struct {
-	time int64
-	addr int64 // line address
-	l1   *L1D
-	req  cache.Request
+	cycle int64 // SM cycle that emitted the access
+	time  int64 // L2 arrival time (cycle + interconnect latency)
+	addr  int64 // line address
+	l1    *L1D
+	req   cache.Request
 }
 
 // StageBuffer collects one SM domain's outbound memory-system requests
 // during an epoch. It is owned by a single SM goroutine between
 // barriers and drained by the orchestrator at the barrier; it needs no
-// locking.
+// locking. Accesses are appended in cycle order (an SM's cycles run in
+// sequence), so the committed prefix [0, head) is always the entries
+// with the smallest cycle stamps.
 type StageBuffer struct {
 	pending []stagedAccess
+	head    int // entries below head are committed, awaiting reset
 }
 
 // Len reports the number of staged, uncommitted accesses.
-func (b *StageBuffer) Len() int { return len(b.pending) }
+func (b *StageBuffer) Len() int { return len(b.pending) - b.head }
+
+// reset drops the (fully committed) backlog, keeping capacity.
+func (b *StageBuffer) reset() {
+	for i := range b.pending {
+		b.pending[i] = stagedAccess{} // drop the stale L1D pointer
+	}
+	b.pending = b.pending[:0]
+	b.head = 0
+}
 
 // SetStaging installs buf as the L1D's staging buffer (nil restores
 // direct scheduling). While staged, AccessLoad/AccessStore capture
@@ -57,11 +77,13 @@ func (l *L1D) SetStaging(buf *StageBuffer) { l.stage = buf }
 // of a running parallel epoch).
 func (l *L1D) Staged() bool { return l.stage != nil }
 
-// emitL2 sends one L2-arrive request: staged when a buffer is
-// installed (parallel epoch), scheduled directly otherwise.
-func (l *L1D) emitL2(t int64, addr int64, req cache.Request) {
+// emitL2 sends one L2-arrive request emitted at SM cycle now: staged
+// when a buffer is installed (parallel epoch), scheduled directly
+// otherwise. The event lands at the L2 one interconnect hop later.
+func (l *L1D) emitL2(now int64, addr int64, req cache.Request) {
+	t := now + l.sys.icntLat
 	if l.stage != nil {
-		l.stage.pending = append(l.stage.pending, stagedAccess{time: t, addr: addr, l1: l, req: req}) //cawalint:alloc-ok amortized growth of the reused epoch stage buffer
+		l.stage.pending = append(l.stage.pending, stagedAccess{cycle: now, time: t, addr: addr, l1: l, req: req}) //cawalint:alloc-ok amortized growth of the reused epoch stage buffer
 		return
 	}
 	l.sys.schedule(t, evL2Arrive, addr, l, req)
@@ -72,10 +94,27 @@ func (l *L1D) emitL2(t int64, addr int64, req cache.Request) {
 // engine would have, and empties the buffer. The caller must commit
 // the per-SM buffers in SM-id order.
 func (s *System) Commit(buf *StageBuffer) {
-	for i := range buf.pending {
+	for i := buf.head; i < len(buf.pending); i++ {
 		a := &buf.pending[i]
 		s.schedule(a.time, evL2Arrive, a.addr, a.l1, a.req)
-		buf.pending[i] = stagedAccess{} // drop the stale L1D pointer
 	}
-	buf.pending = buf.pending[:0]
+	buf.reset()
+}
+
+// CommitThrough replays the staged accesses emitted at SM cycles <= c
+// and leaves later ones pending. The lookahead engine's barrier replay
+// walks the batched span cycle by cycle, calling System.Cycle(t) and
+// then CommitThrough(buf, t) per SM in id order, so sequence numbers
+// interleave with event processing exactly as under the serial engine.
+// Once the buffer drains completely its storage is reset for reuse.
+func (s *System) CommitThrough(buf *StageBuffer, c int64) {
+	for buf.head < len(buf.pending) {
+		a := &buf.pending[buf.head]
+		if a.cycle > c {
+			return
+		}
+		s.schedule(a.time, evL2Arrive, a.addr, a.l1, a.req)
+		buf.head++
+	}
+	buf.reset()
 }

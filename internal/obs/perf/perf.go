@@ -65,6 +65,12 @@ const (
 	PhaseFastForward
 	// PhaseDispatch is thread-block dispatch.
 	PhaseDispatch
+	// PhaseLookahead is the lookahead engine's batch path: horizon
+	// planning, the multi-cycle batched epoch, and the barrier-time
+	// replay of staged traffic. Like PhaseFastForward it brackets the
+	// whole call — the nested epoch and commit seams it contains also
+	// record under their own phases and are *not* subtracted.
+	PhaseLookahead
 
 	// NumPhases bounds the phase enum.
 	NumPhases
@@ -78,6 +84,7 @@ var phaseNames = [NumPhases]string{
 	"memsys_drain",
 	"fast_forward",
 	"dispatch",
+	"lookahead",
 }
 
 // String returns the stable snake_case phase name.
@@ -201,11 +208,12 @@ type Profiler struct {
 	clock       Clock
 	sampleEvery int64
 
-	startNS int64
-	epochs  int64
-	phases  [NumPhases]Hist
-	shards  []shard
-	samples []Sample
+	startNS   int64
+	epochs    int64
+	simCycles int64
+	phases    [NumPhases]Hist
+	shards    []shard
+	samples   []Sample
 }
 
 // New builds a profiler over the injected clock. sampleEvery is the
@@ -310,7 +318,21 @@ func (p *Profiler) Merge(o *Profiler) {
 		p.shards[i].waitNS += o.shards[i].waitNS
 	}
 	p.epochs += o.epochs
+	p.simCycles += o.simCycles
 }
 
 // Epochs returns how many parallel epochs the profiler has folded.
 func (p *Profiler) Epochs() int64 { return p.epochs }
+
+// AddSimCycles accounts n simulated cycles to the profile. The engine
+// calls it once per launch with the launch's cycle span; together with
+// the epoch count it yields barriers_per_kcycle — the lookahead
+// engine's headline amortization metric.
+func (p *Profiler) AddSimCycles(n int64) {
+	if n > 0 {
+		p.simCycles += n
+	}
+}
+
+// SimCycles returns the simulated cycles accounted so far.
+func (p *Profiler) SimCycles() int64 { return p.simCycles }

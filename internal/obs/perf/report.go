@@ -8,7 +8,13 @@ import (
 
 // ReportSchemaVersion stamps PerfReport JSON so downstream tooling
 // (bench.sh, CI artifacts) can detect shape changes.
-const ReportSchemaVersion = 1
+//
+// Version history:
+//  1. Initial shape (PR 7).
+//  2. Lookahead engine (PR 9): sim_cycles + barriers_per_kcycle
+//     top-level fields; the "lookahead" phase extends the per-sample
+//     phase_ns array from 6 to 7 entries.
+const ReportSchemaVersion = 2
 
 // PhaseStats is one phase's aggregated histogram in report form.
 type PhaseStats struct {
@@ -73,13 +79,22 @@ type ShardSample struct {
 
 // Report is the per-run (or merged per-session) PerfReport artifact.
 type Report struct {
-	SchemaVersion int          `json:"schema_version"`
-	WallNS        int64        `json:"wall_ns"`
-	Epochs        int64        `json:"epochs"`
-	Phases        []PhaseStats `json:"phases"`
-	Shards        []ShardStats `json:"shards,omitempty"`
-	Imbalance     *Imbalance   `json:"imbalance,omitempty"`
-	Samples       []Sample     `json:"samples,omitempty"`
+	SchemaVersion int   `json:"schema_version"`
+	WallNS        int64 `json:"wall_ns"`
+	Epochs        int64 `json:"epochs"`
+	// SimCycles is the simulated cycles covered by the profile
+	// (summed launch spans; see Profiler.AddSimCycles).
+	SimCycles int64 `json:"sim_cycles"`
+	// BarriersPerKcycle is epochs per 1000 simulated cycles — the
+	// lookahead engine's amortization headline. The one-cycle-epoch
+	// engine sits near 1000 on busy spans; lookahead divides it by the
+	// mean horizon length. 0 for serial runs or when no cycles were
+	// accounted.
+	BarriersPerKcycle float64      `json:"barriers_per_kcycle"`
+	Phases            []PhaseStats `json:"phases"`
+	Shards            []ShardStats `json:"shards,omitempty"`
+	Imbalance         *Imbalance   `json:"imbalance,omitempty"`
+	Samples           []Sample     `json:"samples,omitempty"`
 }
 
 // Report snapshots the profiler into its serializable artifact. Phases
@@ -90,7 +105,11 @@ func (p *Profiler) Report() *Report {
 		SchemaVersion: ReportSchemaVersion,
 		WallNS:        p.clock() - p.startNS,
 		Epochs:        p.epochs,
+		SimCycles:     p.simCycles,
 		Samples:       p.samples,
+	}
+	if p.simCycles > 0 {
+		r.BarriersPerKcycle = float64(p.epochs) * 1000 / float64(p.simCycles)
 	}
 	for ph := Phase(0); ph < NumPhases; ph++ {
 		h := &p.phases[ph]

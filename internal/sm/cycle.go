@@ -30,6 +30,11 @@ const NoWake int64 = math.MaxInt64
 // mutates nothing except the stall counters.
 func (m *SM) Cycle(now int64) int64 {
 	m.cycle = now
+	if m.storeLog != nil {
+		// Stamp deferred stores with their emitting cycle so the
+		// lookahead engine's barrier replay can flush them per-cycle.
+		m.storeLog.SetCycle(now)
+	}
 	m.retireWritebacks(now)
 	anyReady := false
 	for u := range m.units {

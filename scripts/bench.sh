@@ -20,18 +20,25 @@
 #
 # The smpar-prof-15sm sub-benchmark runs the parallel engine with the
 # self-profiler attached, so the report also carries barrier_wait_frac
-# (fraction of shard wall-clock spent waiting at the epoch barrier) and
-# shard_spread (max/mean per-shard compute) — the shard-imbalance
-# summary. The delta gate ignores them (profiled throughput is not the
+# (fraction of shard wall-clock spent waiting at the epoch barrier),
+# shard_spread (max/mean per-shard compute) and barriers_per_kcycle
+# (epochs per simulated kilocycle). smpar-la-15sm is the same profiled
+# run under the lookahead engine; its barriers_per_kcycle against
+# smpar-prof-15sm's is the amortization headline. The delta gate
+# ignores the profile summaries (profiled throughput is not the
 # headline number); they are echoed after the report is written.
 #
 # Delta mode (-delta): after writing the report, compare the serial
 # SimulatorThroughput sim_cycles_s against the committed baseline (the
 # newest BENCH_*.json in the repo root, or $BASELINE) and exit non-zero
 # on a regression of more than 25% — the CI bench-smoke gate. The
-# parallel-engine number is additionally compared when the baseline
-# recorded one at the same GOMAXPROCS; otherwise it is reported and
-# skipped (a 4-core baseline says nothing about a 16-core run).
+# parallel-engine numbers (smpar-15sm, smpar-la-15sm) are additionally
+# compared when the baseline recorded them at the same GOMAXPROCS;
+# otherwise they are reported and skipped (a 4-core baseline says
+# nothing about a 16-core run). The lookahead row also gates
+# barriers_per_kcycle: more than 25% *more* barriers per kilocycle than
+# the baseline means the horizon planner lost amortization, which is a
+# regression even if wall-clock noise hides it.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -92,12 +99,18 @@ extract() {
         }' "$1"
 }
 
-# Shard-imbalance summary from the profiled parallel run, when the
-# pattern included it.
+# Shard-imbalance summary from the profiled parallel runs, when the
+# pattern included them.
 bwf=$(extract "$out" "SimulatorThroughput/smpar-prof-15sm" barrier_wait_frac)
 spread=$(extract "$out" "SimulatorThroughput/smpar-prof-15sm" shard_spread)
+bpk=$(extract "$out" "SimulatorThroughput/smpar-prof-15sm" barriers_per_kcycle)
 if [ -n "$bwf" ]; then
-    echo "engine profile: barrier_wait_frac=$bwf shard_spread=$spread"
+    echo "engine profile: barrier_wait_frac=$bwf shard_spread=$spread barriers_per_kcycle=$bpk"
+fi
+labwf=$(extract "$out" "SimulatorThroughput/smpar-la-15sm" barrier_wait_frac)
+labpk=$(extract "$out" "SimulatorThroughput/smpar-la-15sm" barriers_per_kcycle)
+if [ -n "$labpk" ]; then
+    echo "lookahead profile: barrier_wait_frac=$labwf barriers_per_kcycle=$labpk"
 fi
 
 if [ "$delta" = 1 ]; then
@@ -127,28 +140,54 @@ if [ "$delta" = 1 ]; then
                 exit 1
             }
         }'
-    # Parallel engine: only meaningful against a baseline captured at
+    # Parallel engines: only meaningful against a baseline captured at
     # the same GOMAXPROCS — domain-goroutine throughput scales with
     # cores, so cross-machine comparisons are noise, not regressions.
-    pnew=$(extract "$out" "SimulatorThroughput/smpar-15sm" sim_cycles_s)
-    pold=$(extract "$base" "SimulatorThroughput/smpar-15sm" sim_cycles_s)
-    if [ -n "$pnew" ] && [ -n "$pold" ]; then
-        procs_new=$(extract "$out" "SimulatorThroughput/smpar-15sm" gomaxprocs)
-        procs_old=$(extract "$base" "SimulatorThroughput/smpar-15sm" gomaxprocs)
-        if [ "$procs_new" = "$procs_old" ]; then
-            awk -v new="$pnew" -v old="$pold" -v base="$base" -v procs="$procs_new" '
+    # gate_parallel <sub-benchmark> <label>: compare sim_cycles_s.
+    gate_parallel() {
+        pnew=$(extract "$out" "SimulatorThroughput/$1" sim_cycles_s)
+        pold=$(extract "$base" "SimulatorThroughput/$1" sim_cycles_s)
+        if [ -n "$pnew" ] && [ -n "$pold" ]; then
+            procs_new=$(extract "$out" "SimulatorThroughput/$1" gomaxprocs)
+            procs_old=$(extract "$base" "SimulatorThroughput/$1" gomaxprocs)
+            if [ "$procs_new" = "$procs_old" ]; then
+                awk -v new="$pnew" -v old="$pold" -v base="$base" -v procs="$procs_new" -v label="$2" '
+                    BEGIN {
+                        pct = (new / old - 1) * 100
+                        printf "delta: %s sim_cycles_s %.0f vs baseline %.0f (%s, GOMAXPROCS=%s): %+.1f%%\n", label, new, old, base, procs, pct
+                        if (new < old * 0.75) {
+                            printf "delta: FAIL — more than 25%% below baseline\n"
+                            exit 1
+                        }
+                    }'
+            else
+                echo "delta: $2 skipped — GOMAXPROCS $procs_new vs baseline $procs_old ($base) are not comparable"
+                procs_new=
+            fi
+        elif [ -n "$pnew" ]; then
+            echo "delta: $2 skipped — baseline $base predates this benchmark"
+        fi
+    }
+    gate_parallel smpar-15sm smpar
+    gate_parallel smpar-la-15sm smpar-la
+    # The lookahead engine's amortization itself: barriers_per_kcycle
+    # rising means the horizon planner batches less. Deterministic per
+    # design point, but cheap to scope to the same matched-GOMAXPROCS
+    # rows the throughput gate just validated (procs_new survives from
+    # the smpar-la gate_parallel call above iff the rows matched).
+    if [ -n "$procs_new" ]; then
+        bnew=$(extract "$out" "SimulatorThroughput/smpar-la-15sm" barriers_per_kcycle)
+        bold=$(extract "$base" "SimulatorThroughput/smpar-la-15sm" barriers_per_kcycle)
+        if [ -n "$bnew" ] && [ -n "$bold" ]; then
+            awk -v new="$bnew" -v old="$bold" -v base="$base" '
                 BEGIN {
                     pct = (new / old - 1) * 100
-                    printf "delta: smpar sim_cycles_s %.0f vs baseline %.0f (%s, GOMAXPROCS=%s): %+.1f%%\n", new, old, base, procs, pct
-                    if (new < old * 0.75) {
-                        printf "delta: FAIL — more than 25%% below baseline\n"
+                    printf "delta: smpar-la barriers_per_kcycle %.2f vs baseline %.2f (%s): %+.1f%%\n", new, old, base, pct
+                    if (new > old * 1.25) {
+                        printf "delta: FAIL — more than 25%% above baseline (lost amortization)\n"
                         exit 1
                     }
                 }'
-        else
-            echo "delta: smpar skipped — GOMAXPROCS $procs_new vs baseline $procs_old ($base) are not comparable"
         fi
-    elif [ -n "$pnew" ]; then
-        echo "delta: smpar skipped — baseline $base predates the parallel engine"
     fi
 fi

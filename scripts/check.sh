@@ -20,7 +20,8 @@
 #                 experiment sweep but keeps every parallel-path test
 #                 (singleflight, prewarm, parallel-vs-sequential golden).
 #   GOMAXPROCS race matrix: the parallel per-SM engine's tests (epoch
-#                 barrier, staged commit, cancellation, worker budget,
+#                 barrier, staged commit, lookahead batching, span-fill
+#                 delivery, cancellation, worker budget,
 #                 engine-equivalence) re-run under -race at GOMAXPROCS=2
 #                 (forced goroutine multiplexing — exercises the barrier
 #                 park path) and GOMAXPROCS=8 (real interleaving on CI's
@@ -50,7 +51,7 @@ go test -race -short ./internal/harness/... ./internal/workloads/...
 echo "== go test -race parallel engine (GOMAXPROCS=2, GOMAXPROCS=8) =="
 for procs in 2 8; do
     GOMAXPROCS=$procs go test -race -short \
-        -run 'TestParallel|TestDomain|TestStaged|TestStaging|TestSessionSharedWorkerBudget|TestEngineEquivalenceMatrix' \
+        -run 'TestParallel|TestDomain|TestStaged|TestStaging|TestLookahead|TestSpanFill|TestSessionSharedWorkerBudget|TestEngineEquivalenceMatrix' \
         ./internal/gpu/... ./internal/memsys/... ./internal/harness/...
 done
 echo "ALL CHECKS PASSED"
