@@ -85,6 +85,9 @@ func main() {
 		barrierSpins = flag.Int("barrier-spins", 0, "pin the parallel-engine barrier spin budget (0 = adaptive)")
 		lookahead    = flag.Bool("lookahead", false, "multi-cycle safe-horizon epochs on the parallel engine (byte-identical results)")
 
+		sampleWarmup   = flag.Int("sample-warmup", 0, "sampled simulation: detailed launches before the first skip window (cache/predictor warmup)")
+		sampleInterval = flag.Int("sample-interval", 0, "sampled simulation: run every Nth launch after the warmup on the timing model, the rest functionally (<=1 = full detail)")
+
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
@@ -152,6 +155,8 @@ func main() {
 	session.DisableFastForward = !*fastfwd
 	session.BarrierSpins = *barrierSpins
 	session.Lookahead = *lookahead
+	session.SampleWarmup = *sampleWarmup
+	session.SampleInterval = *sampleInterval
 	if *perfOut != "" {
 		session.EnableProfiling()
 	}

@@ -33,6 +33,15 @@
 //	-lookahead             multi-cycle safe-horizon epochs on the
 //	                       parallel engine (byte-identical results;
 //	                       fewer barriers per simulated kilocycle)
+//
+// Sampled simulation (see DESIGN.md "Checkpoint/restore + sampled
+// simulation"):
+//
+//	-sample-warmup N       run the first N launches on the timing model
+//	                       (cache/predictor warmup) before sampling
+//	-sample-interval K     after the warmup, run every Kth launch on the
+//	                       timing model and the rest functionally
+//	                       (exact memory, no timing); <=1 = full detail
 package main
 
 import (
@@ -80,6 +89,9 @@ func main() {
 		barrierSpins = flag.Int("barrier-spins", 0, "pin the parallel-engine barrier spin budget (0 = adaptive)")
 		lookahead    = flag.Bool("lookahead", false, "multi-cycle safe-horizon epochs on the parallel engine (byte-identical results)")
 
+		sampleWarmup   = flag.Int("sample-warmup", 0, "sampled simulation: detailed launches before the first skip window (cache/predictor warmup)")
+		sampleInterval = flag.Int("sample-interval", 0, "sampled simulation: run every Nth launch after the warmup on the timing model, the rest functionally (<=1 = full detail)")
+
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
@@ -124,9 +136,11 @@ func main() {
 		DisableFastForward: !*fastfwd,
 		// The harness forces tracing runs (whose observers share state
 		// across SMs) back onto the serial engine.
-		SMWorkers:    smWorkers,
-		BarrierSpins: *barrierSpins,
-		Lookahead:    *lookahead,
+		SMWorkers:      smWorkers,
+		BarrierSpins:   *barrierSpins,
+		Lookahead:      *lookahead,
+		SampleWarmup:   *sampleWarmup,
+		SampleInterval: *sampleInterval,
 	}
 
 	// Engine self-profiling: purely observational — the profiler reads
@@ -184,7 +198,12 @@ func main() {
 	a := &res.Agg
 	fmt.Printf("workload       %s (verified against Go reference)\n", res.Workload)
 	fmt.Printf("design point   %s\n", res.System)
-	fmt.Printf("launches       %d\n", res.Launches)
+	if res.Detailed != res.Launches {
+		fmt.Printf("launches       %d (%d detailed, %d functional)\n",
+			res.Launches, res.Detailed, res.Launches-res.Detailed)
+	} else {
+		fmt.Printf("launches       %d\n", res.Launches)
+	}
 	fmt.Printf("cycles         %d\n", a.Cycles)
 	fmt.Printf("warp instrs    %d\n", a.Instructions)
 	fmt.Printf("thread instrs  %d\n", a.ThreadInstrs)

@@ -1,0 +1,55 @@
+package cache
+
+import "fmt"
+
+// State is the serializable snapshot of a cache's tag/state array:
+// every line (replacement and CACP training fields included), the
+// logical LRU clock, and the access counters. The replacement policy
+// itself is not part of the snapshot — the restoring side reconstructs
+// the cache with the same policy and re-applies the line states, which
+// is sufficient because every policy in this repository keeps its
+// per-line state inside Line and its global state (CACP's predictor
+// tables) in its own struct, captured separately by internal/core.
+type State struct {
+	Lines []Line // sets*ways lines, set-major
+	Tick  uint64
+
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Capture deep-copies the cache contents and counters.
+func (c *Cache) Capture() State {
+	st := State{
+		Lines:     make([]Line, 0, c.cfg.Sets*c.cfg.Ways),
+		Tick:      c.tick,
+		Accesses:  c.Accesses,
+		Hits:      c.Hits,
+		Misses:    c.Misses,
+		Evictions: c.Evictions,
+	}
+	for s := range c.sets {
+		st.Lines = append(st.Lines, c.sets[s]...)
+	}
+	return st
+}
+
+// Restore overwrites the cache contents and counters from a snapshot.
+// The geometry must match the cache it was captured from.
+func (c *Cache) Restore(st State) error {
+	if len(st.Lines) != c.cfg.Sets*c.cfg.Ways {
+		return fmt.Errorf("cache: restore geometry mismatch (have %d lines, snapshot %d)",
+			c.cfg.Sets*c.cfg.Ways, len(st.Lines))
+	}
+	for s := range c.sets {
+		copy(c.sets[s], st.Lines[s*c.cfg.Ways:(s+1)*c.cfg.Ways])
+	}
+	c.tick = st.Tick
+	c.Accesses = st.Accesses
+	c.Hits = st.Hits
+	c.Misses = st.Misses
+	c.Evictions = st.Evictions
+	return nil
+}

@@ -1,0 +1,306 @@
+// Package checkpoint serializes the full simulated-GPU state at a
+// cycle boundary and restores it byte-identically: SM pipelines and
+// per-warp reconvergence stacks, L1/L2 tag arrays with CACP/SRRIP
+// metadata, MSHRs, in-flight memory-system events, scheduler state
+// (GTO/age, CAWA criticality counters), and the functional memory.
+//
+// The package sits above every simulator layer (it imports core, gpu,
+// sm, and the leaves), because the concrete types of the criticality
+// providers and L1 replacement policies live in internal/core while
+// the device that owns them lives in internal/gpu — only a layer above
+// both can type-switch them into serializable form.
+//
+// Wire format (Encode/Decode):
+//
+//	magic   "CAWACKPT"                  8 bytes
+//	version uint32 big-endian           format version (FormatVersion)
+//	digest  SHA-256 over the payload    32 bytes
+//	payload gob(Snapshot)
+//
+// Every captured structure is map-free plain data (maps are flattened
+// to sorted slices by the owning packages), so the gob payload — and
+// therefore the digest — is a deterministic function of simulator
+// state. Two runs that agree on the digest agree on every architectural
+// and timing bit the simulator carries.
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+
+	"cawa/internal/core"
+	"cawa/internal/gpu"
+	"cawa/internal/simt"
+	"cawa/internal/sm"
+)
+
+// FormatVersion is the checkpoint wire-format version. Bump it on any
+// change to the Snapshot schema or to the capture semantics of any
+// layer below; stale checkpoints then fail Decode with ErrIncompatible
+// and callers fall back to a full run (clean cache miss, never an
+// error).
+const FormatVersion = 1
+
+var magic = [8]byte{'C', 'A', 'W', 'A', 'C', 'K', 'P', 'T'}
+
+// ErrIncompatible marks a checkpoint from a different format version
+// (or a file that is not a checkpoint at all). Callers treat it as a
+// cache miss.
+var ErrIncompatible = errors.New("checkpoint: incompatible format")
+
+// ErrCorrupt marks a truncated or bit-damaged checkpoint (digest
+// mismatch, short read). Callers treat it as a cache miss.
+var ErrCorrupt = errors.New("checkpoint: corrupt")
+
+// Meta identifies what a snapshot belongs to. It rides inside the
+// digest-protected payload so a checkpoint can never be resumed against
+// the wrong run.
+type Meta struct {
+	// EngineVersion is the harness engine fingerprint the snapshot was
+	// produced by (harness.EngineVersion).
+	EngineVersion string
+	// Workload and Params identity.
+	Workload string
+	Scale    float64
+	Seed     int64
+	// SystemKey is the design point's stable identity (SystemConfig.Key).
+	SystemKey string
+	// LaunchIndex is the index of the in-flight launch (how many
+	// launches completed before the checkpoint).
+	LaunchIndex int
+	// Cycle is the global cycle the snapshot was taken at.
+	Cycle int64
+}
+
+// ProviderState is the serialized form of one SM's criticality
+// provider, keyed by concrete type.
+type ProviderState struct {
+	Kind   string // "null", "cpl", "oracle"
+	CPL    core.CPLState
+	Oracle core.OracleState
+}
+
+// PolicyState is the serialized form of one SM's L1D replacement
+// policy, keyed by concrete type. LRU and SRRIP keep all their state in
+// the cache lines (captured with the tag arrays), so only CACP carries
+// a payload.
+type PolicyState struct {
+	Kind string // "lru", "srrip", "cacp"
+	CACP core.CACPState
+}
+
+// Snapshot is the complete serialized state of a mid-launch GPU.
+type Snapshot struct {
+	Meta      Meta
+	GPU       gpu.State
+	Providers []ProviderState // per SM
+	Policies  []PolicyState   // per SM
+}
+
+// Capture snapshots a mid-launch GPU, including the criticality
+// providers and L1 policies the device layer cannot see into.
+func Capture(g *gpu.GPU, meta Meta) (*Snapshot, error) {
+	st, err := g.Capture()
+	if err != nil {
+		return nil, err
+	}
+	meta.Cycle = st.Cycle
+	s := &Snapshot{Meta: meta, GPU: st}
+	for _, m := range g.SMs() {
+		ps, err := captureProvider(m.Crit())
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: sm %d: %w", m.ID, err)
+		}
+		ls, err := capturePolicy(m.L1D().Cache().Policy())
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: sm %d: %w", m.ID, err)
+		}
+		s.Providers = append(s.Providers, ps)
+		s.Policies = append(s.Policies, ls)
+	}
+	return s, nil
+}
+
+// Restore applies a snapshot onto a freshly built GPU (same
+// configuration, same design point, same workload memory shape) and
+// arms it for gpu.Resume. k must be the kernel the snapshot was
+// captured inside.
+func Restore(s *Snapshot, g *gpu.GPU, k *simt.Kernel) error {
+	if len(s.Providers) != len(g.SMs()) || len(s.Policies) != len(g.SMs()) {
+		return fmt.Errorf("checkpoint: restore SM count mismatch (have %d, snapshot %d/%d)",
+			len(g.SMs()), len(s.Providers), len(s.Policies))
+	}
+	if err := g.Restore(s.GPU, k); err != nil {
+		return err
+	}
+	for i, m := range g.SMs() {
+		if err := restoreProvider(m.Crit(), s.Providers[i]); err != nil {
+			return fmt.Errorf("checkpoint: sm %d: %w", i, err)
+		}
+		if err := restorePolicy(m.L1D().Cache().Policy(), s.Policies[i]); err != nil {
+			return fmt.Errorf("checkpoint: sm %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func captureProvider(p sm.CriticalityProvider) (ProviderState, error) {
+	switch p := p.(type) {
+	case sm.NullCriticality:
+		return ProviderState{Kind: "null"}, nil
+	case *core.CPL:
+		return ProviderState{Kind: "cpl", CPL: p.Capture()}, nil
+	case *core.Oracle:
+		return ProviderState{Kind: "oracle", Oracle: p.Capture()}, nil
+	default:
+		return ProviderState{}, fmt.Errorf("criticality provider %T is not checkpointable", p)
+	}
+}
+
+func restoreProvider(p sm.CriticalityProvider, st ProviderState) error {
+	switch p := p.(type) {
+	case sm.NullCriticality:
+		if st.Kind != "null" {
+			return providerMismatch("null", st.Kind)
+		}
+	case *core.CPL:
+		if st.Kind != "cpl" {
+			return providerMismatch("cpl", st.Kind)
+		}
+		p.Restore(st.CPL)
+	case *core.Oracle:
+		if st.Kind != "oracle" {
+			return providerMismatch("oracle", st.Kind)
+		}
+		p.Restore(st.Oracle)
+	default:
+		return fmt.Errorf("criticality provider %T is not checkpointable", p)
+	}
+	return nil
+}
+
+func capturePolicy(p interface{ Name() string }) (PolicyState, error) {
+	switch p := p.(type) {
+	case *core.CACP:
+		return PolicyState{Kind: "cacp", CACP: p.Capture()}, nil
+	default:
+		switch p.Name() {
+		case "LRU":
+			return PolicyState{Kind: "lru"}, nil
+		case "SRRIP":
+			return PolicyState{Kind: "srrip"}, nil
+		}
+		return PolicyState{}, fmt.Errorf("L1 policy %T is not checkpointable", p)
+	}
+}
+
+func restorePolicy(p interface{ Name() string }, st PolicyState) error {
+	switch p := p.(type) {
+	case *core.CACP:
+		if st.Kind != "cacp" {
+			return fmt.Errorf("L1 policy restore kind mismatch (policy cacp, snapshot %s)", st.Kind)
+		}
+		return p.Restore(st.CACP)
+	default:
+		want := ""
+		switch p.Name() {
+		case "LRU":
+			want = "lru"
+		case "SRRIP":
+			want = "srrip"
+		default:
+			return fmt.Errorf("L1 policy %T is not checkpointable", p)
+		}
+		if st.Kind != want {
+			return fmt.Errorf("L1 policy restore kind mismatch (policy %s, snapshot %s)", want, st.Kind)
+		}
+		return nil
+	}
+}
+
+func providerMismatch(have, got string) error {
+	return fmt.Errorf("provider restore kind mismatch (provider %s, snapshot %s)", have, got)
+}
+
+// payload gob-encodes a snapshot.
+func payload(s *Snapshot) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// StateHash returns the hex SHA-256 digest of the snapshot's canonical
+// serialized payload — the state fingerprint the round-trip tests
+// compare between interrupted and uninterrupted runs.
+func StateHash(s *Snapshot) (string, error) {
+	p, err := payload(s)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(p)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Encode writes the versioned, digest-protected checkpoint and returns
+// the payload's hex digest.
+func Encode(w io.Writer, s *Snapshot) (string, error) {
+	p, err := payload(s)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(p)
+	var hdr [12]byte
+	copy(hdr[:8], magic[:])
+	binary.BigEndian.PutUint32(hdr[8:], FormatVersion)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return "", fmt.Errorf("checkpoint: write header: %w", err)
+	}
+	if _, err := w.Write(sum[:]); err != nil {
+		return "", fmt.Errorf("checkpoint: write digest: %w", err)
+	}
+	if _, err := w.Write(p); err != nil {
+		return "", fmt.Errorf("checkpoint: write payload: %w", err)
+	}
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Decode reads a checkpoint, verifying the magic, format version, and
+// payload digest. A wrong magic or version returns ErrIncompatible; a
+// short read or digest mismatch returns ErrCorrupt (both wrapped).
+// Callers map either to a clean cache miss.
+func Decode(r io.Reader) (*Snapshot, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if !bytes.Equal(hdr[:8], magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrIncompatible)
+	}
+	if v := binary.BigEndian.Uint32(hdr[8:]); v != FormatVersion {
+		return nil, fmt.Errorf("%w: format version %d (want %d)", ErrIncompatible, v, FormatVersion)
+	}
+	var sum [sha256.Size]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return nil, fmt.Errorf("%w: short digest: %v", ErrCorrupt, err)
+	}
+	p, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: read payload: %v", ErrCorrupt, err)
+	}
+	if got := sha256.Sum256(p); got != sum {
+		return nil, fmt.Errorf("%w: digest mismatch", ErrCorrupt)
+	}
+	var s Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("%w: decode: %v", ErrCorrupt, err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Serializable snapshots of the CAWA state machines. The configuration
+// halves (CACPConfig, the CPL ablation flags' defaults) are not part of
+// the snapshots: the restoring side reconstructs the providers from the
+// same SystemConfig and then overlays the captured dynamic state.
+
+// WarpCritState is the snapshot of one resident warp's CPL counters.
+type WarpCritState struct {
+	Valid bool
+	GID   int
+	Block int
+
+	NInst    float64
+	NStall   float64
+	Issues   int64
+	Arrive   int64
+	LastSeen int64
+}
+
+// CPLState is the snapshot of one SM's criticality prediction logic.
+// The blocks index is not serialized — it is rebuilt from the slot
+// array in slot order, which is equivalent for every CPL query (peer
+// scans only count strict comparisons, never positions).
+type CPLState struct {
+	Slots []WarpCritState
+	Now   int64
+}
+
+// Capture snapshots the predictor.
+func (c *CPL) Capture() CPLState {
+	st := CPLState{Slots: make([]WarpCritState, len(c.slots)), Now: c.now}
+	for i, wc := range c.slots {
+		if wc == nil {
+			continue
+		}
+		st.Slots[i] = WarpCritState{
+			Valid: true, GID: wc.gid, Block: wc.block,
+			NInst: wc.nInst, NStall: wc.nStall,
+			Issues: wc.issues, Arrive: wc.arrive, LastSeen: wc.lastSeen,
+		}
+	}
+	return st
+}
+
+// Restore overwrites the predictor's dynamic state from a snapshot,
+// rebuilding the block peer index from the slot array.
+func (c *CPL) Restore(st CPLState) {
+	c.slots = make([]*warpCrit, len(st.Slots))
+	c.blocks = make(map[int][]*warpCrit)
+	for i, s := range st.Slots {
+		if !s.Valid {
+			continue
+		}
+		wc := &warpCrit{
+			gid: s.GID, block: s.Block,
+			nInst: s.NInst, nStall: s.NStall,
+			issues: s.Issues, arrive: s.Arrive, lastSeen: s.LastSeen,
+		}
+		c.slots[i] = wc
+		c.blocks[s.Block] = append(c.blocks[s.Block], wc)
+	}
+	c.now = st.Now
+}
+
+// DynPartSnapshot is the snapshot of the adaptive-partition controller.
+type DynPartSnapshot struct {
+	Ways        int
+	TotalWays   int
+	Fills       uint64
+	HitsCrit    uint64
+	HitsNon     uint64
+	Adjustments uint64
+}
+
+// CACPState is the snapshot of one SM's cache-prioritization policy:
+// the CCBP and SHiP predictor tables, the bimodal fill counter, the
+// dynamic-partition controller, and the prediction statistics.
+type CACPState struct {
+	CCBP  []uint8
+	SHiP  []uint8
+	Dyn   DynPartSnapshot
+	Fills uint64
+
+	PredCritical    uint64
+	PredNonCritical uint64
+	CCBPDemotions   uint64
+	SHiPDemotions   uint64
+}
+
+// Capture snapshots the policy's dynamic state.
+func (c *CACP) Capture() CACPState {
+	st := CACPState{
+		CCBP: append([]uint8(nil), c.ccbp[:]...),
+		SHiP: append([]uint8(nil), c.ship[:]...),
+		Dyn: DynPartSnapshot{
+			Ways: c.dyn.ways, TotalWays: c.dyn.totalWays,
+			Fills: c.dyn.fills, HitsCrit: c.dyn.hitsCrit, HitsNon: c.dyn.hitsNon,
+			Adjustments: c.dyn.Adjustments,
+		},
+		Fills:           c.fills,
+		PredCritical:    c.PredCritical,
+		PredNonCritical: c.PredNonCritical,
+		CCBPDemotions:   c.CCBPDemotions,
+		SHiPDemotions:   c.SHiPDemotions,
+	}
+	return st
+}
+
+// Restore overlays a snapshot onto a policy built with the same
+// CACPConfig.
+func (c *CACP) Restore(st CACPState) error {
+	if len(st.CCBP) != sigEntries || len(st.SHiP) != sigEntries {
+		return fmt.Errorf("core: CACP restore table size mismatch (ccbp %d, ship %d, want %d)",
+			len(st.CCBP), len(st.SHiP), sigEntries)
+	}
+	copy(c.ccbp[:], st.CCBP)
+	copy(c.ship[:], st.SHiP)
+	c.dyn.ways = st.Dyn.Ways
+	c.dyn.totalWays = st.Dyn.TotalWays
+	c.dyn.fills = st.Dyn.Fills
+	c.dyn.hitsCrit = st.Dyn.HitsCrit
+	c.dyn.hitsNon = st.Dyn.HitsNon
+	c.dyn.Adjustments = st.Dyn.Adjustments
+	c.fills = st.Fills
+	c.PredCritical = st.PredCritical
+	c.PredNonCritical = st.PredNonCritical
+	c.CCBPDemotions = st.CCBPDemotions
+	c.SHiPDemotions = st.SHiPDemotions
+	return nil
+}
+
+// OracleSlotState is the snapshot of one slot's oracle entry.
+type OracleSlotState struct {
+	Slot  int
+	GID   int
+	Block int
+	Crit  float64
+}
+
+// OracleState is the snapshot of an Oracle provider's resident-warp
+// index. The profiled values table is static configuration and is not
+// serialized — the restoring side reconstructs the provider from the
+// same SystemConfig.
+type OracleState struct {
+	Slots []OracleSlotState // sorted by slot
+}
+
+// Capture snapshots the provider's resident-warp index.
+func (o *Oracle) Capture() OracleState {
+	st := OracleState{Slots: make([]OracleSlotState, 0, len(o.slots))}
+	for slot, ow := range o.slots {
+		st.Slots = append(st.Slots, OracleSlotState{
+			Slot: slot, GID: ow.gid, Block: ow.block, Crit: ow.crit,
+		})
+	}
+	sort.Slice(st.Slots, func(i, j int) bool { return st.Slots[i].Slot < st.Slots[j].Slot })
+	return st
+}
+
+// Restore rebuilds the resident-warp index from a snapshot.
+func (o *Oracle) Restore(st OracleState) {
+	o.slots = make(map[int]*oracleWarp, len(st.Slots))
+	o.blocks = make(map[int]map[int]*oracleWarp)
+	for _, s := range st.Slots {
+		ow := &oracleWarp{gid: s.GID, block: s.Block, crit: s.Crit}
+		o.slots[s.Slot] = ow
+		blk := o.blocks[s.Block]
+		if blk == nil {
+			blk = make(map[int]*oracleWarp)
+			o.blocks[s.Block] = blk
+		}
+		blk[s.Slot] = ow
+	}
+}

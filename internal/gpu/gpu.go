@@ -129,6 +129,65 @@ type GPU struct {
 	// (observability exporters render launches as top-level trace
 	// spans). One entry per Launch call; never trimmed.
 	Spans []LaunchSpan
+
+	// launch is the in-flight launch's progress state. Non-nil only
+	// while run executes (or between Restore and Resume); Capture
+	// serializes it so a restored GPU can re-enter the cycle loop
+	// exactly where the checkpoint left it.
+	launch *launchState
+}
+
+// launchState carries one launch's progress: the dispatch cursor, the
+// per-launch counter snapshots the final statistics are deltas against,
+// and the per-SM block-retirement counters. It lives on the GPU for the
+// duration of run so a checkpoint taken from the PerCycle hook can
+// serialize it.
+type launchState struct {
+	k             *simt.Kernel
+	warpsPerBlock int
+	total         int
+	nextBlock     int
+
+	startCycle  int64
+	startInstr  int64
+	startTInstr int64
+	startMemI   int64
+	startMemT   int64
+	l1snap      []l1Snapshot
+	startL2Acc  uint64
+	startL2Miss uint64
+
+	// Block-retirement counters are per SM: under the parallel engine
+	// each counter is written only by the goroutine stepping its SM,
+	// and the orchestrator folds them between epochs (the barrier
+	// orders the accesses). The serial engine uses the same shape.
+	retiredBy []int
+	// lastRetire records each SM's most recent block-retirement cycle:
+	// when a kernel completes inside a lookahead batch, the replay stops
+	// at the max — the serial engine's final cycle (see lookahead.go).
+	lastRetire []int64
+}
+
+func (ls *launchState) retired() int {
+	n := 0
+	for _, v := range ls.retiredBy {
+		n += v
+	}
+	return n
+}
+
+// install wires the per-SM block-retirement callbacks at the counters.
+// Called on launch entry and again after a checkpoint restore (closures
+// do not serialize).
+func (ls *launchState) install(g *GPU) {
+	for i, s := range g.sms {
+		counter := &ls.retiredBy[i]
+		at := &ls.lastRetire[i]
+		s.OnBlockDone = func(_ int, cycle int64) {
+			*counter++
+			*at = cycle
+		}
+	}
 }
 
 // LaunchSpan is the cycle window of one kernel launch.
@@ -242,49 +301,62 @@ func (g *GPU) Launch(ctx context.Context, k *simt.Kernel) (*stats.Launch, error)
 			k.Name, k.RegsPerThread*k.BlockDim, g.cfg.RegistersPerSM)
 	}
 
-	// Snapshot counters for per-launch deltas.
-	startCycle := g.cycle
-	var startInstr, startTInstr, startMemI, startMemT int64
-	l1snap := make([]l1Snapshot, len(g.sms))
+	return g.run(ctx, g.initLaunch(k, warpsPerBlock))
+}
+
+// Resume re-enters the cycle loop of a launch restored by Restore. The
+// launch runs to completion on whichever engine this GPU is configured
+// for (the checkpoint boundary is engine-clean, so the restoring engine
+// may differ from the capturing one) and returns the launch statistics
+// exactly as the uninterrupted Launch would have.
+func (g *GPU) Resume(ctx context.Context) (*stats.Launch, error) {
+	if g.launch == nil {
+		return nil, fmt.Errorf("gpu: Resume without a restored launch")
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("gpu: kernel %s aborted at cycle %d: %w",
+				g.launch.k.Name, g.cycle, err)
+		}
+	}
+	return g.run(ctx, g.launch)
+}
+
+// initLaunch snapshots the per-launch counters, installs the kernel on
+// every SM, and wires the block-retirement callbacks.
+func (g *GPU) initLaunch(k *simt.Kernel, warpsPerBlock int) *launchState {
+	ls := &launchState{
+		k:             k,
+		warpsPerBlock: warpsPerBlock,
+		total:         k.GridDim,
+		startCycle:    g.cycle,
+		l1snap:        make([]l1Snapshot, len(g.sms)),
+		retiredBy:     make([]int, len(g.sms)),
+		lastRetire:    make([]int64, len(g.sms)),
+	}
 	for i, s := range g.sms {
-		startInstr += s.Instructions
-		startTInstr += s.ThreadInstrs
-		startMemI += s.MemInstrs
-		startMemT += s.MemTxns
+		ls.startInstr += s.Instructions
+		ls.startTInstr += s.ThreadInstrs
+		ls.startMemI += s.MemInstrs
+		ls.startMemT += s.MemTxns
 		l1 := s.L1D()
-		l1snap[i] = l1Snapshot{l1.LoadAccesses, l1.StoreAccesses, l1.LoadMisses, l1.StoreMisses}
+		ls.l1snap[i] = l1Snapshot{l1.LoadAccesses, l1.StoreAccesses, l1.LoadMisses, l1.StoreMisses}
 		s.Finished = s.Finished[:0]
 		s.SetKernel(k)
 		s.BlockStatsBase = g.blockBase
 	}
 	g.blockBase += k.GridDim
 	l2 := g.sys.L2()
-	startL2Acc, startL2Miss := l2.Accesses, l2.Misses
+	ls.startL2Acc, ls.startL2Miss = l2.Accesses, l2.Misses
+	ls.install(g)
+	return ls
+}
 
-	// Block-retirement counters are per SM: under the parallel engine
-	// each counter is written only by the goroutine stepping its SM,
-	// and the orchestrator folds them between epochs (the barrier
-	// orders the accesses). The serial engine uses the same shape.
-	retiredBy := make([]int, len(g.sms))
-	// lastRetire records each SM's most recent block-retirement cycle:
-	// when a kernel completes inside a lookahead batch, the replay stops
-	// at the max — the serial engine's final cycle (see lookahead.go).
-	lastRetire := make([]int64, len(g.sms))
-	for i, s := range g.sms {
-		counter := &retiredBy[i]
-		at := &lastRetire[i]
-		s.OnBlockDone = func(_ int, cycle int64) {
-			*counter++
-			*at = cycle
-		}
-	}
-	retired := func() int {
-		n := 0
-		for _, v := range retiredBy {
-			n += v
-		}
-		return n
-	}
+// run drives a launch (fresh or restored) to completion.
+func (g *GPU) run(ctx context.Context, ls *launchState) (*stats.Launch, error) {
+	g.launch = ls
+	defer func() { g.launch = nil }()
+	k := ls.k
 
 	if workers := g.smWorkers(); workers > 1 {
 		g.startDomains(workers)
@@ -294,10 +366,8 @@ func (g *GPU) Launch(ctx context.Context, k *simt.Kernel) (*stats.Launch, error)
 		defer g.stopDomains()
 	}
 
-	nextBlock := 0
-	total := k.GridDim
 	prof := g.Perf
-	for retired() < total {
+	for ls.retired() < ls.total {
 		g.cycle++
 		if g.cycle&cancelCheckMask == 0 && ctx != nil {
 			if err := ctx.Err(); err != nil {
@@ -314,7 +384,7 @@ func (g *GPU) Launch(ctx context.Context, k *simt.Kernel) (*stats.Launch, error)
 			prof.ObservePhase(perf.PhaseMemsysDrain, t1-t0)
 			t0 = t1
 		}
-		g.dispatch(k, &nextBlock, total, warpsPerBlock)
+		g.dispatch(k, &ls.nextBlock, ls.total, ls.warpsPerBlock)
 		if prof != nil {
 			prof.ObservePhase(perf.PhaseDispatch, prof.Now()-t0)
 		}
@@ -326,15 +396,15 @@ func (g *GPU) Launch(ctx context.Context, k *simt.Kernel) (*stats.Launch, error)
 		if g.PerCycle != nil {
 			g.PerCycle(g, g.cycle)
 		}
-		if g.cfg.MaxCycles > 0 && g.cycle-startCycle > g.cfg.MaxCycles {
+		if g.cfg.MaxCycles > 0 && g.cycle-ls.startCycle > g.cfg.MaxCycles {
 			return nil, fmt.Errorf("gpu: kernel %s exceeded %d cycles (%d/%d blocks retired)",
-				k.Name, g.cfg.MaxCycles, retired(), total)
+				k.Name, g.cfg.MaxCycles, ls.retired(), ls.total)
 		}
 		if wake > g.cycle && !g.DisableFastForward {
 			if prof != nil {
 				t0 = prof.Now()
 			}
-			err := g.fastForward(ctx, wake, startCycle)
+			err := g.fastForward(ctx, wake, ls.startCycle)
 			if prof != nil {
 				// The whole planning call, including the memsys drains
 				// and real SM cycles it performs at event boundaries
@@ -344,7 +414,7 @@ func (g *GPU) Launch(ctx context.Context, k *simt.Kernel) (*stats.Launch, error)
 			if err != nil {
 				return nil, fmt.Errorf("gpu: kernel %s aborted at cycle %d: %w", k.Name, g.cycle, err)
 			}
-		} else if g.Lookahead && g.runner != nil && nextBlock >= total && retired() < total {
+		} else if g.Lookahead && g.runner != nil && ls.nextBlock >= ls.total && ls.retired() < ls.total {
 			// Busy span on the parallel engine with dispatch exhausted:
 			// batch the cycles up to the next safe horizon into one
 			// epoch (lookahead.go). Brackets the whole call, planning
@@ -352,7 +422,7 @@ func (g *GPU) Launch(ctx context.Context, k *simt.Kernel) (*stats.Launch, error)
 			if prof != nil {
 				t0 = prof.Now()
 			}
-			err := g.runBatch(ctx, startCycle, lastRetire, retired, total)
+			err := g.runBatch(ctx, ls.startCycle, ls.lastRetire, ls.retired, ls.total)
 			if prof != nil {
 				prof.ObservePhase(perf.PhaseLookahead, prof.Now()-t0)
 			}
@@ -363,10 +433,10 @@ func (g *GPU) Launch(ctx context.Context, k *simt.Kernel) (*stats.Launch, error)
 	}
 
 	if prof != nil {
-		prof.AddSimCycles(g.cycle - startCycle)
+		prof.AddSimCycles(g.cycle - ls.startCycle)
 	}
-	g.Spans = append(g.Spans, LaunchSpan{Kernel: k.Name, Start: startCycle + 1, End: g.cycle})
-	out := &stats.Launch{Kernel: k.Name, Cycles: g.cycle - startCycle}
+	g.Spans = append(g.Spans, LaunchSpan{Kernel: k.Name, Start: ls.startCycle + 1, End: g.cycle})
+	out := &stats.Launch{Kernel: k.Name, Cycles: g.cycle - ls.startCycle}
 	for i, s := range g.sms {
 		out.Instructions += s.Instructions
 		out.ThreadInstrs += s.ThreadInstrs
@@ -374,18 +444,19 @@ func (g *GPU) Launch(ctx context.Context, k *simt.Kernel) (*stats.Launch, error)
 		out.MemTxns += s.MemTxns
 		l1 := s.L1D()
 		out.L1DAccesses += l1.LoadAccesses + l1.StoreAccesses -
-			l1snap[i].loadAcc - l1snap[i].storeAcc
+			ls.l1snap[i].loadAcc - ls.l1snap[i].storeAcc
 		out.L1DMisses += l1.LoadMisses + l1.StoreMisses -
-			l1snap[i].loadMiss - l1snap[i].storeMiss
+			ls.l1snap[i].loadMiss - ls.l1snap[i].storeMiss
 		out.Warps = append(out.Warps, s.Finished...)
 		s.Finished = s.Finished[:0]
 	}
-	out.Instructions -= startInstr
-	out.ThreadInstrs -= startTInstr
-	out.MemInstrs -= startMemI
-	out.MemTxns -= startMemT
-	out.L2Accesses = l2.Accesses - startL2Acc
-	out.L2Misses = l2.Misses - startL2Miss
+	out.Instructions -= ls.startInstr
+	out.ThreadInstrs -= ls.startTInstr
+	out.MemInstrs -= ls.startMemI
+	out.MemTxns -= ls.startMemT
+	l2 := g.sys.L2()
+	out.L2Accesses = l2.Accesses - ls.startL2Acc
+	out.L2Misses = l2.Misses - ls.startL2Miss
 	return out, nil
 }
 

@@ -19,7 +19,7 @@ import (
 // byte-identical (e.g. the fast-forward engine) does not bump it.
 // Stale disk-cache entries from older engine versions simply stop
 // matching and are re-simulated.
-const EngineVersion = "cawa-engine-5"
+const EngineVersion = "cawa-engine-6"
 
 // DiskCache is a persistent, content-addressed result store shared by
 // long-running services and repeated evaluation campaigns. Each entry
@@ -113,6 +113,71 @@ func (d *DiskCache) Store(key string, r *Result) error {
 		return fmt.Errorf("harness: disk cache: %w", err)
 	}
 	return nil
+}
+
+// CheckpointKey derives the warm-checkpoint identity from a run's full
+// entry key. It inherits every component of the entry key — including
+// EngineVersion, so checkpoints from an older engine stop matching and
+// read back as clean misses — plus a suffix keeping the two namespaces
+// disjoint.
+func (d *DiskCache) CheckpointKey(entryKey string) string {
+	return entryKey + "|checkpoint"
+}
+
+// ckptPath maps a checkpoint key to its content-addressed file. The
+// extension differs from result entries so Len (which counts *.json)
+// and operators see the two populations apart.
+func (d *DiskCache) ckptPath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(d.dir, hex.EncodeToString(sum[:])+".ckpt")
+}
+
+// LoadCheckpoint returns the persisted warm checkpoint for key, or
+// (nil, false) on any kind of miss — absent, truncated, corrupt,
+// mis-keyed, or written by an incompatible checkpoint format. Like
+// Load, it never fails hard: a bad artifact costs a cold start, never
+// an error.
+func (d *DiskCache) LoadCheckpoint(key string) (*WarmCheckpoint, bool) {
+	f, err := os.Open(d.ckptPath(key))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	w, err := decodeWarm(f, key)
+	if err != nil {
+		return nil, false
+	}
+	return w, true
+}
+
+// StoreCheckpoint persists a warm checkpoint under key atomically
+// (temp file + rename), replacing any previous one.
+func (d *DiskCache) StoreCheckpoint(key string, w *WarmCheckpoint) error {
+	tmp, err := os.CreateTemp(d.dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("harness: disk cache: %w", err)
+	}
+	if err := w.encode(tmp, key); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: disk cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), d.ckptPath(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: disk cache: %w", err)
+	}
+	return nil
+}
+
+// RemoveCheckpoint drops the warm checkpoint for key, if any. A
+// completed run's final result supersedes its checkpoint; removing the
+// blob is pure hygiene, so errors are not reported.
+func (d *DiskCache) RemoveCheckpoint(key string) {
+	os.Remove(d.ckptPath(key)) //nolint:errcheck
 }
 
 // Len counts the committed entries on disk (operational visibility).

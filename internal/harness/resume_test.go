@@ -1,0 +1,345 @@
+package harness
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"cawa/internal/config"
+	"cawa/internal/core"
+	"cawa/internal/gpu"
+	"cawa/internal/workloads"
+)
+
+var resumeParams = workloads.Params{Scale: 0.1, Seed: 5}
+
+func resumeConfig() config.Config {
+	c := config.Small()
+	c.NumSMs = 4
+	return c
+}
+
+func TestSampleDetailedGate(t *testing.T) {
+	// Sampling off: everything is detailed.
+	for ix := 0; ix < 5; ix++ {
+		if !sampleDetailed(ix, 0, 0) || !sampleDetailed(ix, 3, 1) {
+			t.Fatalf("launch %d not detailed with sampling off", ix)
+		}
+	}
+	// warmup=2 interval=3: detailed at 0,1 (warmup) then 2,5,8,...
+	want := map[int]bool{0: true, 1: true, 2: true, 3: false, 4: false, 5: true, 6: false, 7: false, 8: true}
+	for ix, w := range want {
+		if got := sampleDetailed(ix, 2, 3); got != w {
+			t.Fatalf("sampleDetailed(%d, 2, 3) = %v, want %v", ix, got, w)
+		}
+	}
+}
+
+// TestSampledRunExactMemory runs a multi-launch iterative workload with
+// sampling on: the functional launches must leave memory exact (Verify
+// inside RunContext), and the detailed count must match the gate.
+func TestSampledRunExactMemory(t *testing.T) {
+	res, err := Run(RunOptions{
+		Workload: "bfs", Params: resumeParams, System: core.CAWA(), Config: resumeConfig(),
+		SampleWarmup: 2, SampleInterval: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detailed >= res.Launches {
+		t.Fatalf("sampling skipped nothing: %d detailed of %d launches", res.Detailed, res.Launches)
+	}
+	wantDetailed := 0
+	for ix := 0; ix < res.Launches; ix++ {
+		if sampleDetailed(ix, 2, 3) {
+			wantDetailed++
+		}
+	}
+	if res.Detailed != wantDetailed {
+		t.Fatalf("Detailed = %d, want %d of %d launches", res.Detailed, wantDetailed, res.Launches)
+	}
+	if res.Agg.Cycles == 0 || res.Agg.Instructions == 0 {
+		t.Fatalf("empty aggregate from sampled run: %+v", res.Agg)
+	}
+}
+
+// cancelAt builds RunOptions whose per-cycle hook cancels the context
+// once the global cycle reaches `at`.
+func cancelAt(opt RunOptions, at int64) (RunOptions, context.Context) {
+	ctx, cancel := context.WithCancel(context.Background())
+	opt.PerCycle = func(g *gpu.GPU, cycle int64) {
+		if cycle >= at {
+			cancel()
+		}
+	}
+	return opt, ctx
+}
+
+// TestRunCheckpointedCancelResume cuts a CAWA run mid-flight, persists
+// the returned checkpoint through the disk cache, and resumes it to
+// completion: the resumed result must equal the uninterrupted run's in
+// every snapshotted field.
+func TestRunCheckpointedCancelResume(t *testing.T) {
+	opt := RunOptions{
+		Workload: "bfs", Params: resumeParams, System: core.CAWA(), Config: resumeConfig(),
+	}
+	ref, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Agg.Cycles < 10_000 {
+		t.Fatalf("reference too short to interrupt meaningfully: %d cycles", ref.Agg.Cycles)
+	}
+
+	hooked, ctx := cancelAt(opt, ref.Agg.Cycles/2)
+	res, last, err := RunCheckpointed(ctx, hooked, 2_000, nil)
+	if err == nil {
+		t.Fatalf("cancelled run returned no error (res=%+v)", res)
+	}
+	if last == nil {
+		t.Fatal("cancelled run returned no checkpoint")
+	}
+	if last.Snap.Meta.Workload != "bfs" || last.Snap.Meta.EngineVersion != EngineVersion {
+		t.Fatalf("checkpoint meta: %+v", last.Snap.Meta)
+	}
+
+	// Persist and reload through the disk cache's checkpoint namespace.
+	d, err := OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := d.CheckpointKey(d.EntryKey("bfs", "cawa-key", resumeParams, resumeConfig()))
+	if err := d.StoreCheckpoint(key, last); err != nil {
+		t.Fatal(err)
+	}
+	loaded, ok := d.LoadCheckpoint(key)
+	if !ok {
+		t.Fatal("stored checkpoint did not load back")
+	}
+	if loaded.Partial.Launches != last.Partial.Launches ||
+		!reflect.DeepEqual(loaded.Partial.Agg, last.Partial.Agg) {
+		t.Fatalf("partial result changed across persistence:\nstored %+v\nloaded %+v",
+			last.Partial.Agg, loaded.Partial.Agg)
+	}
+
+	resumed, lastAfter, err := RunCheckpointed(context.Background(), opt, 2_000, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastAfter != nil {
+		t.Fatal("completed run still returned a checkpoint")
+	}
+	if !reflect.DeepEqual(resumed.Agg, ref.Agg) {
+		t.Fatalf("resumed aggregate differs from uninterrupted run:\nresumed %+v\nref     %+v",
+			resumed.Agg, ref.Agg)
+	}
+	if resumed.Launches != ref.Launches || resumed.Detailed != ref.Detailed {
+		t.Fatalf("launch counts differ: resumed %d/%d, ref %d/%d",
+			resumed.Detailed, resumed.Launches, ref.Detailed, ref.Launches)
+	}
+	if !reflect.DeepEqual(resumed.Spans, ref.Spans) {
+		t.Fatalf("spans differ:\nresumed %+v\nref     %+v", resumed.Spans, ref.Spans)
+	}
+	if !reflect.DeepEqual(resumed.WarpL1Accesses, ref.WarpL1Accesses) ||
+		!reflect.DeepEqual(resumed.WarpL1Hits, ref.WarpL1Hits) {
+		t.Fatal("per-warp L1 tallies differ between resumed and uninterrupted runs")
+	}
+}
+
+// TestRunCheckpointedSampledResume is the same interrupted/resumed
+// equality under sampled simulation — the checkpoint must remember
+// which launches were detailed.
+func TestRunCheckpointedSampledResume(t *testing.T) {
+	opt := RunOptions{
+		Workload: "bfs", Params: resumeParams, System: core.CAWA(), Config: resumeConfig(),
+		SampleWarmup: 1, SampleInterval: 2,
+	}
+	ref, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooked, ctx := cancelAt(opt, ref.Agg.Cycles/2)
+	_, last, err := RunCheckpointed(ctx, hooked, 1_000, nil)
+	if err == nil || last == nil {
+		t.Fatalf("cancelled sampled run: err=%v checkpoint=%v", err, last != nil)
+	}
+	resumed, _, err := RunCheckpointed(context.Background(), opt, 1_000, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed.Agg, ref.Agg) || resumed.Detailed != ref.Detailed {
+		t.Fatalf("sampled resume diverged:\nresumed %+v (detailed %d)\nref     %+v (detailed %d)",
+			resumed.Agg, resumed.Detailed, ref.Agg, ref.Detailed)
+	}
+}
+
+// TestCheckpointArtifactDamageIsCleanMiss proves satellite semantics:
+// a truncated, bit-flipped, mis-keyed, or stale-engine checkpoint
+// artifact reads back as a miss, never an error or a poisoned entry.
+func TestCheckpointArtifactDamageIsCleanMiss(t *testing.T) {
+	opt := RunOptions{
+		Workload: "bfs", Params: resumeParams, System: core.Baseline(), Config: resumeConfig(),
+	}
+	ref, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooked, ctx := cancelAt(opt, ref.Agg.Cycles/2)
+	_, last, err := RunCheckpointed(ctx, hooked, 2_000, nil)
+	if err == nil || last == nil {
+		t.Fatalf("cancelled run: err=%v checkpoint=%v", err, last != nil)
+	}
+
+	dir := t.TempDir()
+	d, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := d.CheckpointKey(d.EntryKey("bfs", "lrr-key", resumeParams, resumeConfig()))
+	if err := d.StoreCheckpoint(key, last); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("expected one .ckpt artifact, got %v (%v)", files, err)
+	}
+	blob, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A different key — e.g. one embedding an older EngineVersion — maps
+	// to a different artifact and misses.
+	staleKey := d.CheckpointKey("bfs|lrr-key|scale=0.1|seed=5|arch=small|cawa-engine-0")
+	if _, ok := d.LoadCheckpoint(staleKey); ok {
+		t.Fatal("stale-engine key unexpectedly hit")
+	}
+
+	damage := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		if err := os.WriteFile(files[0], mutate(append([]byte(nil), blob...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if w, ok := d.LoadCheckpoint(key); ok {
+			t.Fatalf("%s artifact unexpectedly loaded: %+v", name, w.Snap.Meta)
+		}
+	}
+	damage("truncated", func(b []byte) []byte { return b[:len(b)/2] })
+	damage("bit-flipped", func(b []byte) []byte { b[len(b)-1] ^= 1; return b })
+	damage("short-header", func(b []byte) []byte { return b[:3] })
+	damage("empty", func(b []byte) []byte { return nil })
+
+	// Restore the intact artifact: it must still load, and the full
+	// key-verification still rejects a hand-renamed file.
+	if err := os.WriteFile(files[0], blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.LoadCheckpoint(key); !ok {
+		t.Fatal("intact artifact stopped loading")
+	}
+	otherKey := d.CheckpointKey(d.EntryKey("bfs", "other-key", resumeParams, resumeConfig()))
+	if err := os.Rename(files[0], d.ckptPath(otherKey)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.LoadCheckpoint(otherKey); ok {
+		t.Fatal("mis-keyed (renamed) artifact unexpectedly hit")
+	}
+}
+
+// TestSessionWarmStart seeds the disk cache with a checkpoint from an
+// interrupted run and shows the session resumes it instead of
+// simulating from cycle zero, then supersedes it with the final result.
+func TestSessionWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := core.CAWA()
+	sysKey, err := sc.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSession(resumeConfig(), resumeParams)
+	s.Disk = d
+	opt := RunOptions{Workload: "bfs", Params: resumeParams, System: sc, Config: resumeConfig()}
+	ref, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooked, ctx := cancelAt(opt, ref.Agg.Cycles/2)
+	_, last, err := RunCheckpointed(ctx, hooked, 2_000, nil)
+	if err == nil || last == nil {
+		t.Fatalf("cancelled run: err=%v checkpoint=%v", err, last != nil)
+	}
+	ckptKey := d.CheckpointKey(s.diskEntryKey(d, "bfs", sysKey))
+	if err := d.StoreCheckpoint(ckptKey, last); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := s.RunContext(context.Background(), "bfs", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.WarmResumes(); got != 1 {
+		t.Fatalf("WarmResumes = %d, want 1", got)
+	}
+	if !reflect.DeepEqual(res.Agg, ref.Agg) {
+		t.Fatalf("warm-started session result differs:\nres %+v\nref %+v", res.Agg, ref.Agg)
+	}
+	// The final result supersedes the checkpoint artifact...
+	if _, ok := d.LoadCheckpoint(ckptKey); ok {
+		t.Fatal("checkpoint artifact survived a completed run")
+	}
+	// ...and a fresh session sees a plain disk hit.
+	s2 := NewSession(resumeConfig(), resumeParams)
+	s2.Disk = d
+	if _, err := s2.RunContext(context.Background(), "bfs", sc); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.DiskHits(); got != 1 {
+		t.Fatalf("DiskHits = %d, want 1", got)
+	}
+	if got := s2.WarmResumes(); got != 0 {
+		t.Fatalf("fresh session WarmResumes = %d, want 0", got)
+	}
+}
+
+// TestSessionPersistsCheckpointOnDeadline drives the session's own
+// persist-on-cancel path: a deadline-cut run leaves a checkpoint
+// artifact behind, and a later attempt warm-starts from it.
+func TestSessionPersistsCheckpointOnDeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock deadline test")
+	}
+	dir := t.TempDir()
+	d, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(resumeConfig(), workloads.Params{Scale: 0.5, Seed: 5})
+	s.Disk = d
+	s.CheckpointEvery = 2_000
+	sc := core.CAWA()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	if _, err := s.RunContext(ctx, "bfs", sc); err == nil {
+		t.Skip("machine fast enough to finish inside the deadline; nothing to persist")
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if len(files) == 0 {
+		t.Skip("deadline hit before the first capture; nothing persisted")
+	}
+
+	if _, err := s.RunContext(context.Background(), "bfs", sc); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.WarmResumes(); got != 1 {
+		t.Fatalf("WarmResumes = %d, want 1", got)
+	}
+}

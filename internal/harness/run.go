@@ -7,6 +7,7 @@ import (
 	"context"
 	"fmt"
 
+	"cawa/internal/checkpoint"
 	"cawa/internal/config"
 	"cawa/internal/core"
 	"cawa/internal/gpu"
@@ -66,6 +67,28 @@ type RunOptions struct {
 	Profiler *perf.Profiler
 	// SkipVerify skips the functional check against the Go reference.
 	SkipVerify bool
+
+	// SampleWarmup and SampleInterval enable SimPoint-style sampled
+	// simulation over the workload's launch sequence. Sampling is active
+	// when SampleInterval > 1: launch index ix runs on the detailed
+	// timing model iff ix < SampleWarmup (the cache/predictor warmup
+	// prefix) or (ix-SampleWarmup)%SampleInterval == 0 (the periodic
+	// sample windows); every other launch executes functionally
+	// (checkpoint.FunctionalLaunch) — exact memory effects, no timing.
+	// Verify stays exact under sampling; Agg covers only the detailed
+	// launches (Result.Detailed counts them). See DESIGN.md for the
+	// sampling error budget.
+	SampleWarmup   int
+	SampleInterval int
+}
+
+// sampleDetailed reports whether launch ix runs on the detailed timing
+// model under the given sampling parameters.
+func sampleDetailed(ix, warmup, interval int) bool {
+	if interval <= 1 {
+		return true
+	}
+	return ix < warmup || (ix-warmup)%interval == 0
 }
 
 // Result is the outcome of one application run. Everything experiments
@@ -80,8 +103,12 @@ type RunOptions struct {
 type Result struct {
 	Workload string
 	System   string
-	Agg      stats.Launch // merged across launches
+	Agg      stats.Launch // merged across detailed launches
 	Launches int
+	// Detailed counts the launches that ran on the timing model. Equal
+	// to Launches unless sampled simulation was active (RunOptions
+	// SampleWarmup/SampleInterval); Agg covers only these.
+	Detailed int
 
 	// Spans are the cycle windows of the run's kernel launches
 	// (snapshot of gpu.GPU.Spans).
@@ -131,6 +158,40 @@ func Run(opt RunOptions) (*Result, error) {
 // mid-kernel (checked cheaply inside gpu.Launch) and returns ctx's
 // error. A cancelled run's partial state is discarded entirely.
 func RunContext(ctx context.Context, opt RunOptions) (*Result, error) {
+	wl, g, res, err := setupRun(&opt)
+	if err != nil {
+		return nil, err
+	}
+	for ix := 0; ; ix++ {
+		k, ok := wl.Next()
+		if !ok {
+			break
+		}
+		if !sampleDetailed(ix, opt.SampleWarmup, opt.SampleInterval) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := checkpoint.FunctionalLaunch(k, wl.Mem(), opt.Config.WarpSize); err != nil {
+				return nil, fmt.Errorf("harness: %s on %s: %w", opt.Workload, opt.System.Label(), err)
+			}
+			res.Launches++
+			continue
+		}
+		launch, err := g.Launch(ctx, k)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s on %s: %w", opt.Workload, opt.System.Label(), err)
+		}
+		res.Agg.Merge(launch)
+		res.Launches++
+		res.Detailed++
+	}
+	return finishRun(wl, g, res, &opt)
+}
+
+// setupRun builds the workload, the GPU, and an empty Result for one
+// run, wiring every engine option. Shared by RunContext and the
+// checkpointed/resumable path (RunCheckpointedContext).
+func setupRun(opt *RunOptions) (workloads.Workload, *gpu.GPU, *Result, error) {
 	if opt.Params == (workloads.Params{}) {
 		opt.Params = workloads.DefaultParams()
 	}
@@ -139,7 +200,7 @@ func RunContext(ctx context.Context, opt RunOptions) (*Result, error) {
 	}
 	wl, err := workloads.New(opt.Workload, opt.Params)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	// The CCWS baseline needs per-SM providers observing their L1Ds;
 	// wire them automatically unless the caller already supplied a
@@ -161,7 +222,7 @@ func RunContext(ctx context.Context, opt RunOptions) (*Result, error) {
 	}
 	g, err := opt.System.NewGPU(opt.Config, wl.Mem())
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	if opt.AttachL1 != nil {
 		for i, s := range g.SMs() {
@@ -184,18 +245,11 @@ func RunContext(ctx context.Context, opt RunOptions) (*Result, error) {
 
 	res := &Result{Workload: opt.Workload, System: opt.System.Label(), GPU: g}
 	res.Agg.Kernel = opt.Workload
-	for {
-		k, ok := wl.Next()
-		if !ok {
-			break
-		}
-		launch, err := g.Launch(ctx, k)
-		if err != nil {
-			return nil, fmt.Errorf("harness: %s on %s: %w", opt.Workload, opt.System.Label(), err)
-		}
-		res.Agg.Merge(launch)
-		res.Launches++
-	}
+	return wl, g, res, nil
+}
+
+// finishRun verifies and snapshots a completed run.
+func finishRun(wl workloads.Workload, g *gpu.GPU, res *Result, opt *RunOptions) (*Result, error) {
 	if !opt.SkipVerify {
 		if err := wl.Verify(); err != nil {
 			return nil, fmt.Errorf("harness: %s on %s: verification failed: %w",

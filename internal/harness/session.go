@@ -103,6 +103,19 @@ type Session struct {
 	// Results are byte-identical with it on or off, so the result cache
 	// is deliberately not keyed on it.
 	Lookahead bool
+	// SampleWarmup and SampleInterval apply sampled simulation to every
+	// run the session launches (see RunOptions.SampleWarmup). Unlike the
+	// engine switches above, sampling CHANGES the aggregate numbers, so
+	// the disk-cache key is extended with the sampling parameters when
+	// active — sampled and full-detail campaigns never share entries.
+	// The in-memory cache needs no such keying: these fields are set
+	// before the session's first run and never changed.
+	SampleWarmup   int
+	SampleInterval int
+	// CheckpointEvery pins the warm-start capture cadence in simulated
+	// cycles for disk-backed runs (0 = DefaultCheckpointEvery). Purely
+	// a host-side knob; simulated results are identical at any value.
+	CheckpointEvery int64
 
 	mu       sync.Mutex
 	cache    map[string]*flight
@@ -114,7 +127,10 @@ type Session struct {
 	hits     uint64 // Run requests served from the in-memory cache
 	misses   uint64 // Run requests that missed the in-memory cache
 	diskHits uint64 // misses answered by the disk cache without simulating
-	started  time.Time
+	// warmResumes counts simulations that warm-started from a persisted
+	// checkpoint instead of beginning at cycle zero.
+	warmResumes uint64
+	started     time.Time
 
 	// runFn, when non-nil, replaces RunContext as the simulation
 	// executor. It is a seam for tests (injected failures, controlled
@@ -259,6 +275,21 @@ func (s *Session) acquire(ctx context.Context, extra int) (held int, release fun
 // simulate executes one run under the worker-pool bound and records a
 // manifest entry with its wall-clock cost and outcome.
 func (s *Session) simulate(ctx context.Context, opt RunOptions) (*Result, error) {
+	r, _, err := s.simulateCore(ctx, opt, nil, false)
+	return r, err
+}
+
+// simulateResumable is simulate with warm-start checkpointing: the run
+// captures periodic in-memory checkpoints, resumes from warm when
+// non-nil instead of re-simulating its prefix, and on a ctx-cut run
+// returns the latest checkpoint so the caller can persist it. A
+// SetRunFunc seam disables checkpointing (the seam replaces the engine
+// entirely), degrading to plain simulation.
+func (s *Session) simulateResumable(ctx context.Context, opt RunOptions, warm *WarmCheckpoint) (*Result, *WarmCheckpoint, error) {
+	return s.simulateCore(ctx, opt, warm, true)
+}
+
+func (s *Session) simulateCore(ctx context.Context, opt RunOptions, warm *WarmCheckpoint, resumable bool) (*Result, *WarmCheckpoint, error) {
 	s.mu.Lock()
 	smpar := s.smpar
 	profile := s.profile
@@ -268,6 +299,10 @@ func (s *Session) simulate(ctx context.Context, opt RunOptions) (*Result, error)
 	if s.Lookahead {
 		opt.Lookahead = true
 	}
+	if opt.SampleInterval == 0 {
+		opt.SampleWarmup = s.SampleWarmup
+		opt.SampleInterval = s.SampleInterval
+	}
 	s.mu.Unlock()
 	extra := 0
 	if smpar > 1 && opt.SMWorkers == 0 {
@@ -275,7 +310,7 @@ func (s *Session) simulate(ctx context.Context, opt RunOptions) (*Result, error)
 	}
 	held, release, err := s.acquire(ctx, extra)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if extra > 0 {
 		// The run's engine width is however many slots the pool could
@@ -292,11 +327,19 @@ func (s *Session) simulate(ctx context.Context, opt RunOptions) (*Result, error)
 	s.mu.Lock()
 	run := s.runFn
 	s.mu.Unlock()
-	if run == nil {
-		run = RunContext
-	}
+	var (
+		r    *Result
+		last *WarmCheckpoint
+	)
 	start := time.Now()
-	r, err := run(ctx, opt)
+	if run == nil && resumable {
+		r, last, err = RunCheckpointed(ctx, opt, s.CheckpointEvery, warm)
+	} else {
+		if run == nil {
+			run = RunContext
+		}
+		r, err = run(ctx, opt)
+	}
 	elapsed := time.Since(start)
 	release()
 	if profile && opt.Profiler != nil {
@@ -329,7 +372,7 @@ func (s *Session) simulate(ctx context.Context, opt RunOptions) (*Result, error)
 	s.mu.Lock()
 	s.records = append(s.records, rec)
 	s.mu.Unlock()
-	return r, err
+	return r, last, err
 }
 
 // Run simulates (or returns the cached) application run on the design
@@ -379,8 +422,14 @@ func (s *Session) RunContext(ctx context.Context, app string, sc core.SystemConf
 	disk := s.Disk
 	s.mu.Unlock()
 
+	var (
+		warm     *WarmCheckpoint
+		entryKey string
+		ckptKey  string
+	)
 	if disk != nil {
-		if res, ok := disk.Load(disk.EntryKey(app, sysKey, s.Params, s.Config)); ok {
+		entryKey = s.diskEntryKey(disk, app, sysKey)
+		if res, ok := disk.Load(entryKey); ok {
 			s.mu.Lock()
 			s.diskHits++
 			s.mu.Unlock()
@@ -388,12 +437,34 @@ func (s *Session) RunContext(ctx context.Context, app string, sc core.SystemConf
 			close(f.done)
 			return f.res, f.err
 		}
+		// Warm start: a checkpoint persisted by an earlier cancelled or
+		// deadline-cut run resumes instead of re-simulating its prefix.
+		// Stale engine versions or damaged blobs read back as misses.
+		ckptKey = disk.CheckpointKey(entryKey)
+		if w, ok := disk.LoadCheckpoint(ckptKey); ok {
+			warm = w
+			s.mu.Lock()
+			s.warmResumes++
+			s.mu.Unlock()
+		}
 	}
 
-	f.res, f.err = s.simulate(ctx, RunOptions{
+	opt := RunOptions{
 		Workload: app, Params: s.Params, System: sc, Config: s.Config,
 		DisableFastForward: s.DisableFastForward,
-	})
+	}
+	if disk == nil {
+		f.res, f.err = s.simulate(ctx, opt)
+	} else {
+		var last *WarmCheckpoint
+		f.res, last, f.err = s.simulateResumable(ctx, opt, warm)
+		if f.err != nil && last != nil && ctx.Err() != nil {
+			// The run was cut short; persist its progress so the next
+			// attempt resumes here. Best-effort like the result
+			// write-through.
+			disk.StoreCheckpoint(ckptKey, last) //nolint:errcheck
+		}
+	}
 	if f.err != nil {
 		// Evict before releasing waiters: a retry must re-simulate
 		// rather than observe the stale error as a cache "hit".
@@ -407,7 +478,9 @@ func (s *Session) RunContext(ctx context.Context, app string, sc core.SystemConf
 		if disk != nil {
 			// Write-through is best-effort: a full or read-only disk
 			// degrades to in-memory caching, never to a failed run.
-			disk.Store(disk.EntryKey(app, sysKey, s.Params, s.Config), f.res) //nolint:errcheck
+			disk.Store(entryKey, f.res) //nolint:errcheck
+			// The final result supersedes any warm checkpoint.
+			disk.RemoveCheckpoint(ckptKey)
 		}
 	}
 	close(f.done)
@@ -492,6 +565,26 @@ func (s *Session) DiskHits() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.diskHits
+}
+
+// diskEntryKey is the session's persistent identity for one run:
+// DiskCache.EntryKey extended with the sampling parameters when sampled
+// simulation is active, because sampled aggregates are genuinely
+// different numbers than full-detail ones.
+func (s *Session) diskEntryKey(disk *DiskCache, app, sysKey string) string {
+	key := disk.EntryKey(app, sysKey, s.Params, s.Config)
+	if s.SampleInterval > 1 {
+		key += fmt.Sprintf("|sample=%d+%d", s.SampleWarmup, s.SampleInterval)
+	}
+	return key
+}
+
+// WarmResumes reports how many simulations warm-started from a
+// persisted checkpoint instead of beginning at cycle zero.
+func (s *Session) WarmResumes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.warmResumes
 }
 
 // Manifest snapshots the session — architecture, workload scaling,

@@ -30,6 +30,11 @@ package lint
 //     through the L1D's staged interface. Call sites inside the memsys
 //     package are exempt — the L1D legitimately schedules events on the
 //     System when staging is off; stage.go is the mediator.
+//   - SerializationRoots: the checkpoint capture/encode/decode/restore
+//     paths plus the functional-replay launcher. A snapshot digest must
+//     be a pure function of simulated state, so nothing these reach may
+//     read the host clock; map-order nondeterminism is banned per-file
+//     (internal/checkpoint sits in SimPaths).
 //
 // A root name that fails to resolve is a load error, not an empty
 // result: a rename must not silently turn the gate vacuous.
@@ -58,6 +63,13 @@ type InterOptions struct {
 	DomainRoots []string
 	// StagedRoots seed the transitive memsys-mutation rule.
 	StagedRoots []string
+	// SerializationRoots seed the transitive wall-clock rule for the
+	// checkpoint encode/decode paths: a snapshot digest must be a pure
+	// function of simulated state, so nothing reachable from
+	// serialization may read the host clock. (Map-order nondeterminism
+	// is covered per-file: internal/checkpoint is in SimPaths, so the
+	// map-range rule bans iteration the gob stream could observe.)
+	SerializationRoots []string
 	// MemsysPath is the package whose System type the staged rule
 	// protects.
 	MemsysPath string
@@ -100,6 +112,17 @@ func DefaultInterOptions() InterOptions {
 			"(*cawa/internal/gpu.domainWorker).stepSpan",
 		},
 		MemsysPath: "cawa/internal/memsys",
+		SerializationRoots: []string{
+			"cawa/internal/checkpoint.Capture",
+			"cawa/internal/checkpoint.Restore",
+			"cawa/internal/checkpoint.Encode",
+			"cawa/internal/checkpoint.Decode",
+			"cawa/internal/checkpoint.StateHash",
+			// The sampled-simulation replay path: functionally executed
+			// launches must be as clock-free as timed ones, or resumed
+			// runs could diverge from uninterrupted ones.
+			"cawa/internal/checkpoint.FunctionalLaunch",
+		},
 	}
 }
 
@@ -144,8 +167,12 @@ func AnalyzeModule(m *Module, opts InterOptions) ([]Finding, error) {
 	if err != nil {
 		return nil, err
 	}
+	serialReach, err := a.g.reachFrom(opts.SerializationRoots)
+	if err != nil {
+		return nil, err
+	}
 	a.hotPathAlloc(cycleReach)
-	a.wallClockTransitive(cycleReach, domainReach)
+	a.wallClockTransitive(cycleReach, domainReach, serialReach)
 	a.memsysTransitive(stagedReach)
 	a.domainUnsafe(domainReach)
 	a.globalWrites(cycleReach, domainReach)
@@ -274,11 +301,12 @@ func (a *analysis) hotPathAlloc(cycle map[*cgNode]*cgNode) {
 
 // wallClockTransitive extends the wall-clock ban to everything the
 // engine can reach: code outside the per-file rule's path scopes that
-// reads the host clock is flagged when a cycle or domain root reaches
-// it. Inside those scopes the per-file rule already reported it.
-func (a *analysis) wallClockTransitive(cycle, domain map[*cgNode]*cgNode) {
+// reads the host clock is flagged when a cycle, domain, or
+// serialization root reaches it. Inside those scopes the per-file rule
+// already reported it.
+func (a *analysis) wallClockTransitive(reaches ...map[*cgNode]*cgNode) {
 	seen := map[*cgNode]bool{}
-	for _, reach := range []map[*cgNode]*cgNode{cycle, domain} {
+	for _, reach := range reaches {
 		for _, n := range sortedNodes(reach) {
 			if seen[n] {
 				continue

@@ -138,6 +138,12 @@ func DefaultOptions() Options {
 			"cawa/internal/sm", "cawa/internal/gpu", "cawa/internal/sched",
 			"cawa/internal/core", "cawa/internal/cache", "cawa/internal/memsys",
 			"cawa/internal/stats",
+			// Checkpoint serialization is part of the deterministic core:
+			// a state hash must be a pure function of simulated state, so
+			// encode/decode may not read the clock, use the global rand
+			// source, or range maps (gob would bake the random iteration
+			// order into the byte stream and break digest comparisons).
+			"cawa/internal/checkpoint",
 		},
 		// Prefix-matches cawa/internal/obs/perf too: the profiler's
 		// injected-clock seam is the only way wall time reaches it.

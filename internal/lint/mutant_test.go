@@ -63,6 +63,9 @@ package util
 
 // Bump is the clean helper the mutants replace.
 func Bump(n int) int { return n + 1 }
+
+// Pack is the clean serialization helper the mutants replace.
+func Pack(b []byte) []byte { return b }
 `,
 	"internal/core/core.go": `// Package core is a sim-path package for the global-write mutant.
 package core
@@ -124,6 +127,34 @@ func (g *GPU) Run() {
 	g.fastForward()
 	g.runBatch(&domainWorker{sms: g.sms}, 0)
 }
+`,
+	"internal/checkpoint/checkpoint.go": `// Package checkpoint is a stub so the serialization roots resolve.
+package checkpoint
+
+import "cawa/internal/util"
+
+// Snapshot is the stub state capture.
+type Snapshot struct {
+	payload []byte
+}
+
+// Capture snapshots the stub engine.
+func Capture() *Snapshot { return &Snapshot{} }
+
+// Restore rebuilds the stub engine.
+func Restore(s *Snapshot) error { return nil }
+
+// Encode serializes through the helper package.
+func Encode(s *Snapshot) []byte { return util.Pack(s.payload) }
+
+// Decode deserializes through the helper package.
+func Decode(b []byte) (*Snapshot, error) { return &Snapshot{payload: util.Pack(b)}, nil }
+
+// StateHash digests a snapshot.
+func StateHash(s *Snapshot) string { return string(Encode(s)) }
+
+// FunctionalLaunch replays one launch without timing.
+func FunctionalLaunch() error { return nil }
 `,
 	"internal/obs/perf/perf.go": `// Package perf is a stub so the profiler roots resolve.
 package perf
@@ -214,6 +245,9 @@ import "cawa/internal/memsys"
 // Bump is the clean helper.
 func Bump(n int) int { return n + 1 }
 
+// Pack is the clean serialization helper.
+func Pack(b []byte) []byte { return b }
+
 // Drain bypasses the staged L1 interface (seeded violation).
 func Drain(s *memsys.System) { s.Schedule(3) }
 `,
@@ -253,6 +287,9 @@ func TestMutantHotPathAllocTwoDeep(t *testing.T) {
 // Bump now allocates two calls below the cycle root (seeded violation).
 func Bump(n int) int { return len(pad(n)) }
 
+// Pack is the clean serialization helper.
+func Pack(b []byte) []byte { return b }
+
 func pad(n int) []int { return make([]int, n) }
 `,
 	})
@@ -267,6 +304,9 @@ func TestMutantDomainChannel(t *testing.T) {
 
 // Bump is the clean helper.
 func Bump(n int) int { return n + 1 }
+
+// Pack is the clean serialization helper.
+func Pack(b []byte) []byte { return b }
 
 // Notify pushes on a channel (seeded violation).
 func Notify(ch chan int) { ch <- 1 }
@@ -457,6 +497,9 @@ func TestMutantAllocOKSuppresses(t *testing.T) {
 // Bump allocates, but the site is annotated.
 func Bump(n int) int { return len(pad(n)) }
 
+// Pack is the clean serialization helper.
+func Pack(b []byte) []byte { return b }
+
 func pad(n int) []int {
 	return make([]int, n) //cawalint:alloc-ok mutant fixture: annotated on purpose
 }
@@ -472,6 +515,33 @@ func pad(n int) []int {
 	}
 }
 
+// TestMutantSerializationWallClock seeds a host-clock read in a helper
+// the checkpoint encoder reaches: Encode -> util.Pack -> time.Now. The
+// per-file rule cannot see it (util is outside every path scope), so
+// only the transitive rule rooted at the serialization set can — a
+// snapshot digest stamped with wall time would never verify on decode.
+func TestMutantSerializationWallClock(t *testing.T) {
+	findings := analyzeMutant(t, map[string]string{
+		"internal/util/util.go": `package util
+
+import "time"
+
+// Bump is the clean helper.
+func Bump(n int) int { return n + 1 }
+
+// Pack stamps the payload with the host clock (seeded violation).
+func Pack(b []byte) []byte {
+	if time.Now().IsZero() {
+		return nil
+	}
+	return b
+}
+`,
+	})
+	assertFindingID(t, findings,
+		"wall-clock-transitive@cawa/internal/util.Pack#time.Now")
+}
+
 // TestMutantStaleIgnore proves a directive that suppresses nothing is
 // itself a finding.
 func TestMutantStaleIgnore(t *testing.T) {
@@ -482,6 +552,9 @@ func TestMutantStaleIgnore(t *testing.T) {
 func Bump(n int) int {
 	return n + 1 //cawalint:alloc-ok nothing here allocates
 }
+
+// Pack is the clean serialization helper.
+func Pack(b []byte) []byte { return b }
 `,
 	})
 	found := false

@@ -1,0 +1,33 @@
+package memory
+
+import "fmt"
+
+// State is the serializable image of a Memory: the full word array and
+// the bump-allocator break. Checkpoints capture it after the workload's
+// constructor has already shaped the memory, so Restore requires an
+// identically sized target (the restoring side rebuilds the workload
+// from the same Params first).
+type State struct {
+	Words []int64
+	Brk   int64
+}
+
+// Capture deep-copies the memory image.
+func (m *Memory) Capture() State {
+	st := State{Words: make([]int64, len(m.words)), Brk: m.brk}
+	copy(st.Words, m.words)
+	return st
+}
+
+// Restore overwrites the memory with a captured image. The capacities
+// must match: a mismatch means the checkpoint was taken against a
+// different workload build and cannot be applied.
+func (m *Memory) Restore(st State) error {
+	if len(st.Words) != len(m.words) {
+		return fmt.Errorf("memory: restore size mismatch (have %d words, snapshot %d)",
+			len(m.words), len(st.Words))
+	}
+	copy(m.words, st.Words)
+	m.brk = st.Brk
+	return nil
+}

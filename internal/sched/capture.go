@@ -1,0 +1,90 @@
+package sched
+
+import "fmt"
+
+// State is the serializable snapshot of one policy instance. Exactly
+// one of the per-policy fields is meaningful, keyed by Kind (the
+// policy's registry name); stateless policies (caws) carry nothing
+// beyond the kind. Snapshots are plain data so the checkpoint layer
+// can gob-encode them.
+type State struct {
+	Kind string
+
+	// lrr
+	Last int
+	// gto / gcaws
+	Current int
+	// 2lvl
+	GroupSize int
+	Active    []int
+	Pending   []int
+	RRLast    int
+}
+
+// Capture snapshots a policy instance. Policies outside this package's
+// registry are rejected: a checkpoint must never silently drop
+// scheduler state.
+func Capture(p Policy) (State, error) {
+	switch p := p.(type) {
+	case *LRR:
+		return State{Kind: "lrr", Last: p.last}, nil
+	case *GTO:
+		return State{Kind: "gto", Current: p.current}, nil
+	case *TwoLevel:
+		st := State{
+			Kind:      "2lvl",
+			GroupSize: p.groupSize,
+			Active:    append([]int(nil), p.active...),
+			Pending:   append([]int(nil), p.pending...),
+			RRLast:    p.rr.last,
+		}
+		return st, nil
+	case *GCAWS:
+		return State{Kind: "gcaws", Current: p.current}, nil
+	case *CAWS:
+		return State{Kind: "caws"}, nil
+	default:
+		return State{}, fmt.Errorf("sched: policy %s is not checkpointable", p.Name())
+	}
+}
+
+// Restore overwrites a policy instance with a captured snapshot. The
+// policy's concrete type must match the snapshot's kind.
+func Restore(p Policy, st State) error {
+	switch p := p.(type) {
+	case *LRR:
+		if st.Kind != "lrr" {
+			return restoreMismatch("lrr", st.Kind)
+		}
+		p.last = st.Last
+	case *GTO:
+		if st.Kind != "gto" {
+			return restoreMismatch("gto", st.Kind)
+		}
+		p.current = st.Current
+	case *TwoLevel:
+		if st.Kind != "2lvl" {
+			return restoreMismatch("2lvl", st.Kind)
+		}
+		p.groupSize = st.GroupSize
+		p.active = append(p.active[:0], st.Active...)
+		p.pending = append(p.pending[:0], st.Pending...)
+		p.rr.last = st.RRLast
+	case *GCAWS:
+		if st.Kind != "gcaws" {
+			return restoreMismatch("gcaws", st.Kind)
+		}
+		p.current = st.Current
+	case *CAWS:
+		if st.Kind != "caws" {
+			return restoreMismatch("caws", st.Kind)
+		}
+	default:
+		return fmt.Errorf("sched: policy %s is not checkpointable", p.Name())
+	}
+	return nil
+}
+
+func restoreMismatch(have, got string) error {
+	return fmt.Errorf("sched: restore kind mismatch (policy %s, snapshot %s)", have, got)
+}

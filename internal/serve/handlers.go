@@ -240,6 +240,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "cawa_session_cache_misses_total %d\n", misses)
 	fmt.Fprintf(w, "# TYPE cawa_session_disk_hits_total counter\n")
 	fmt.Fprintf(w, "cawa_session_disk_hits_total %d\n", s.sess.DiskHits())
+	fmt.Fprintf(w, "# TYPE cawa_session_warm_resumes_total counter\n")
+	fmt.Fprintf(w, "cawa_session_warm_resumes_total %d\n", s.sess.WarmResumes())
 	m := s.sess.Manifest()
 	fmt.Fprintf(w, "# TYPE cawa_session_runs_total counter\n")
 	fmt.Fprintf(w, "cawa_session_runs_total %d\n", len(m.Runs))

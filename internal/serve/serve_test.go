@@ -15,6 +15,7 @@ import (
 
 	"cawa/internal/config"
 	"cawa/internal/core"
+	"cawa/internal/gpu"
 	"cawa/internal/harness"
 	"cawa/internal/workloads"
 )
@@ -388,6 +389,70 @@ func TestServeRestartFromDiskCache(t *testing.T) {
 	}
 	if !bytes.Equal(first, second) {
 		t.Error("restarted instance served different bytes than the original run")
+	}
+}
+
+// TestServeWarmStartResumesCheckpoint: a checkpoint persisted by an
+// interrupted run warm-starts the next request for the same design
+// point instead of re-simulating from cycle zero, and the served result
+// equals an uninterrupted run's.
+func TestServeWarmStartResumesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := harness.OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := core.CAWA()
+	sysKey, err := sc.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt := harness.RunOptions{Workload: "bfs", Params: testParams, System: sc, Config: config.Small()}
+	ref, err := harness.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	hooked := opt
+	cutAt := ref.Agg.Cycles / 2
+	hooked.PerCycle = func(_ *gpu.GPU, cycle int64) {
+		if cycle >= cutAt {
+			cancel()
+		}
+	}
+	_, last, err := harness.RunCheckpointed(ctx, hooked, 1_000, nil)
+	if err == nil || last == nil {
+		t.Fatalf("interrupted run: err=%v checkpoint=%v", err, last != nil)
+	}
+	key := disk.CheckpointKey(disk.EntryKey("bfs", sysKey, testParams, config.Small()))
+	if err := disk.StoreCheckpoint(key, last); err != nil {
+		t.Fatal(err)
+	}
+
+	sess := testSession()
+	sess.Disk = disk
+	srv := New(Config{Session: sess})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts.Client(), ts.URL+"/v1/run", RunRequest{App: "bfs", Scheduler: "gcaws", CPL: true, CACP: true})
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("sync run: status %d: %s", resp.StatusCode, body)
+	}
+	got := decode[harness.Result](t, resp)
+	if got.Agg.Cycles != ref.Agg.Cycles || got.Agg.Instructions != ref.Agg.Instructions ||
+		got.Agg.L1DMisses != ref.Agg.L1DMisses || got.Launches != ref.Launches {
+		t.Fatalf("served aggregate differs from uninterrupted run:\nserved %+v\nref    %+v", got.Agg, ref.Agg)
+	}
+	if n := sess.WarmResumes(); n != 1 {
+		t.Fatalf("WarmResumes = %d, want 1", n)
+	}
+	if _, ok := disk.LoadCheckpoint(key); ok {
+		t.Fatal("checkpoint artifact survived the completed run")
 	}
 }
 

@@ -1,0 +1,65 @@
+package simt
+
+import (
+	"fmt"
+
+	"cawa/internal/isa"
+)
+
+// WarpState is the serializable snapshot of one warp's architectural
+// state: per-thread registers and the SIMT reconvergence stack. Every
+// field is plain data, so the checkpoint layer can gob-encode it
+// directly.
+type WarpState struct {
+	GID          int
+	Block        int
+	IndexInBlock int
+	Size         int
+
+	Regs      [][isa.NumRegs]int64
+	Stack     []StackEntry
+	Exited    uint64
+	Initial   uint64
+	AtBarrier bool
+}
+
+// Capture deep-copies the warp into a WarpState.
+func (w *Warp) Capture() WarpState {
+	st := WarpState{
+		GID:          w.GID,
+		Block:        w.Block,
+		IndexInBlock: w.IndexInBlock,
+		Size:         w.Size,
+		Regs:         make([][isa.NumRegs]int64, len(w.regs)),
+		Stack:        make([]StackEntry, len(w.stack)),
+		Exited:       w.exited,
+		Initial:      w.initial,
+		AtBarrier:    w.AtBarrier,
+	}
+	copy(st.Regs, w.regs)
+	copy(st.Stack, w.stack)
+	return st
+}
+
+// NewWarpFromState rebuilds a warp from a captured snapshot. The state
+// is deep-copied, so the snapshot stays reusable.
+func NewWarpFromState(st WarpState) (*Warp, error) {
+	if st.Size <= 0 || st.Size > MaxWarpSize || len(st.Regs) != st.Size {
+		return nil, fmt.Errorf("simt: warp state gid=%d has bad geometry size=%d regs=%d",
+			st.GID, st.Size, len(st.Regs))
+	}
+	w := &Warp{
+		GID:          st.GID,
+		Block:        st.Block,
+		IndexInBlock: st.IndexInBlock,
+		Size:         st.Size,
+		regs:         make([][isa.NumRegs]int64, len(st.Regs)),
+		stack:        make([]StackEntry, len(st.Stack)),
+		exited:       st.Exited,
+		initial:      st.Initial,
+		AtBarrier:    st.AtBarrier,
+	}
+	copy(w.regs, st.Regs)
+	copy(w.stack, st.Stack)
+	return w, nil
+}

@@ -265,7 +265,18 @@ func (m *SM) L1D() *memsys.L1D { return m.l1d }
 // The parallel engine gives each SM domain a private log and flushes
 // them in SM-id order at every epoch barrier; the serial engine leaves
 // it nil and warps write global memory directly.
-func (m *SM) SetStoreLog(l *memory.StoreLog) { m.storeLog = l }
+//
+// Resident blocks (possible only after a checkpoint restore — normal
+// launches install the log before any dispatch) are rebound so a launch
+// captured on one engine resumes correctly on the other.
+func (m *SM) SetStoreLog(l *memory.StoreLog) {
+	m.storeLog = l
+	for i := range m.slots {
+		if m.slots[i].valid {
+			m.slots[i].block.ctx.Log = l
+		}
+	}
+}
 
 // L1I exposes the SM's instruction cache (statistics).
 func (m *SM) L1I() *cache.Cache { return m.l1i }

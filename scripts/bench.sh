@@ -43,14 +43,26 @@ set -e
 cd "$(dirname "$0")/.."
 
 delta=0
-if [ "${1:-}" = "-delta" ]; then
+run=1
+case "${1:-}" in
+-delta)
     delta=1
     shift
-fi
+    ;;
+-delta-only)
+    # Gate an existing report against the baseline without re-running
+    # the benchmarks (used by the delta-logic shell test).
+    delta=1
+    run=0
+    shift
+    ;;
+esac
 
 out=${1:-BENCH_$(date +%F).json}
 pattern=${2:-'BenchmarkSimulatorThroughput|BenchmarkParallelSweep|BenchmarkFig9Performance|BenchmarkFig13SchedulerBreakdown'}
 benchtime=${BENCHTIME:-1s}
+
+if [ "$run" = 1 ]; then
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -88,6 +100,8 @@ END { printf "\n  ]\n}\n" }
 
 echo "wrote $out"
 
+fi # run
+
 # Extract one numeric metric of one benchmark from a report.
 extract() {
     awk -v name="$2" -v metric="$3" '
@@ -121,25 +135,44 @@ if [ "$delta" = 1 ]; then
         echo "delta: no committed BENCH_*.json baseline found" >&2
         exit 1
     fi
-    # Serial headline: the historical flat name (pre-split baselines)
-    # or the serial-2sm sub-benchmark. Engine-independent, so it always
-    # gates.
+    # Serial headline: the serial-2sm sub-benchmark, falling back to the
+    # historical flat name for pre-split baselines. Serial throughput is
+    # mostly GOMAXPROCS-independent, but the flat-name rows predate the
+    # per-row stamps' engine split, so a flat baseline is only trusted
+    # when its GOMAXPROCS stamp matches the current serial row's — a
+    # 4-core laptop baseline gating a 16-core CI run (or vice versa)
+    # compares different machines, not different commits.
     new=$(extract "$out" "SimulatorThroughput/serial-2sm" sim_cycles_s)
     old=$(extract "$base" "SimulatorThroughput/serial-2sm" sim_cycles_s)
-    [ -n "$old" ] || old=$(extract "$base" SimulatorThroughput sim_cycles_s)
-    if [ -z "$new" ] || [ -z "$old" ]; then
-        echo "delta: serial sim_cycles_s missing (new='$new' baseline='$old' from $base)" >&2
-        exit 1
+    serial_skip=0
+    if [ -z "$old" ]; then
+        flat=$(extract "$base" SimulatorThroughput sim_cycles_s)
+        if [ -n "$flat" ]; then
+            fprocs_old=$(extract "$base" SimulatorThroughput gomaxprocs)
+            fprocs_new=$(extract "$out" "SimulatorThroughput/serial-2sm" gomaxprocs)
+            if [ -n "$fprocs_old" ] && [ "$fprocs_old" = "$fprocs_new" ]; then
+                old=$flat
+            else
+                echo "delta: serial skipped — flat-name baseline GOMAXPROCS ${fprocs_old:-unknown} vs ${fprocs_new:-unknown} ($base) are not comparable"
+                serial_skip=1
+            fi
+        fi
     fi
-    awk -v new="$new" -v old="$old" -v base="$base" '
-        BEGIN {
-            pct = (new / old - 1) * 100
-            printf "delta: serial sim_cycles_s %.0f vs baseline %.0f (%s): %+.1f%%\n", new, old, base, pct
-            if (new < old * 0.75) {
-                printf "delta: FAIL — more than 25%% below baseline\n"
-                exit 1
-            }
-        }'
+    if [ "$serial_skip" = 0 ]; then
+        if [ -z "$new" ] || [ -z "$old" ]; then
+            echo "delta: serial sim_cycles_s missing (new='$new' baseline='$old' from $base)" >&2
+            exit 1
+        fi
+        awk -v new="$new" -v old="$old" -v base="$base" '
+            BEGIN {
+                pct = (new / old - 1) * 100
+                printf "delta: serial sim_cycles_s %.0f vs baseline %.0f (%s): %+.1f%%\n", new, old, base, pct
+                if (new < old * 0.75) {
+                    printf "delta: FAIL — more than 25%% below baseline\n"
+                    exit 1
+                }
+            }'
+    fi
     # Parallel engines: only meaningful against a baseline captured at
     # the same GOMAXPROCS — domain-goroutine throughput scales with
     # cores, so cross-machine comparisons are noise, not regressions.

@@ -22,10 +22,13 @@
 #   GOMAXPROCS race matrix: the parallel per-SM engine's tests (epoch
 #                 barrier, staged commit, lookahead batching, span-fill
 #                 delivery, cancellation, worker budget,
-#                 engine-equivalence) re-run under -race at GOMAXPROCS=2
+#                 engine-equivalence, checkpoint round-trips across the
+#                 workload catalog) re-run under -race at GOMAXPROCS=2
 #                 (forced goroutine multiplexing — exercises the barrier
 #                 park path) and GOMAXPROCS=8 (real interleaving on CI's
 #                 multi-core runners).
+#   bench delta   shell-level test of scripts/bench.sh's -delta gating
+#                 (flat-name fallback only gates at matching GOMAXPROCS)
 set -e
 cd "$(dirname "$0")/.."
 
@@ -51,7 +54,9 @@ go test -race -short ./internal/harness/... ./internal/workloads/...
 echo "== go test -race parallel engine (GOMAXPROCS=2, GOMAXPROCS=8) =="
 for procs in 2 8; do
     GOMAXPROCS=$procs go test -race -short \
-        -run 'TestParallel|TestDomain|TestStaged|TestStaging|TestLookahead|TestSpanFill|TestSessionSharedWorkerBudget|TestEngineEquivalenceMatrix' \
-        ./internal/gpu/... ./internal/memsys/... ./internal/harness/...
+        -run 'TestParallel|TestDomain|TestStaged|TestStaging|TestLookahead|TestSpanFill|TestSessionSharedWorkerBudget|TestEngineEquivalenceMatrix|TestRoundTrip' \
+        ./internal/gpu/... ./internal/memsys/... ./internal/harness/... ./internal/checkpoint/...
 done
+echo "== bench.sh delta logic =="
+./scripts/test_bench_delta.sh
 echo "ALL CHECKS PASSED"

@@ -1,0 +1,95 @@
+#!/bin/sh
+# Shell-level test of bench.sh's -delta gating logic, driven through the
+# -delta-only mode (gate an existing report, skip the benchmarks).
+#
+# The regression this pins: the flat-name fallback for pre-split
+# baselines used to compare sim_cycles_s across reports captured at
+# different GOMAXPROCS — a cross-machine comparison that can fail (or
+# pass) on hardware, not on commits. The fallback must only gate when
+# the GOMAXPROCS stamps match, and skip with a message otherwise.
+set -e
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+fails=0
+fail() {
+    echo "test_bench_delta: FAIL: $1" >&2
+    fails=$((fails + 1))
+}
+
+# report <file> <rows...>: write a minimal BENCH report.
+report() {
+    f=$1
+    shift
+    {
+        printf '{\n  "date": "2026-01-01",\n  "go": "gotest",\n  "benchtime": "1x",\n  "gomaxprocs": 8,\n  "benchmarks": [\n'
+        sep=""
+        for row in "$@"; do
+            printf '%b    %s' "$sep" "$row"
+            sep=',\n'
+        done
+        printf '\n  ]\n}\n'
+    } > "$f"
+}
+
+serial_row() { # gomaxprocs cycles_s
+    echo "{\"name\": \"SimulatorThroughput/serial-2sm\", \"gomaxprocs\": $1, \"engine\": \"serial\", \"iterations\": 10, \"sim_cycles_s\": $2}"
+}
+flat_row() { # gomaxprocs cycles_s
+    echo "{\"name\": \"SimulatorThroughput\", \"gomaxprocs\": $1, \"engine\": \"serial\", \"iterations\": 10, \"sim_cycles_s\": $2}"
+}
+smpar_row() { # gomaxprocs cycles_s
+    echo "{\"name\": \"SimulatorThroughput/smpar-15sm\", \"gomaxprocs\": $1, \"engine\": \"parallel\", \"iterations\": 10, \"sim_cycles_s\": $2}"
+}
+
+new=$tmp/new.json
+base=$tmp/base.json
+
+# 1. Flat-name baseline at MATCHING GOMAXPROCS still gates: a >25%
+#    regression must fail.
+report "$new" "$(serial_row 8 700000)"
+report "$base" "$(flat_row 8 1000000)"
+if BASELINE=$base ./scripts/bench.sh -delta-only "$new" >"$tmp/out1" 2>&1; then
+    fail "matched-procs flat fallback did not catch a 30% regression"
+fi
+grep -q "delta: FAIL" "$tmp/out1" || fail "expected FAIL message, got: $(cat "$tmp/out1")"
+
+# 2. Flat-name baseline at matching GOMAXPROCS passes within bounds.
+report "$new" "$(serial_row 8 950000)"
+if ! BASELINE=$base ./scripts/bench.sh -delta-only "$new" >"$tmp/out2" 2>&1; then
+    fail "matched-procs flat fallback failed a -5% run: $(cat "$tmp/out2")"
+fi
+grep -q "delta: serial sim_cycles_s" "$tmp/out2" || fail "expected serial gate line, got: $(cat "$tmp/out2")"
+
+# 3. Flat-name baseline at DIFFERENT GOMAXPROCS must be skipped, not
+#    gated: the same 30% drop that failed case 1 is now a cross-machine
+#    comparison and must pass with a skip message.
+report "$new" "$(serial_row 8 700000)"
+report "$base" "$(flat_row 4 1000000)"
+if ! BASELINE=$base ./scripts/bench.sh -delta-only "$new" >"$tmp/out3" 2>&1; then
+    fail "mismatched-procs flat fallback gated a cross-machine comparison: $(cat "$tmp/out3")"
+fi
+grep -q "delta: serial skipped" "$tmp/out3" || fail "expected skip message, got: $(cat "$tmp/out3")"
+
+# 4. Split baselines are unaffected: serial-2sm rows gate directly.
+report "$base" "$(serial_row 4 1000000)"
+if BASELINE=$base ./scripts/bench.sh -delta-only "$new" >"$tmp/out4" 2>&1; then
+    fail "split-baseline serial gate missed a 30% regression"
+fi
+
+# 5. Parallel rows: mismatched GOMAXPROCS skip (pre-existing behavior,
+#    pinned here alongside the serial fix).
+report "$new" "$(serial_row 8 1000000)" "$(smpar_row 8 5000000)"
+report "$base" "$(serial_row 8 1000000)" "$(smpar_row 4 9000000)"
+if ! BASELINE=$base ./scripts/bench.sh -delta-only "$new" >"$tmp/out5" 2>&1; then
+    fail "mismatched-procs parallel rows gated: $(cat "$tmp/out5")"
+fi
+grep -q "delta: smpar skipped" "$tmp/out5" || fail "expected smpar skip message, got: $(cat "$tmp/out5")"
+
+if [ "$fails" != 0 ]; then
+    echo "test_bench_delta: $fails failure(s)" >&2
+    exit 1
+fi
+echo "test_bench_delta: all cases passed"
